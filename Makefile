@@ -1,0 +1,24 @@
+.PHONY: install test bench examples experiments figures api-docs all
+
+install:
+	pip install -e .[test]
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+experiments:
+	python tools/run_experiments.py results
+
+figures:
+	python examples/visual_report.py out
+
+api-docs:
+	python tools/gen_api_docs.py
+
+all: test bench

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module reproduces one experiment of DESIGN.md's index
+(E1..E12): it prints the table/series the paper's claim is about (run
+with ``-s`` to see them) and asserts the claim's *shape*, so the bench
+suite doubles as an end-to-end verification of the reproduction.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,62 @@
+"""E12 — Ablation: the Reanchor load-balancing rule.
+
+DESIGN.md calls out the least-loaded anchor choice (the balanced player of
+the urns-and-balls game) as the load-bearing design decision behind
+Lemma 2.  This bench swaps it for random / round-robin / most-loaded
+choices.  Shape: every policy still explores correctly (the guarantee
+proof, not correctness, depends on balancing), the balanced policy's
+per-depth re-anchor counts respect Lemma 2's bound, and on the stress
+tree the anti-balanced policy is measurably slower.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.bounds import lemma2_bound
+from repro.core import BFDN, make_policy
+from repro.sim import Simulator
+from repro.trees import generators as gen
+from repro.trees.adversarial import reanchor_stress_tree
+
+POLICIES = ("least-loaded", "random", "round-robin", "most-loaded")
+
+
+def run_table():
+    k = 8
+    rows = []
+    for label, tree in [
+        ("stress", reanchor_stress_tree(k, 12)),
+        ("caterpillar", gen.caterpillar(30, 6)),
+        ("random-depth", gen.random_tree_with_depth(2_000, 30)),
+    ]:
+        for policy in POLICIES:
+            res = Simulator(tree, BFDN(policy=make_policy(policy)), k).run()
+            per_depth = res.metrics.reanchors_per_depth()
+            interior = {
+                d: c for d, c in per_depth.items() if 1 <= d <= tree.depth - 1
+            }
+            worst = max(interior.values()) if interior else 0
+            rows.append(
+                {
+                    "tree": label,
+                    "policy": policy,
+                    "rounds": res.rounds,
+                    "max reanchors/depth": worst,
+                    "lemma2 bound": round(lemma2_bound(k, tree.max_degree), 1),
+                    "done": res.done,
+                }
+            )
+    return rows
+
+
+def test_bench_reanchor_ablation(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["done"], row
+        if row["policy"] == "least-loaded":
+            assert row["max reanchors/depth"] <= row["lemma2 bound"], row
+    # The stress tree separates balanced from anti-balanced.
+    stress = {r["policy"]: r["rounds"] for r in rows if r["tree"] == "stress"}
+    assert stress["least-loaded"] < stress["most-loaded"]

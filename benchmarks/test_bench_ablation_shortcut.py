@@ -1,0 +1,65 @@
+"""E14 (extension) — the cost of write-read compatibility.
+
+The paper routes every robot back to the root before re-anchoring so the
+algorithm survives the write-read model (Section 2's remark).  With
+complete communication the robots could instead shortcut to their next
+anchor through the LCA.  This bench quantifies what the detour costs:
+measured rounds of Algorithm 1 vs the shortcut variant across families.
+
+Shape: the shortcut never loses (up to noise), gains little on shallow
+trees (detours are short), and cuts deep-tree runtimes dramatically —
+i.e. the D^2 term of Theorem 1 is mostly *detour*, which is exactly why
+the open question of a 2n/k + O(D^2) algorithm (Section "Open
+directions") focuses on the additive depth term.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.bounds import bfdn_bound
+from repro.core import BFDN
+from repro.core.bfdn_shortcut import ShortcutBFDN
+from repro.sim import Simulator
+from repro.trees import generators as gen
+
+
+def run_table():
+    k = 8
+    rows = []
+    for label, tree in [
+        ("star", gen.star(512)),
+        ("binary", gen.complete_ary(2, 8)),
+        ("caterpillar", gen.caterpillar(40, 6)),
+        ("comb", gen.comb(25, 8)),
+        ("deep-random", gen.random_tree_with_depth(1_000, 80)),
+        ("spider", gen.spider(k, 40)),
+    ]:
+        standard = Simulator(tree, BFDN(), k).run().rounds
+        shortcut = Simulator(tree, ShortcutBFDN(), k).run().rounds
+        rows.append(
+            {
+                "tree": label,
+                "n": tree.n,
+                "D": tree.depth,
+                "BFDN": standard,
+                "shortcut": shortcut,
+                "saved": standard - shortcut,
+                "speedup": round(standard / max(shortcut, 1), 2),
+                "bound": round(bfdn_bound(tree.n, tree.depth, k, tree.max_degree)),
+            }
+        )
+    return rows
+
+
+def test_bench_shortcut_ablation(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["shortcut"] <= row["bound"], row
+        assert row["shortcut"] <= row["BFDN"] * 1.15 + 4, row
+    # The deep instances benefit the most.
+    deep = next(r for r in rows if r["tree"] == "deep-random")
+    star = next(r for r in rows if r["tree"] == "star")
+    assert deep["speedup"] > star["speedup"]
+    assert deep["speedup"] >= 1.5

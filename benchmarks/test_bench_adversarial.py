@@ -1,0 +1,76 @@
+"""E6 — Proposition 7: BFDN under adversarial robot break-downs.
+
+Runs BFDN against several break-down schedules and reports the realised
+average number of allowed moves A(M) at the completion round, against the
+guarantee 2n/k + D^2 (log k + 3).  Shape: exploration always completes
+before A(M) exceeds the bound, for every adversary.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import run_with_breakdowns
+from repro.sim import (
+    RandomBreakdowns,
+    RoundRobinBreakdowns,
+    TargetedBreakdowns,
+)
+from repro.trees import generators as gen
+
+
+def adversaries(horizon):
+    return [
+        ("random p=0.25", RandomBreakdowns(0.25, horizon, seed=1)),
+        ("random p=0.5", RandomBreakdowns(0.5, horizon, seed=2)),
+        ("random p=0.75", RandomBreakdowns(0.75, horizon, seed=3)),
+        ("round-robin 1/4", RoundRobinBreakdowns(2, horizon)),
+        ("targeted half", TargetedBreakdowns([0, 1, 2, 3], horizon)),
+    ]
+
+
+def run_table():
+    k = 8
+    rows = []
+    for label, tree in [
+        ("caterpillar", gen.caterpillar(30, 6)),
+        ("spider", gen.spider(k, 30)),
+        ("random", gen.random_recursive(600)),
+    ]:
+        horizon = 200 * tree.n
+        for adv_name, adv in adversaries(horizon):
+            out = run_with_breakdowns(tree, k, adv)
+            rows.append(
+                {
+                    "tree": label,
+                    "adversary": adv_name,
+                    "wall rounds": out.result.wall_rounds,
+                    "A(M)": round(out.average_allowed, 1),
+                    "bound": round(out.bound, 1),
+                    "complete": out.result.complete,
+                }
+            )
+    return rows
+
+
+def test_bench_adversarial(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["complete"], row
+        assert row["A(M)"] <= row["bound"], row
+
+
+def test_bench_blocking_slows_wall_clock_not_work():
+    """Blocking half the team roughly doubles wall-clock time while the
+    per-robot allowed-move budget A(M) stays comparable."""
+    k = 8
+    tree = gen.random_recursive(500)
+    free = run_with_breakdowns(tree, k, RandomBreakdowns(1.0, 10**6))
+    half = run_with_breakdowns(tree, k, RandomBreakdowns(0.5, 10**6, seed=4))
+    print(
+        f"\nfree: wall={free.result.wall_rounds} A(M)={free.average_allowed:.1f} | "
+        f"half-blocked: wall={half.result.wall_rounds} A(M)={half.average_allowed:.1f}"
+    )
+    assert half.result.wall_rounds > free.result.wall_rounds
+    assert half.average_allowed <= 2.5 * max(free.average_allowed, 1)

@@ -1,0 +1,80 @@
+"""E11 — Resource allocation (Section 3's "interpretation of the game").
+
+k workers, k parallelizable tasks of unknown length; idle workers are
+reassigned to the least-crowded unfinished task.  Shape: the number of
+task switches stays below k log k + 2k for every workload (the optimum is
+~k), and the makespan tracks the ideal total-work/k.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.game import run_allocation
+
+
+def workloads(k, seed=0):
+    rng = random.Random(seed)
+    return [
+        ("uniform", [rng.randrange(1, 100) for _ in range(k)]),
+        ("geometric", [2 ** (i % 12) for i in range(k)]),
+        ("one-giant", [1] * (k - 1) + [10_000]),
+        ("equal", [50] * k),
+        ("zipf-ish", [max(1, 1000 // (i + 1)) for i in range(k)]),
+    ]
+
+
+def run_table():
+    rows = []
+    for k in (8, 16, 32, 64):
+        for label, work in workloads(k):
+            res = run_allocation(work)
+            rows.append(
+                {
+                    "workload": label,
+                    "k": k,
+                    "switches": res.switches,
+                    "bound": round(res.bound, 1),
+                    "rounds": res.rounds,
+                    "ideal": round(res.ideal_rounds, 1),
+                    "rounds/ideal": round(res.rounds / max(res.ideal_rounds, 1), 2),
+                }
+            )
+    return rows
+
+
+def test_bench_allocation(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["switches"] <= row["bound"], row
+
+
+def test_bench_policy_ablation():
+    """The least-crowded rule vs the ablations on the geometric workload
+    (the regime with constant task completions)."""
+    k = 32
+    work = [2 ** (i % 12) for i in range(k)]
+    rows = []
+    for policy in ("least-crowded", "first-unfinished", "random", "most-crowded"):
+        res = run_allocation(work, policy=policy, seed=1)
+        rows.append(
+            {"policy": policy, "switches": res.switches, "rounds": res.rounds}
+        )
+    print()
+    print(render_table(rows))
+    by_policy = {row["policy"]: row for row in rows}
+    # The paper's policy respects the bound; ablations may not.
+    res = run_allocation(work, policy="least-crowded")
+    assert res.within_bound
+    # Least-crowded's makespan is no worse than dogpiling.
+    assert by_policy["least-crowded"]["rounds"] <= by_policy["most-crowded"]["rounds"]
+
+
+def test_bench_large_allocation(benchmark):
+    rng = random.Random(5)
+    work = [rng.randrange(1, 1000) for _ in range(256)]
+    res = benchmark(lambda: run_allocation(work))
+    assert res.within_bound

@@ -1,0 +1,79 @@
+"""E8 — Theorem 10: the recursive BFDN_ell on deep trees.
+
+Compares BFDN with BFDN_ell (ell = 2, 3) on trees of growing depth at
+fixed n.  Shape: every run respects Theorem 10's bound, and the *bounds*
+cross exactly where the paper says (BFDN_ell's guarantee overtakes
+Theorem 1's once D^2 >> n/k); measured runtimes on these laptop-scale
+trees are reported alongside.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.bounds import bfdn_bound, bfdn_ell_bound
+from repro.core import BFDN, BFDNEll
+from repro.sim import Simulator
+from repro.trees import generators as gen
+
+
+def run_table():
+    k = 16
+    n = 4_096
+    rows = []
+    for depth in (16, 64, 256, 1024):
+        tree = gen.random_tree_with_depth(n, depth)
+        t_bfdn = Simulator(tree, BFDN(), k).run().rounds
+        t_ell2 = Simulator(tree, BFDNEll(2), k).run().rounds
+        rows.append(
+            {
+                "n": tree.n,
+                "D": tree.depth,
+                "BFDN": t_bfdn,
+                "BFDN_l2": t_ell2,
+                "thm1 bound": round(bfdn_bound(n, depth, k, tree.max_degree)),
+                "thm10 bound(l=2)": round(
+                    bfdn_ell_bound(n, depth, k, 2, tree.max_degree)
+                ),
+            }
+        )
+    return rows
+
+
+def test_bench_bfdn_ell_depth_sweep(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["BFDN"] <= row["thm1 bound"], row
+        assert row["BFDN_l2"] <= row["thm10 bound(l=2)"], row
+    # Guarantee crossover: for the deepest tree the Theorem 10 bound is
+    # smaller than the Theorem 1 bound (the reason BFDN_ell exists).
+    assert rows[-1]["thm10 bound(l=2)"] < rows[-1]["thm1 bound"]
+    # And for the shallowest it is the other way around.
+    assert rows[0]["thm1 bound"] < rows[0]["thm10 bound(l=2)"]
+
+
+def test_bench_ell_sweep_guarantees():
+    """The best ell shifts upward as depth grows (Theorem 10's trade-off)."""
+    n, k = 1 << 20, 1 << 12
+    rows = []
+    for depth in (2**6, 2**10, 2**14, 2**17):
+        bounds = {ell: bfdn_ell_bound(n, depth, k, ell) for ell in (1, 2, 3, 4)}
+        best = min(bounds, key=bounds.get)
+        rows.append(
+            {
+                "D": depth,
+                **{f"l={ell}": round(b) for ell, b in bounds.items()},
+                "best": best,
+            }
+        )
+    print()
+    print(render_table(rows))
+    bests = [row["best"] for row in rows]
+    assert bests == sorted(bests)  # deeper tree -> larger optimal ell
+
+
+def test_bench_bfdn_ell_large_run(benchmark):
+    tree = gen.random_tree_with_depth(3_000, 500)
+    result = benchmark(lambda: Simulator(tree, BFDNEll(2), 16).run())
+    assert result.done

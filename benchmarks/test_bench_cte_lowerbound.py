@@ -1,0 +1,121 @@
+"""E10 — CTE on trap trees (the Higashikawa et al. [11] regime).
+
+The paper cites [11]'s n = kD construction on which CTE needs
+~ Dk/log2(k) rounds to justify that CTE's competitive analysis is tight.
+The full adversarial argument adapts the tree to CTE's coin flips; on
+*fixed* synthetic trap trees the gap that survives is a constant factor,
+which this bench measures honestly: CTE's ratio to the offline lower
+bound on trap trees, versus BFDN's, with the trap parameters swept.
+
+Shape: CTE's ratio to the lower bound on trap trees exceeds its ratio on
+benign bushy trees, and BFDN's additive overhead stays within Theorem 1's
+budget on both.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import offline_lower_bound, run_cte
+from repro.bounds import bfdn_bound
+from repro.core import BFDN
+from repro.sim import Simulator
+from repro.trees import generators as gen
+from repro.trees.adversarial import cte_trap_tree
+
+
+def run_table():
+    k = 16
+    rows = []
+    for gadgets, trap in ((4, 32), (8, 16), (16, 8), (32, 4)):
+        tree = cte_trap_tree(k, gadgets, trap)
+        cte = run_cte(tree, k)
+        bfdn = Simulator(tree, BFDN(), k).run()
+        lower = offline_lower_bound(tree.n, tree.depth, k)
+        rows.append(
+            {
+                "gadgets": gadgets,
+                "trap": trap,
+                "n": tree.n,
+                "D": tree.depth,
+                "CTE": cte.rounds,
+                "BFDN": bfdn.rounds,
+                "lower": lower,
+                "CTE/lower": round(cte.rounds / lower, 2),
+                "BFDN/lower": round(bfdn.rounds / lower, 2),
+            }
+        )
+    return rows
+
+
+def test_bench_trap_trees(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        # Both explore correctly and BFDN stays within Theorem 1.
+        assert row["BFDN"] <= bfdn_bound(row["n"], row["D"], 16) * 1.0
+    # On at least one trap configuration CTE is pushed visibly above the
+    # lower bound.  (On *fixed* trees CTE's redistribution caps the damage
+    # at a constant factor; realising the full Dk/log2(k) gap of [11]
+    # requires the *adaptive* adversary of test_bench_adaptive_adversary.)
+    assert max(row["CTE/lower"] for row in rows) >= 1.25
+
+
+def test_bench_adaptive_adversary():
+    """The adaptive trap-the-majority adversary (trees.lazy), run against
+    CTE, with BFDN replayed on the frozen instance.
+
+    Honest finding: neither fixed trap trees nor this simple adaptive
+    policy push CTE far above the offline lower bound at laptop scale —
+    CTE's local redistribution heals both.  Realising the asymptotic
+    ``Dk/log2 k`` gap requires the full adaptive construction of [11]
+    (cited context in the paper, not one of its own claims); the paper's
+    claims about *BFDN* are all verified elsewhere in this suite.
+    """
+    from repro.trees.lazy import TrapTheMajorityPolicy, run_adaptive
+    from repro.baselines import CTE
+    from repro.core import BFDN
+    from repro.sim import Simulator
+
+    rows = []
+    depth = 64
+    for k in (8, 16, 32, 64):
+        policy = TrapTheMajorityPolicy(trap_length=depth, depth_limit=4 * depth)
+        res, frozen = run_adaptive(
+            CTE, k, policy, root_children=2, max_nodes=k * depth
+        )
+        replay = run_cte(frozen, k)
+        assert replay.rounds == res.rounds  # determinism: frozen == adaptive
+        lower = offline_lower_bound(frozen.n, frozen.depth, k)
+        bfdn = Simulator(frozen, BFDN(), k).run()
+        rows.append(
+            {
+                "k": k,
+                "n": frozen.n,
+                "D": frozen.depth,
+                "CTE(adaptive)": res.rounds,
+                "BFDN(frozen)": bfdn.rounds,
+                "CTE/lower": round(res.rounds / lower, 2),
+                "BFDN/lower": round(bfdn.rounds / lower, 2),
+            }
+        )
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["CTE(adaptive)"] > 0
+        assert row["CTE/lower"] >= 1.0
+
+
+def test_bench_cte_hardest_family():
+    """Where does CTE actually hurt most among the fixed families?  Deep
+    mixed trees (random with forced depth, combs): its ratio to the lower
+    bound there exceeds its ratio on shallow bushy trees."""
+    k = 16
+    deep = gen.random_tree_with_depth(2_000, 96)
+    bushy = gen.random_tree_with_depth(2_000, 12)
+    r_deep = run_cte(deep, k).rounds / offline_lower_bound(deep.n, deep.depth, k)
+    r_bushy = run_cte(bushy, k).rounds / offline_lower_bound(
+        bushy.n, bushy.depth, k
+    )
+    print(f"\nCTE/lower deep={r_deep:.2f} vs bushy={r_bushy:.2f}")
+    assert r_deep > r_bushy

@@ -1,0 +1,69 @@
+"""E1 — Figure 1: regions of (n, D) where each guarantee wins.
+
+Regenerates the paper's only figure: for a fixed team size k, the log-log
+(n, D) plane is partitioned into the regions where CTE, Yo*, BFDN and
+BFDN_ell have the best (simplified, constants-dropped) runtime guarantee.
+The paper draws the figure on schematic axes reaching e^{log^2 k} and e^k;
+numerically, all four regions coexist once k is large (Yo*'s
+2^{sqrt(log D loglog k)} log^2 k blow-up must drop below k), so the chart
+is produced at k = 2^40 and the three-region core at k = 2^20.
+"""
+
+import pytest
+
+from repro.bounds import compute_region_map, region_winner, render_ascii
+from repro.bounds.regions import bfdn_beats_bfdn_ell, bfdn_beats_cte
+
+
+K_CORE = 1 << 20
+K_FULL = 1 << 40
+
+
+def compute_core_map():
+    return compute_region_map(K_CORE, resolution=40, log2_n_max=110, log2_d_max=70)
+
+
+def test_bench_figure1_core(benchmark):
+    region_map = benchmark(compute_core_map)
+    counts = region_map.counts()
+    print()
+    print(render_ascii(region_map))
+    print("cell counts:", counts)
+    # Shape of Figure 1: CTE, BFDN and BFDN_ell all hold regions, and the
+    # layout is CTE near the diagonal, BFDN at large n / shallow D,
+    # BFDN_ell between them.
+    assert counts["CTE"] > 0 and counts["BFDN"] > 0 and counts["BFDN_ell"] > 0
+    assert region_winner(2.0**60, 2.0**4, K_CORE) == "BFDN"
+    assert region_winner(2.0**31, 2.0**28, K_CORE) == "CTE"
+    assert region_winner(2.0**60, 2.0**25, K_CORE) == "BFDN_ell"
+
+
+def test_bench_figure1_full_with_yostar(benchmark):
+    region_map = benchmark(
+        lambda: compute_region_map(
+            K_FULL, resolution=36, log2_n_max=260, log2_d_max=200
+        )
+    )
+    counts = region_map.counts()
+    print()
+    print(render_ascii(region_map))
+    print("cell counts:", counts)
+    # All four contenders of Figure 1 hold a region at this scale.
+    assert all(counts[name] > 0 for name in ("CTE", "Yo*", "BFDN", "BFDN_ell"))
+
+
+def test_bench_appendixA_boundaries_agree():
+    """The computed winner map respects the Appendix A closed forms on a
+    sample of points: inside 'BFDN beats CTE and BFDN_ell' the winner is
+    BFDN, etc."""
+    k = K_CORE
+    agreements = 0
+    for ln in range(10, 100, 10):
+        for ld in range(1, 60, 6):
+            n, depth = 2.0**ln, 2.0**ld
+            if n <= depth:
+                continue
+            if bfdn_beats_cte(n, depth, k) and bfdn_beats_bfdn_ell(n, depth, k):
+                assert region_winner(n, depth, k) == "BFDN", (ln, ld)
+                agreements += 1
+    assert agreements > 10

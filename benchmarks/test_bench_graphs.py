@@ -1,0 +1,87 @@
+"""E7 — Proposition 9: collaborative exploration of non-tree graphs.
+
+Runs the graph variant of BFDN (backtrack-and-close, distance oracle) on
+grid graphs with rectangular obstacles [12] and other non-tree graphs.
+Shape: the bound 2n/k + D^2 (min(log Delta, log k) + 3) holds with
+n = #edges and D = the radius, the kept edges always form a spanning BFS
+tree, and team speed-up is near-linear while n/k dominates.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.graphs import (
+    Graph,
+    GridGraph,
+    Obstacle,
+    proposition9_bound,
+    random_obstacle_grid,
+    run_graph_bfdn,
+)
+
+
+def graph_workloads():
+    return [
+        ("grid 20x20", GridGraph(20, 20)),
+        ("grid+obstacles", random_obstacle_grid(20, 20, 10, seed=7)),
+        ("grid corridor", GridGraph(30, 6, [Obstacle(5, 1, 6, 4), Obstacle(14, 1, 15, 4)])),
+        ("cycle-120", Graph(120, [(i, (i + 1) % 120) for i in range(120)])),
+        (
+            "complete-K12",
+            Graph(12, [(i, j) for i in range(12) for j in range(i + 1, 12)]),
+        ),
+    ]
+
+
+def run_table():
+    rows = []
+    for label, g in graph_workloads():
+        for k in (2, 4, 8, 16):
+            res = run_graph_bfdn(g, k)
+            bound = proposition9_bound(g.num_edges, g.radius, k, g.max_degree)
+            rows.append(
+                {
+                    "graph": label,
+                    "edges": g.num_edges,
+                    "radius": g.radius,
+                    "k": k,
+                    "rounds": res.rounds,
+                    "bound": round(bound, 1),
+                    "closed": res.closed_edges,
+                    "ok": res.complete and res.all_home,
+                }
+            )
+    return rows
+
+
+def test_bench_graph_exploration(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["ok"], row
+        assert row["rounds"] <= row["bound"], row
+
+
+def test_bench_speedup_on_grid():
+    """Doubling the team roughly halves the rounds while 2n/k dominates."""
+    g = GridGraph(24, 24)
+    rows = []
+    prev = None
+    for k in (1, 2, 4, 8):
+        res = run_graph_bfdn(g, k)
+        rows.append({"k": k, "rounds": res.rounds})
+        if prev is not None:
+            assert res.rounds <= prev * 0.75  # at least a 1.33x speed-up
+        prev = res.rounds
+    print()
+    print(render_table(rows))
+
+
+def test_bench_large_obstacle_grid(benchmark):
+    g = random_obstacle_grid(40, 40, 20, seed=11)
+    result = benchmark(lambda: run_graph_bfdn(g, 8))
+    assert result.complete and result.all_home
+    assert result.rounds <= proposition9_bound(
+        g.num_edges, g.radius, 8, g.max_degree
+    )

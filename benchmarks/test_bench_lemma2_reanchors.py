@@ -1,0 +1,75 @@
+"""E4 — Lemma 2: re-anchor calls per depth.
+
+Counts, for each depth d, the number of Reanchor calls returning an
+anchor at d, and compares the per-depth maximum against the bound
+k (min(log k, log Delta) + 3).  Shape: the bound holds at every depth on
+every family, including the re-anchoring stress tree.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.bounds import lemma2_bound
+from repro.core import BFDN
+from repro.sim import Simulator
+from repro.trees import generators as gen
+from repro.trees.adversarial import reanchor_stress_tree
+
+
+def workloads(k):
+    return [
+        ("caterpillar", gen.caterpillar(40, 6)),
+        ("comb", gen.comb(30, 10)),
+        ("spider", gen.spider(k, 40)),
+        ("random-depth", gen.random_tree_with_depth(2_000, 40)),
+        ("stress", reanchor_stress_tree(k, 14)),
+    ]
+
+
+def run_table(k):
+    rows = []
+    for label, tree in workloads(k):
+        res = Simulator(tree, BFDN(), k).run()
+        per_depth = res.metrics.reanchors_per_depth()
+        interior = {
+            d: c for d, c in per_depth.items() if 1 <= d <= tree.depth - 1
+        }
+        worst = max(interior.values()) if interior else 0
+        rows.append(
+            {
+                "tree": label,
+                "n": tree.n,
+                "D": tree.depth,
+                "k": k,
+                "max reanchors/depth": worst,
+                "bound": round(lemma2_bound(k, tree.max_degree), 1),
+                "total reanchors": len(res.metrics.reanchors),
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("k", (4, 8, 16))
+def test_bench_lemma2(benchmark, k):
+    rows = benchmark.pedantic(run_table, args=(k,), rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["max reanchors/depth"] <= row["bound"], row
+
+
+def test_bench_reanchors_scale_with_log_k():
+    """At fixed tree, the per-depth maximum grows sublinearly in k (the
+    k log k total normalised by k is the log k factor)."""
+    tree = reanchor_stress_tree(16, 12)
+    rows = []
+    for k in (2, 4, 8, 16, 32):
+        res = Simulator(tree, BFDN(), k).run()
+        per_depth = res.metrics.reanchors_per_depth()
+        interior = {d: c for d, c in per_depth.items() if 1 <= d <= tree.depth - 1}
+        worst = max(interior.values()) if interior else 0
+        rows.append({"k": k, "max/depth": worst, "max/(depth*k)": round(worst / k, 2)})
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["max/depth"] <= lemma2_bound(row["k"], tree.max_degree)

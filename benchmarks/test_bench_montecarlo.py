@@ -1,0 +1,65 @@
+"""E2b (extension) — distributional slack of the Theorem 1 bound.
+
+The paper's bound is worst-case; this bench samples random trees at fixed
+(n, D, k) and reports the distribution of BFDN's additive overhead
+against the D^2 (min(log Delta, log k) + 3) budget.  Shape: every sample
+is within budget, and typical instances use a small fraction of it —
+quantifying how adversarial the worst case is.
+"""
+
+import pytest
+
+from repro.analysis import (
+    game_length_distribution,
+    overhead_distribution,
+    render_table,
+)
+
+
+def run_table():
+    rows = []
+    for n, depth, k in ((500, 25, 8), (1_000, 40, 8), (2_000, 40, 16)):
+        study = overhead_distribution(n, depth, k, num_samples=12)
+        s = study.distribution.summary()
+        rows.append(
+            {
+                "n": n,
+                "D": depth,
+                "k": k,
+                "overhead p50": round(s["p50"], 1),
+                "p90": round(s["p90"], 1),
+                "max": round(s["max"], 1),
+                "budget": round(study.budget, 1),
+                "worst util": round(study.worst_utilisation, 3),
+            }
+        )
+    return rows
+
+
+def test_bench_overhead_distribution(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["worst util"] <= 1.0, row
+        # Typical instances sit far inside the worst-case budget.
+        assert row["overhead p50"] <= 0.5 * row["budget"], row
+
+
+def test_bench_game_distribution():
+    rows = []
+    for k in (8, 16, 32):
+        study = game_length_distribution(k, num_samples=40)
+        s = study.distribution.summary()
+        rows.append(
+            {
+                "k": k,
+                "p50": s["p50"],
+                "max": s["max"],
+                "bound": round(study.budget, 1),
+            }
+        )
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["max"] <= row["bound"]

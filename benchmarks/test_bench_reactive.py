@@ -1,0 +1,85 @@
+"""E13 (extension) — Remark 8: adversaries that observe selected moves.
+
+The paper's Remark 8 raises the setting where the adversary sees the
+robots' selected moves *before* deciding whom to block, and leaves its
+analysis open.  This bench probes it empirically.
+
+Measured finding: the reactive adversary is *strictly stronger* than the
+oblivious one of Proposition 7.  By cancelling only the would-be
+discoverers (a budget far below k), it stalls discovery entirely while
+the remaining robots burn allowed moves — so no bound of the form
+"explored once the average allowed moves reaches f(n, D, k)" can carry
+over unchanged.  Against bounded budgets (fewer blocks than concurrent
+explorers) exploration still completes, with wall-clock degradation
+proportional to the interference rate.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.bounds import adversarial_bound
+from repro.core import BFDN
+from repro.sim import BlockDeepest, BlockExplorers, RandomReactive, run_reactive
+from repro.trees import generators as gen
+
+
+def run_table():
+    k = 8
+    rows = []
+    for label, tree in [
+        ("random", gen.random_recursive(400)),
+        ("caterpillar", gen.caterpillar(25, 6)),
+        ("star", gen.star(200)),
+    ]:
+        horizon = 40 * tree.n
+        for adv_name, adv in [
+            ("none", BlockExplorers(0, horizon)),
+            ("block 1 explorer", BlockExplorers(1, horizon)),
+            ("block 3 explorers", BlockExplorers(3, horizon)),
+            ("block 2 deepest", BlockDeepest(2, horizon)),
+            ("random 30%", RandomReactive(0.3, horizon, seed=1)),
+        ]:
+            out = run_reactive(tree, BFDN(), k, adv)
+            rows.append(
+                {
+                    "tree": label,
+                    "adversary": adv_name,
+                    "wall": out.result.wall_rounds,
+                    "blocked": out.blocked_moves,
+                    "interference": round(out.interference, 2),
+                    "complete": out.result.complete,
+                }
+            )
+    return rows
+
+
+def test_bench_reactive(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["complete"], row
+    # Interference slows the clock monotonically on each tree.
+    for label in ("random", "caterpillar", "star"):
+        tree_rows = {r["adversary"]: r["wall"] for r in rows if r["tree"] == label}
+        assert tree_rows["none"] <= tree_rows["random 30%"]
+
+
+def test_bench_reactive_breaks_prop7_style_bound():
+    """On a path, one reactive block per round denies ALL discovery: the
+    allowed-move average at completion blows past Proposition 7's bound —
+    the oblivious guarantee does not survive Remark 8's model."""
+    tree = gen.path(40)
+    k = 8
+    bound = adversarial_bound(tree.n, tree.depth, k)
+    horizon = int(3 * bound)  # adversary works long enough to exceed it
+    out = run_reactive(tree, BFDN(), k, BlockExplorers(1, horizon))
+    assert out.result.complete  # only after the adversary gives up
+    # Allowed-move average: every robot could move every round except the
+    # single blocked one, so A(M) ~ wall_rounds * (k-1)/k.
+    average_allowed = out.result.wall_rounds * (k - 1) / k
+    print(
+        f"\nreactive denial: wall={out.result.wall_rounds} "
+        f"A(M)~{average_allowed:.0f} vs oblivious bound {bound:.0f}"
+    )
+    assert average_allowed > bound

@@ -1,0 +1,72 @@
+"""E2c (extension) — measured scaling exponents vs the theory's.
+
+Fits log-log power laws to measured series and compares the exponents
+with the bounds' shapes:
+
+* single-robot DFS cost ~ n^1 (exact);
+* BFDN rounds ~ n^1 at fixed shallow depth (the 2n/k term dominates);
+* the exact game value R(k, k) ~ k^(1+o(1)) (the k log k law);
+* BFDN's overhead growth in D stays *below* the D^2 budget exponent on
+  random trees (the worst case is adversarial, cf. E2b).
+"""
+
+import pytest
+
+from repro.analysis import fit_power_law, render_table
+from repro.baselines import OnlineDFS
+from repro.core import BFDN
+from repro.game import game_value
+from repro.sim import Simulator
+from repro.trees import generators as gen
+
+
+def test_bench_exponents(benchmark):
+    def run():
+        rows = []
+        # DFS ~ n.
+        ns = [250, 500, 1000, 2000]
+        dfs = fit_power_law(
+            ns,
+            [Simulator(gen.random_recursive(n), OnlineDFS(), 1).run().rounds
+             for n in ns],
+        )
+        rows.append({"series": "DFS rounds vs n", "exponent": round(dfs.exponent, 3),
+                     "theory": 1.0, "R^2": round(dfs.r_squared, 4)})
+        # BFDN ~ n at fixed depth; large n so 2n/k dominates the additive
+        # D^2 log k overhead (at small n the fit bends below 1).
+        big_ns = [2_000, 4_000, 8_000, 16_000]
+        bf = fit_power_law(
+            big_ns,
+            [Simulator(gen.random_tree_with_depth(n, 12), BFDN(), 8).run().rounds
+             for n in big_ns],
+        )
+        rows.append({"series": "BFDN rounds vs n (D=12, k=8)",
+                     "exponent": round(bf.exponent, 3), "theory": 1.0,
+                     "R^2": round(bf.r_squared, 4)})
+        # Game value ~ k log k: exponent slightly above 1.
+        ks = [8, 16, 32, 64, 128, 256]
+        gv = fit_power_law(ks, [game_value(k, k) for k in ks])
+        rows.append({"series": "R(k,k) vs k", "exponent": round(gv.exponent, 3),
+                     "theory": 1.17, "R^2": round(gv.r_squared, 4)})
+        # Overhead vs D on random trees, n fixed.
+        depths = [8, 16, 32, 64, 128]
+        k = 8
+        overheads = []
+        for depth in depths:
+            tree = gen.random_tree_with_depth(2_000, depth)
+            rounds = Simulator(tree, BFDN(), k).run().rounds
+            overheads.append(max(rounds - 2 * tree.n / k, 1.0))
+        ov = fit_power_law(depths, overheads)
+        rows.append({"series": "BFDN overhead vs D (n=2000, k=8)",
+                     "exponent": round(ov.exponent, 3), "theory": "<= 2",
+                     "R^2": round(ov.r_squared, 4)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    by_series = {r["series"]: r for r in rows}
+    assert abs(by_series["DFS rounds vs n"]["exponent"] - 1.0) < 0.05
+    assert abs(by_series["BFDN rounds vs n (D=12, k=8)"]["exponent"] - 1.0) < 0.25
+    assert 1.0 < by_series["R(k,k) vs k"]["exponent"] < 1.4
+    assert by_series["BFDN overhead vs D (n=2000, k=8)"]["exponent"] <= 2.2

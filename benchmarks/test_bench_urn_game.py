@@ -1,0 +1,92 @@
+"""E3 — Theorem 3: the balls-in-urns game length.
+
+For each k, reports the simulated game length of the balanced player
+against the optimal (greedy) adversary, the exact DP value R(k, k), and
+the bound k min(log Delta, log k) + 2k.  Shape: simulated == DP (the
+greedy adversary realises Lemma 4's optimum), DP <= bound, and the value
+grows like k log k (superlinear).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.bounds import theorem3_bound
+from repro.game import (
+    BalancedPlayer,
+    GreedyAdversary,
+    RandomAdversary,
+    UrnBoard,
+    game_value,
+    play_game,
+)
+
+KS = (4, 8, 16, 32, 64, 128)
+
+
+def run_table():
+    rows = []
+    for k in KS:
+        sim = play_game(UrnBoard(k, k), GreedyAdversary(), BalancedPlayer()).steps
+        rnd = play_game(UrnBoard(k, k), RandomAdversary(0), BalancedPlayer()).steps
+        dp = game_value(k, k)
+        rows.append(
+            {
+                "k": k,
+                "greedy-adv": sim,
+                "random-adv": rnd,
+                "DP optimum": dp,
+                "bound": round(theorem3_bound(k), 1),
+                "steps/k": round(sim / k, 2),
+            }
+        )
+    return rows
+
+
+def test_bench_urn_game(benchmark):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["greedy-adv"] == row["DP optimum"]
+        assert row["DP optimum"] <= row["bound"]
+        assert row["random-adv"] <= row["greedy-adv"]
+    # Superlinear growth: steps/k increases with k (the log k factor).
+    ratios = [row["steps/k"] for row in rows]
+    assert ratios == sorted(ratios)
+
+
+def test_bench_delta_dependence():
+    """With Delta < k the game shortens to ~k log Delta."""
+    k = 64
+    rows = []
+    for delta in (2, 4, 8, 16, 32, 64):
+        dp = game_value(k, delta)
+        rows.append(
+            {"delta": delta, "DP": dp, "bound": round(theorem3_bound(k, delta), 1)}
+        )
+    print()
+    print(render_table(rows))
+    values = [row["DP"] for row in rows]
+    assert values == sorted(values)  # monotone in Delta
+    for row in rows:
+        assert row["DP"] <= row["bound"]
+
+
+def test_bench_dp_table(benchmark):
+    value = benchmark(lambda: game_value(256, 256))
+    assert value <= theorem3_bound(256)
+
+
+def test_bench_minimax_optimality():
+    """Beyond the paper: the balanced player achieves the exact minimax
+    value of the game — optimal among all players — for every small k."""
+    from repro.game import minimax_value
+
+    rows = []
+    for k in (2, 4, 6, 8, 10):
+        mv = minimax_value(k, k)
+        rv = game_value(k, k)
+        rows.append({"k": k, "minimax": mv, "R(k,k)": rv, "optimal": mv == rv})
+    print()
+    print(render_table(rows))
+    assert all(row["optimal"] for row in rows)

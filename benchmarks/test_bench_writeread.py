@@ -1,0 +1,54 @@
+"""E5 — Proposition 6: BFDN in the write-read / restricted-memory model.
+
+Runs the whiteboard implementation side by side with the
+complete-communication one.  Shape: the restricted model stays within the
+*same* Theorem 1 bound (Proposition 6), at a modest constant-factor cost
+over the centralized version.
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.bounds import bfdn_bound
+from repro.core import BFDN, WriteReadBFDN
+from repro.sim import Simulator
+from repro.trees import generators as gen
+
+
+def run_table(k):
+    rows = []
+    for label, tree in gen.standard_families(k=k, size="small"):
+        central = Simulator(tree, BFDN(), k).run()
+        wr = Simulator(tree, WriteReadBFDN(), k).run()
+        bound = bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+        rows.append(
+            {
+                "tree": label,
+                "n": tree.n,
+                "D": tree.depth,
+                "k": k,
+                "central": central.rounds,
+                "write-read": wr.rounds,
+                "bound": round(bound, 1),
+                "wr/central": round(wr.rounds / max(central.rounds, 1), 2),
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("k", (4, 8))
+def test_bench_writeread(benchmark, k):
+    rows = benchmark.pedantic(run_table, args=(k,), rounds=1, iterations=1)
+    print()
+    print(render_table(rows))
+    for row in rows:
+        assert row["write-read"] <= row["bound"], row
+        assert row["central"] <= row["bound"], row
+
+
+def test_bench_writeread_large_run(benchmark):
+    tree = gen.random_tree_with_depth(5_000, 40)
+    k = 8
+    result = benchmark(lambda: Simulator(tree, WriteReadBFDN(), k).run())
+    assert result.done
+    assert result.rounds <= bfdn_bound(tree.n, tree.depth, k, tree.max_degree)

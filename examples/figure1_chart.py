@@ -1,0 +1,37 @@
+"""Render the paper's Figure 1 in the terminal.
+
+Computes, for a chosen team size k, which of CTE, Yo*, BFDN and BFDN_ell
+has the best runtime guarantee at each point of the log-log (n, D) plane,
+and draws the region chart.  Use a large k (the default, 2^40) to see all
+four regions, as on the paper's schematic axes.
+
+    python examples/figure1_chart.py [log2_k] [--csv out.csv]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bounds import compute_region_map, render_ascii, to_csv
+
+
+def main(argv) -> None:
+    log2_k = int(argv[0]) if argv else 40
+    k = 1 << log2_k
+    log2_n_max = max(60.0, 6.5 * log2_k)
+    log2_d_max = max(40.0, 5.0 * log2_k)
+    region_map = compute_region_map(
+        k, resolution=44, log2_n_max=log2_n_max, log2_d_max=log2_d_max
+    )
+    print(render_ascii(region_map))
+    print("\ncells won:", region_map.counts())
+    if "--csv" in argv:
+        path = argv[argv.index("--csv") + 1]
+        with open(path, "w") as f:
+            f.write(to_csv(region_map))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,25 @@
+"""Reproduce every experiment of DESIGN.md's index in one go.
+
+Runs the quick-look version of E1..E13 (the asserting versions live in
+``benchmarks/``) and prints each report.
+
+    python examples/reproduce_all.py [E3 E8 ...]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import EXPERIMENTS, run_experiment
+
+
+def main(argv) -> None:
+    ids = argv or sorted(EXPERIMENTS, key=lambda s: int(s[1:]))
+    for exp_id in ids:
+        print(run_experiment(exp_id))
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

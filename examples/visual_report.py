@@ -1,0 +1,74 @@
+"""Produce the paper's visuals as SVG files.
+
+Writes, into ``./out`` (or a directory given as argv[1]):
+
+* ``figure1_k20.svg`` / ``figure1_k40.svg`` — the region charts;
+* ``exploration_round_*.svg``           — snapshots of a BFDN run;
+* ``final_tree.svg``                    — the fully explored instance.
+
+    python examples/visual_report.py [outdir]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bounds import compute_region_map
+from repro.core import BFDN
+from repro.sim import Exploration
+from repro.trees import generators as gen
+from repro.viz import region_map_svg, tree_svg
+
+
+def main(outdir: str = "out") -> None:
+    os.makedirs(outdir, exist_ok=True)
+
+    for log2_k, name in ((20, "figure1_k20.svg"), (40, "figure1_k40.svg")):
+        region_map = compute_region_map(
+            1 << log2_k,
+            resolution=40,
+            log2_n_max=6.5 * log2_k,
+            log2_d_max=5.0 * log2_k,
+        )
+        path = os.path.join(outdir, name)
+        with open(path, "w") as f:
+            f.write(region_map_svg(region_map))
+        print(f"wrote {path}")
+
+    # Snapshot a small BFDN run every few rounds.
+    tree = gen.comb(6, 3)
+    k = 3
+    expl = Exploration(tree, k)
+    algo = BFDN()
+    algo.attach(expl)
+    everyone = set(range(k))
+    snapshot_rounds = {0, 2, 5, 9, 14}
+    round_idx = 0
+    while True:
+        if round_idx in snapshot_rounds:
+            path = os.path.join(outdir, f"exploration_round_{round_idx:02d}.svg")
+            with open(path, "w") as f:
+                f.write(
+                    tree_svg(
+                        expl.ptree,
+                        expl.positions,
+                        title=f"BFDN, k={k}, round {round_idx}",
+                    )
+                )
+            print(f"wrote {path}")
+        moves = algo.select_moves(expl, everyone)
+        before = list(expl.positions)
+        events = expl.apply(moves, everyone)
+        algo.observe(expl, events)
+        round_idx += 1
+        if expl.positions == before:
+            break
+    path = os.path.join(outdir, "final_tree.svg")
+    with open(path, "w") as f:
+        f.write(tree_svg(expl.ptree, expl.positions, title="fully explored"))
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "out")

@@ -1,0 +1,104 @@
+"""Terminal plots for benchmark series (no plotting library available
+offline, so the charts render as ASCII).
+
+``line_plot`` draws one or more named series against a shared x-axis;
+``scatter_loglog`` places points on log-log axes, the natural scale for
+the power laws the paper's bounds are made of.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(pos * (cells - 1)))))
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Plot named y-series over a shared x-axis.
+
+    Each series is drawn with its own glyph (`*`, `+`, `o`, ...); the
+    legend maps glyphs to names.
+    """
+    if not xs:
+        return "(no data)"
+    glyphs = "*+o#x@%&"
+    all_ys = [y for ys in series.values() for y in ys]
+    lo_y, hi_y = min(all_ys), max(all_ys)
+    lo_x, hi_x = min(xs), max(xs)
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for x, y in zip(xs, ys):
+            col = _scale(x, lo_x, hi_x, width)
+            row = height - 1 - _scale(y, lo_y, hi_y, height)
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    for row_idx, row in enumerate(grid):
+        label = hi_y if row_idx == 0 else (lo_y if row_idx == height - 1 else None)
+        prefix = f"{label:>10.1f} |" if label is not None else " " * 11 + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "-" * width)
+    lines.append(" " * 11 + f"x: {lo_x:g} .. {hi_x:g}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def scatter_loglog(
+    points: Dict[str, List[Tuple[float, float]]],
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Scatter named point sets on log-log axes.
+
+    Points with non-positive coordinates are dropped (no log image).
+    """
+    cleaned = {
+        name: [(math.log10(x), math.log10(y)) for x, y in pts if x > 0 and y > 0]
+        for name, pts in points.items()
+    }
+    cleaned = {name: pts for name, pts in cleaned.items() if pts}
+    if not cleaned:
+        return "(no data)"
+    xs = [p[0] for pts in cleaned.values() for p in pts]
+    ys = [p[1] for pts in cleaned.values() for p in pts]
+    lo_x, hi_x = min(xs), max(xs)
+    lo_y, hi_y = min(ys), max(ys)
+    glyphs = "*+o#x@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(cleaned.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for lx, ly in pts:
+            col = _scale(lx, lo_x, hi_x, width)
+            row = height - 1 - _scale(ly, lo_y, hi_y, height)
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("-" * (width + 1))
+    lines.append(f"log10 x: {lo_x:.1f} .. {hi_x:.1f}   "
+                 f"log10 y: {lo_y:.1f} .. {hi_y:.1f}")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(cleaned)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Monte Carlo studies of the bounds' slack.
+
+The paper's guarantees are worst-case; these helpers measure where
+*typical* instances land.  :func:`overhead_distribution` samples random
+trees at fixed ``(n, D, k)`` and reports the distribution of BFDN's
+additive overhead ``T - 2n/k`` against the Theorem 1 budget
+``D^2 (min(log Delta, log k) + 3)``; :func:`game_length_distribution`
+does the same for the urn game against random adversaries vs Theorem 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bounds.guarantees import bfdn_bound, theorem3_bound
+from ..core.bfdn import BFDN
+from ..game import BalancedPlayer, RandomAdversary, UrnBoard, play_game
+from ..sim.engine import Simulator
+from ..trees.generators import random_tree_with_depth
+
+
+@dataclass
+class Distribution:
+    """An empirical sample with quantile accessors."""
+
+    values: List[float]
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile by nearest-rank (``0 <= q <= 1``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        ordered = sorted(self.values)
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "samples": float(len(self.values)),
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "max": self.max,
+        }
+
+
+@dataclass
+class SlackStudy:
+    """An empirical distribution against its theoretical budget."""
+
+    distribution: Distribution
+    budget: float
+
+    @property
+    def worst_utilisation(self) -> float:
+        """``max observed / budget`` — how much of the worst-case budget
+        typical instances actually consume."""
+        return self.distribution.max / self.budget if self.budget else 0.0
+
+    def within_budget(self) -> bool:
+        return self.distribution.max <= self.budget
+
+
+def overhead_distribution(
+    n: int,
+    depth: int,
+    k: int,
+    num_samples: int = 20,
+    seed: int = 0,
+) -> SlackStudy:
+    """Sample BFDN's additive overhead over random depth-``depth`` trees."""
+    rng = random.Random(seed)
+    overheads: List[float] = []
+    budget = 0.0
+    for _ in range(num_samples):
+        tree = random_tree_with_depth(n, depth, rng)
+        result = Simulator(tree, BFDN(), k).run()
+        overheads.append(result.rounds - 2 * tree.n / k)
+        budget = max(
+            budget, bfdn_bound(tree.n, tree.depth, k, tree.max_degree) - 2 * tree.n / k
+        )
+    return SlackStudy(Distribution(overheads), budget)
+
+
+def game_length_distribution(
+    k: int,
+    delta: Optional[int] = None,
+    num_samples: int = 50,
+    seed: int = 0,
+) -> SlackStudy:
+    """Sample urn-game lengths against random adversaries."""
+    delta = delta if delta is not None else k
+    lengths: List[float] = []
+    for i in range(num_samples):
+        record = play_game(
+            UrnBoard(k, delta), RandomAdversary(seed + i), BalancedPlayer()
+        )
+        lengths.append(float(record.steps))
+    return SlackStudy(Distribution(lengths), theorem3_bound(k, delta))

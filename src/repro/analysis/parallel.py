@@ -1,0 +1,98 @@
+"""Multiprocess sweep runner.
+
+Large sweeps (many families × team sizes × seeds) are embarrassingly
+parallel; this module fans :func:`repro.analysis.sweep.run_sweep`-style
+jobs over a process pool.  Jobs are described by picklable specs (factory
+*names*, not closures) so the pool can ship them to workers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import CTE, OnlineDFS
+from ..core import BFDN, BFDNEll, ShortcutBFDN, WriteReadBFDN
+from ..sim.engine import Simulator
+from ..trees.tree import Tree
+
+#: Algorithms addressable by name in job specs (picklable indirection).
+ALGORITHMS = {
+    "bfdn": BFDN,
+    "bfdn-wr": WriteReadBFDN,
+    "bfdn-shortcut": ShortcutBFDN,
+    "bfdn-ell2": lambda: BFDNEll(2),
+    "bfdn-ell3": lambda: BFDNEll(3),
+    "cte": CTE,
+    "dfs": OnlineDFS,
+}
+
+_SHARED_REVEAL = {"cte"}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation to run: algorithm name, tree (as a parent array), k."""
+
+    algorithm: str
+    label: str
+    parents: Tuple[int, ...]
+    k: int
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job."""
+
+    algorithm: str
+    label: str
+    n: int
+    depth: int
+    k: int
+    rounds: int
+    complete: bool
+    all_home: bool
+
+
+def make_job(algorithm: str, label: str, tree: Tree, k: int) -> Job:
+    """Build a picklable job spec from a tree object."""
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    parents = tuple(tree.parent(v) for v in range(tree.n))
+    return Job(algorithm=algorithm, label=label, parents=parents, k=k)
+
+
+def _run_job(job: Job) -> JobResult:
+    tree = Tree([-1] + list(job.parents[1:]))
+    algo = ALGORITHMS[job.algorithm]()
+    result = Simulator(
+        tree,
+        algo,
+        job.k,
+        allow_shared_reveal=job.algorithm in _SHARED_REVEAL,
+    ).run()
+    return JobResult(
+        algorithm=job.algorithm,
+        label=job.label,
+        n=tree.n,
+        depth=tree.depth,
+        k=job.k,
+        rounds=result.rounds,
+        complete=result.complete,
+        all_home=result.all_home,
+    )
+
+
+def run_jobs(
+    jobs: Sequence[Job], max_workers: Optional[int] = None
+) -> List[JobResult]:
+    """Run jobs over a process pool, preserving input order.
+
+    ``max_workers=0`` (or 1) runs inline — handy for tests and platforms
+    without fork support.
+    """
+    if max_workers is not None and max_workers <= 1:
+        return [_run_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_run_job, jobs))

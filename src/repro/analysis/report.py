@@ -1,0 +1,60 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's claims are about;
+these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = ()) -> str:
+    """Render dict-rows as an aligned text table.
+
+    Columns default to the keys of the first row, in order.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    cols: List[str] = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(c) for c in cols}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in cols:
+            text = _fmt(row.get(c, ""))
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in cols)
+    sep = "  ".join("-" * widths[c] for c in cols)
+    body = [
+        "  ".join(cell.ljust(widths[c]) for cell, c in zip(cells, cols))
+        for cells in rendered
+    ]
+    return "\n".join([header, sep] + body)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def summarize_by(
+    rows: Iterable[Dict[str, object]], group_key: str, value_key: str
+) -> Dict[str, Dict[str, float]]:
+    """Group rows and report min/mean/max of a numeric column."""
+    groups: Dict[str, List[float]] = {}
+    for row in rows:
+        groups.setdefault(str(row[group_key]), []).append(float(row[value_key]))  # type: ignore[arg-type]
+    out: Dict[str, Dict[str, float]] = {}
+    for key, values in groups.items():
+        out[key] = {
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+            "count": float(len(values)),
+        }
+    return out

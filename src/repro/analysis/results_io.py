@@ -1,0 +1,75 @@
+"""Persistence for experiment results.
+
+Benchmarks and sweeps produce dict-rows; this module writes/reads them as
+CSV or JSON so results can be archived next to EXPERIMENTS.md, diffed
+between runs, and re-plotted without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+Row = Dict[str, object]
+
+
+def rows_to_csv(rows: Sequence[Row]) -> str:
+    """Serialise dict-rows to CSV text (columns from the first row)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def rows_from_csv(text: str) -> List[Row]:
+    """Parse CSV text back into dict-rows, restoring int/float/bool."""
+    reader = csv.DictReader(io.StringIO(text))
+    rows: List[Row] = []
+    for raw in reader:
+        rows.append({key: _coerce(value) for key, value in raw.items()})
+    return rows
+
+
+def _coerce(value: object) -> object:
+    if not isinstance(value, str):
+        return value
+    if value == "True":
+        return True
+    if value == "False":
+        return False
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def save_rows(rows: Sequence[Row], path: Union[str, Path]) -> None:
+    """Write rows to ``path`` (format chosen by extension: .csv or .json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        path.write_text(rows_to_csv(rows))
+    elif path.suffix == ".json":
+        path.write_text(json.dumps(list(rows), indent=1, default=str))
+    else:
+        raise ValueError(f"unsupported extension {path.suffix!r} (.csv or .json)")
+
+
+def load_rows(path: Union[str, Path]) -> List[Row]:
+    """Inverse of :func:`save_rows`."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return rows_from_csv(path.read_text())
+    if path.suffix == ".json":
+        return json.loads(path.read_text())
+    raise ValueError(f"unsupported extension {path.suffix!r} (.csv or .json)")

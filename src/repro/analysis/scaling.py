@@ -1,0 +1,69 @@
+"""Empirical scaling-law estimation.
+
+The paper's guarantees are power laws — the overhead of Theorem 1 scales
+like ``D^2``, the urn game like ``k log k``, BFDN_ell's depth term like
+``D^{1+1/ell}`` — so the quantitative reproduction fits measured series
+with log-log least squares and checks the exponents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PowerLawFit:
+    """``y ~ coefficient * x^exponent`` fitted on log-log axes."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = a log x + b``.
+
+    Points with non-positive coordinates are rejected (they have no
+    log-log image).
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fitting needs positive data")
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def measure_exponent(
+    xs: Sequence[float],
+    run: Callable[[float], float],
+) -> Tuple[PowerLawFit, List[float]]:
+    """Evaluate ``run`` on each ``x`` and fit the resulting series."""
+    ys = [float(run(x)) for x in xs]
+    return fit_power_law(xs, ys), ys
+
+
+def doubling_ratios(ys: Sequence[float]) -> List[float]:
+    """Successive ratios ``y[i+1] / y[i]`` — a constant ratio of ``2^a``
+    on doubled inputs indicates exponent ``a``."""
+    if any(y <= 0 for y in ys):
+        raise ValueError("ratios need positive data")
+    return [ys[i + 1] / ys[i] for i in range(len(ys) - 1)]

@@ -1,0 +1,103 @@
+"""Multi-seed replication statistics.
+
+The simulations here are deterministic given the instance, but instances
+are random: proper reporting aggregates over seeds.  This module runs a
+measurement across seeds and reports mean, standard deviation and a
+normal-approximation confidence interval, plus a paired comparison helper
+for algorithm A-vs-B claims ("BFDN beats CTE on this family").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class Replication:
+    """Aggregated measurements across seeds."""
+
+    values: List[float]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean (default 95%)."""
+        half = z * self.std / math.sqrt(self.n) if self.n > 1 else 0.0
+        return (self.mean - half, self.mean + half)
+
+    def summary(self) -> Dict[str, float]:
+        lo, hi = self.confidence_interval()
+        return {
+            "n": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "ci_lo": lo,
+            "ci_hi": hi,
+            "min": min(self.values),
+            "max": max(self.values),
+        }
+
+
+def replicate(
+    measure: Callable[[int], float], seeds: Sequence[int]
+) -> Replication:
+    """Run ``measure(seed)`` for every seed."""
+    if not seeds:
+        raise ValueError("at least one seed required")
+    return Replication([float(measure(seed)) for seed in seeds])
+
+
+@dataclass
+class PairedComparison:
+    """Paired A-vs-B measurements over shared instances."""
+
+    a: List[float]
+    b: List[float]
+
+    @property
+    def differences(self) -> List[float]:
+        return [x - y for x, y in zip(self.a, self.b)]
+
+    @property
+    def mean_difference(self) -> float:
+        diffs = self.differences
+        return sum(diffs) / len(diffs)
+
+    @property
+    def wins(self) -> int:
+        """Instances where A is strictly smaller (faster)."""
+        return sum(1 for d in self.differences if d < 0)
+
+    def a_dominates(self) -> bool:
+        """A is never worse and somewhere strictly better."""
+        diffs = self.differences
+        return all(d <= 0 for d in diffs) and any(d < 0 for d in diffs)
+
+
+def compare_paired(
+    measure_a: Callable[[int], float],
+    measure_b: Callable[[int], float],
+    seeds: Sequence[int],
+) -> PairedComparison:
+    """Measure A and B on the same seeds (hence the same instances)."""
+    if not seeds:
+        raise ValueError("at least one seed required")
+    return PairedComparison(
+        a=[float(measure_a(s)) for s in seeds],
+        b=[float(measure_b(s)) for s in seeds],
+    )

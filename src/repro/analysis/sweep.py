@@ -1,0 +1,107 @@
+"""Parameter-sweep harness used by the benchmarks and EXPERIMENTS.md.
+
+A sweep runs a set of algorithms over a set of (tree, k) workloads and
+collects one :class:`SweepRecord` per run, carrying the measured rounds
+together with the theoretical quantities (Theorem 1 bound, offline lower
+bound, competitive overhead/ratio) the paper's claims are about.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..baselines.offline import offline_lower_bound, offline_split_runtime
+from ..bounds.guarantees import bfdn_bound, competitive_overhead, competitive_ratio
+from ..sim.engine import ExplorationAlgorithm, Simulator
+from ..trees.tree import Tree
+
+#: A factory returning a fresh algorithm instance for every run.
+AlgorithmFactory = Callable[[], ExplorationAlgorithm]
+
+
+@dataclass
+class SweepRecord:
+    """One (algorithm, tree, k) measurement."""
+
+    algorithm: str
+    tree_label: str
+    n: int
+    depth: int
+    max_degree: int
+    k: int
+    rounds: int
+    complete: bool
+    all_home: bool
+    bfdn_bound: float
+    lower_bound: int
+    offline_split: int
+
+    @property
+    def overhead(self) -> float:
+        """``T - 2n/k``: the additive overhead of Theorem 1."""
+        return competitive_overhead(self.rounds, self.n, self.k)
+
+    @property
+    def ratio(self) -> float:
+        """``T / (n/k + D)``: the classical competitive ratio."""
+        return competitive_ratio(self.rounds, self.n, self.depth, self.k)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "algorithm": self.algorithm,
+            "tree": self.tree_label,
+            "n": self.n,
+            "D": self.depth,
+            "k": self.k,
+            "rounds": self.rounds,
+            "bound": round(self.bfdn_bound, 1),
+            "lower": self.lower_bound,
+            "offline": self.offline_split,
+            "overhead": round(self.overhead, 1),
+            "ratio": round(self.ratio, 2),
+        }
+
+
+def run_sweep(
+    algorithms: Dict[str, AlgorithmFactory],
+    workloads: Iterable[Tuple[str, Tree]],
+    team_sizes: Sequence[int],
+    allow_shared_reveal: Optional[Dict[str, bool]] = None,
+    max_rounds: Optional[int] = None,
+) -> List[SweepRecord]:
+    """Run every algorithm on every (tree, k) pair."""
+    shared = allow_shared_reveal or {}
+    records: List[SweepRecord] = []
+    for label, tree in workloads:
+        for k in team_sizes:
+            lower = offline_lower_bound(tree.n, tree.depth, k)
+            offline = offline_split_runtime(tree, k)
+            for name, factory in algorithms.items():
+                sim = Simulator(
+                    tree,
+                    factory(),
+                    k,
+                    allow_shared_reveal=shared.get(name, False),
+                    max_rounds=max_rounds,
+                )
+                result = sim.run()
+                records.append(
+                    SweepRecord(
+                        algorithm=name,
+                        tree_label=label,
+                        n=tree.n,
+                        depth=tree.depth,
+                        max_degree=tree.max_degree,
+                        k=k,
+                        rounds=result.rounds,
+                        complete=result.complete,
+                        all_home=result.all_home,
+                        bfdn_bound=bfdn_bound(tree.n, tree.depth, k, tree.max_degree),
+                        lower_bound=lower,
+                        offline_split=offline,
+                    )
+                )
+    return records

@@ -1,0 +1,32 @@
+"""Baseline exploration algorithms the paper compares against."""
+
+from .cte import CTE, run_cte
+from .dfs import OnlineDFS
+from .offline_exact import (
+    ExactOfflineResult,
+    exact_offline_optimum,
+    verify_offline_schedule,
+)
+from .offline_exec import ScheduledWalks, execute_offline_split, execute_schedule
+from .offline import (
+    OfflineSchedule,
+    offline_lower_bound,
+    offline_split_runtime,
+    offline_split_schedule,
+)
+
+__all__ = [
+    "CTE",
+    "run_cte",
+    "OnlineDFS",
+    "OfflineSchedule",
+    "offline_lower_bound",
+    "offline_split_runtime",
+    "offline_split_schedule",
+    "exact_offline_optimum",
+    "ExactOfflineResult",
+    "verify_offline_schedule",
+    "ScheduledWalks",
+    "execute_offline_split",
+    "execute_schedule",
+]

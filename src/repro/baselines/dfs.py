@@ -1,0 +1,33 @@
+"""Single-robot online depth-first search.
+
+The optimal single-robot tree traversal (Section 1 of the paper): go
+through an adjacent unexplored edge if possible, otherwise go up towards
+the root.  After exactly ``2 (n - 1)`` rounds every edge has been traversed
+twice and the robot is back at the root.
+
+With ``k > 1`` robots only robot 0 moves; the others idle at the root.
+This makes DFS a drop-in sanity baseline for the comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..sim.engine import STAY, UP, Exploration, ExplorationAlgorithm, Move, explore
+
+
+class OnlineDFS(ExplorationAlgorithm):
+    """Depth-first search by a single robot (robot 0)."""
+
+    name = "DFS"
+
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        if 0 not in movable:
+            return {}
+        u = expl.positions[0]
+        dangling = expl.ptree.dangling_ports(u)
+        if dangling:
+            return {0: explore(min(dangling))}
+        if u != expl.tree.root:
+            return {0: UP}
+        return {0: STAY}

@@ -1,0 +1,77 @@
+"""Offline exploration: lower bound and the classical 2-approximation.
+
+Offline k-robot traversal of a known tree needs at least
+``max(2(n-1)/k, 2D)`` synchronous rounds: every edge must be crossed in
+both directions, and some robot must reach the deepest node and come back.
+Computing the exact optimum is NP-hard ([10] reduce from 3-PARTITION), but
+the segment-splitting algorithm of Dynia et al. / Ortolf–Schindelhauer
+gets within a factor 2: cut the ``2(n-1)``-step DFS tour into ``k``
+segments and send robot ``i`` to traverse the ``i``-th segment.
+
+This module computes the split schedule explicitly (as per-robot walks)
+so tests can verify it covers every edge, and returns its exact runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..trees.tree import Tree
+
+
+def offline_lower_bound(n: int, depth: int, k: int) -> int:
+    """``max(ceil(2(n-1)/k), 2D)`` — no k-robot traversal can be faster."""
+    if n < 1 or k < 1 or depth < 0:
+        raise ValueError("need n >= 1, k >= 1, depth >= 0")
+    return max(math.ceil(2 * (n - 1) / k), 2 * depth)
+
+
+@dataclass
+class OfflineSchedule:
+    """The split-DFS offline schedule.
+
+    ``walks[i]`` is the full node sequence robot ``i`` follows (starting
+    and ending at the root); ``runtime`` is the number of rounds, i.e. the
+    longest walk.
+    """
+
+    walks: List[List[int]]
+    runtime: int
+
+
+def offline_split_schedule(tree: Tree, k: int) -> OfflineSchedule:
+    """Cut the DFS tour into ``k`` segments of (near) equal length.
+
+    Robot ``i`` walks root -> segment start (shortest path), traverses its
+    segment along the tour, then walks segment end -> root.  The runtime is
+    at most ``2(n-1)/k + 2D``, within a factor 2 of optimal.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    tour = tree.euler_tour()  # 2(n-1) + 1 nodes
+    num_steps = len(tour) - 1
+    if num_steps == 0:
+        return OfflineSchedule(walks=[[tree.root] for _ in range(k)], runtime=0)
+    seg_len = math.ceil(num_steps / k)
+    walks: List[List[int]] = []
+    for i in range(k):
+        lo = i * seg_len
+        hi = min((i + 1) * seg_len, num_steps)
+        if lo >= hi:
+            walks.append([tree.root])
+            continue
+        start, end = tour[lo], tour[hi]
+        walk = tree.path_from_root(start)
+        walk.extend(tour[lo + 1 : hi + 1])
+        back = tree.path_to_root(end)
+        walk.extend(back[1:])
+        walks.append(walk)
+    runtime = max(len(w) - 1 for w in walks)
+    return OfflineSchedule(walks=walks, runtime=runtime)
+
+
+def offline_split_runtime(tree: Tree, k: int) -> int:
+    """Runtime of the split-DFS schedule (rounds)."""
+    return offline_split_schedule(tree, k).runtime

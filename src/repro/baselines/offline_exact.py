@@ -1,0 +1,140 @@
+"""Exact offline optimum for small trees.
+
+The offline k-robot traversal problem — every edge traversed, all robots
+back at the root, minimise the number of synchronous rounds — is NP-hard
+([10] reduce from 3-PARTITION), but its structure collapses nicely: a
+robot that must cover an edge set ``S`` needs the whole *root closure* of
+``S`` (every edge on a root-to-``S`` path), and a closed walk covering a
+connected-from-the-root edge set of size ``m`` takes exactly ``2m``
+rounds.  Hence
+
+    ``OPT(T, k) = min over partitions (S_1..S_k) of E  of  max_i 2 |closure(S_i)|``.
+
+This module computes that minimum exactly by branch-and-bound over edge
+assignments (edges considered deepest-first; identical-robot symmetry
+broken by never opening a second empty robot).  Exponential in the worst
+case — intended for ``n`` up to ~20, where it certifies the
+2-approximation of :mod:`repro.baselines.offline` and gives the *true*
+competitive overhead of the online algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trees.tree import Tree
+
+
+@dataclass
+class ExactOfflineResult:
+    """The exact offline optimum and one witness partition."""
+
+    optimum: int
+    #: assignment[v] = robot index covering the edge (parent(v), v).
+    assignment: Dict[int, int]
+
+    def robot_edges(self, k: int) -> List[List[int]]:
+        """Edges (as child-node ids) per robot."""
+        out: List[List[int]] = [[] for _ in range(k)]
+        for v, robot in self.assignment.items():
+            out[robot].append(v)
+        return out
+
+
+def exact_offline_optimum(
+    tree: Tree, k: int, node_limit: int = 22
+) -> ExactOfflineResult:
+    """Branch-and-bound for ``OPT(T, k)``.
+
+    Raises ``ValueError`` for trees above ``node_limit`` nodes (the search
+    is exponential; the limit is a guard, not a hard wall — raise it
+    explicitly if you know what you are doing).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if tree.n > node_limit:
+        raise ValueError(
+            f"tree has {tree.n} nodes; exact search is exponential "
+            f"(limit {node_limit}; pass node_limit=... to override)"
+        )
+    if tree.n == 1:
+        return ExactOfflineResult(optimum=0, assignment={})
+
+    # Edges identified by their child node, deepest first so the bound
+    # tightens early (deep edges force long closures).
+    edges = sorted(range(1, tree.n), key=lambda v: -tree.node_depth(v))
+    parent = [tree.parent(v) for v in range(tree.n)]
+
+    # closure_size[i] tracked incrementally via per-robot "claimed node"
+    # sets: adding edge (p, v) to robot i costs the number of new nodes on
+    # the path v -> root not yet claimed by i (each new node = one new
+    # closure edge, counting v itself and excluding the root).
+    claimed: List[List[bool]] = [[False] * tree.n for _ in range(k)]
+    for row in claimed:
+        row[0] = True  # the root is free
+    sizes = [0] * k
+    best_assignment: Dict[int, int] = {}
+    # Upper bound to start from: the split 2-approximation.
+    from .offline import offline_split_runtime
+
+    best = offline_split_runtime(tree, k) // 2  # sizes, not rounds
+    assignment: Dict[int, int] = {}
+
+    def path_cost(robot: int, v: int) -> List[int]:
+        """New nodes robot ``robot`` must claim to take edge (parent, v)."""
+        new_nodes = []
+        while not claimed[robot][v]:
+            new_nodes.append(v)
+            v = parent[v]
+        return new_nodes
+
+    def search(idx: int, used_robots: int) -> None:
+        nonlocal best, best_assignment
+        if idx == len(edges):
+            if max(sizes) < best or not best_assignment:
+                best = max(sizes)
+                best_assignment = dict(assignment)
+            return
+        v = edges[idx]
+        # Symmetry breaking: trying one empty robot is enough.
+        limit = min(used_robots + 1, k)
+        for robot in range(limit):
+            gain = path_cost(robot, v)
+            new_size = sizes[robot] + len(gain)
+            if new_size >= best and best_assignment:
+                continue  # bound: this branch cannot improve
+            if new_size > best:
+                continue
+            for node in gain:
+                claimed[robot][node] = True
+            sizes[robot] = new_size
+            assignment[v] = robot
+            search(idx + 1, max(used_robots, robot + 1))
+            del assignment[v]
+            sizes[robot] = new_size - len(gain)
+            for node in gain:
+                claimed[robot][node] = False
+
+    search(0, 0)
+    return ExactOfflineResult(optimum=2 * best, assignment=best_assignment)
+
+
+def verify_offline_schedule(
+    tree: Tree, result: ExactOfflineResult, k: int
+) -> bool:
+    """Check a witness: every edge assigned, and the claimed optimum
+    equals the max closure size of the partition."""
+    if tree.n == 1:
+        return result.optimum == 0
+    if set(result.assignment) != set(range(1, tree.n)):
+        return False
+    worst = 0
+    for robot_edges in result.robot_edges(k):
+        closure = set()
+        for v in robot_edges:
+            while v != 0 and v not in closure:
+                closure.add(v)
+                v = tree.parent(v)
+        worst = max(worst, 2 * len(closure))
+    return worst == result.optimum

@@ -1,0 +1,91 @@
+"""Execute an offline schedule through the online engine.
+
+The offline split schedule (:mod:`repro.baselines.offline`) is computed
+analytically; this module *runs* it as a scheduled walk inside the same
+synchronous engine the online algorithms use, closing the loop: the
+simulated round count must equal the computed runtime, and the engine's
+move validation certifies the walks are legal.
+
+Offline robots know the tree, so walking "into the unknown" is allowed —
+in engine terms, a first visit is an ``explore`` of the corresponding
+port (shared reveals enabled: two offline robots may cross the same new
+edge in one round).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..sim.engine import (
+    STAY,
+    UP,
+    Exploration,
+    ExplorationAlgorithm,
+    ExplorationResult,
+    Move,
+    Simulator,
+    down,
+    explore,
+)
+from ..trees.tree import Tree
+from .offline import OfflineSchedule, offline_split_schedule
+
+
+class ScheduledWalks(ExplorationAlgorithm):
+    """Replays fixed per-robot walks (node sequences) through the engine."""
+
+    name = "offline-schedule"
+
+    def __init__(self, walks: Sequence[Sequence[int]]):
+        self.walks = [list(w) for w in walks]
+        self._cursor: List[int] = []
+
+    def attach(self, expl: Exploration) -> None:
+        if len(self.walks) != expl.k:
+            raise ValueError(
+                f"schedule has {len(self.walks)} walks for k={expl.k} robots"
+            )
+        for i, walk in enumerate(self.walks):
+            if walk and walk[0] != expl.tree.root:
+                raise ValueError(f"walk {i} does not start at the root")
+        self._cursor = [0] * expl.k
+
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        tree = expl.tree
+        ptree = expl.ptree
+        moves: Dict[int, Move] = {}
+        for i in sorted(movable):
+            walk = self.walks[i]
+            cursor = self._cursor[i]
+            if cursor + 1 >= len(walk):
+                moves[i] = STAY
+                continue
+            u = expl.positions[i]
+            target = walk[cursor + 1]
+            self._cursor[i] = cursor + 1
+            if target == (ptree.parent(u) if ptree.is_explored(u) else -1):
+                moves[i] = UP
+            elif ptree.is_explored(target):
+                moves[i] = down(target)
+            else:
+                moves[i] = explore(tree.port_of(u, target))
+        return moves
+
+
+def execute_offline_split(tree: Tree, k: int) -> ExplorationResult:
+    """Compute the split schedule and run it through the engine."""
+    schedule = offline_split_schedule(tree, k)
+    return execute_schedule(tree, schedule)
+
+
+def execute_schedule(tree: Tree, schedule: OfflineSchedule) -> ExplorationResult:
+    """Run an arbitrary offline schedule; raises on illegal walks."""
+    algo = ScheduledWalks(schedule.walks)
+    sim = Simulator(
+        tree,
+        algo,
+        len(schedule.walks),
+        allow_shared_reveal=True,
+        max_rounds=schedule.runtime + 10,
+    )
+    return sim.run()

@@ -1,0 +1,49 @@
+"""Closed-form guarantees and the Figure 1 region map."""
+
+from .guarantees import (
+    adversarial_bound,
+    best_bfdn_ell_simplified,
+    bfdn_bound,
+    bfdn_ell_bound,
+    bfdn_ell_simplified,
+    bfdn_simplified,
+    competitive_overhead,
+    competitive_ratio,
+    cte_simplified,
+    lemma2_bound,
+    max_ell,
+    offline_lower_bound_value,
+    theorem3_bound,
+    yostar_simplified,
+)
+from .regions import (
+    ALGORITHMS,
+    RegionMap,
+    compute_region_map,
+    region_winner,
+    render_ascii,
+    to_csv,
+)
+
+__all__ = [
+    "bfdn_bound",
+    "bfdn_simplified",
+    "bfdn_ell_bound",
+    "bfdn_ell_simplified",
+    "best_bfdn_ell_simplified",
+    "theorem3_bound",
+    "lemma2_bound",
+    "adversarial_bound",
+    "cte_simplified",
+    "yostar_simplified",
+    "max_ell",
+    "offline_lower_bound_value",
+    "competitive_overhead",
+    "competitive_ratio",
+    "RegionMap",
+    "compute_region_map",
+    "region_winner",
+    "render_ascii",
+    "to_csv",
+    "ALGORITHMS",
+]

@@ -1,0 +1,143 @@
+"""Closed-form runtime guarantees for every algorithm in the paper.
+
+All logarithms are natural unless noted.  Two flavours are provided for
+each algorithm:
+
+* ``*_bound``      — the exact constant-carrying bound stated by the paper
+  (used to check measured runtimes against the theory), and
+* ``*_simplified`` — the big-O shape used by the paper's Appendix A to
+  draw Figure 1 (constants dropped, as the regions are defined up to
+  multiplicative constants depending only on ``k``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "bfdn_bound",
+    "bfdn_simplified",
+    "theorem3_bound",
+    "lemma2_bound",
+    "adversarial_bound",
+    "cte_simplified",
+    "yostar_simplified",
+    "bfdn_ell_bound",
+    "bfdn_ell_simplified",
+    "best_bfdn_ell_simplified",
+    "max_ell",
+    "offline_lower_bound_value",
+    "competitive_overhead",
+    "competitive_ratio",
+]
+
+
+def _log_term(k: int, delta: Optional[int]) -> float:
+    """``min(log Delta, log k)`` with ``Delta`` optional."""
+    lk = math.log(k) if k > 1 else 0.0
+    if delta is None or delta <= 1:
+        return lk if delta is None else 0.0
+    return min(math.log(delta), lk)
+
+
+def bfdn_bound(n: int, depth: int, k: int, delta: Optional[int] = None) -> float:
+    """Theorem 1: ``2n/k + D^2 (min(log Delta, log k) + 3)``."""
+    return 2 * n / k + depth * depth * (_log_term(k, delta) + 3)
+
+
+def bfdn_simplified(n: float, depth: float, k: int) -> float:
+    """Figure 1's shape for BFDN: ``2n/k + D^2 log k``."""
+    return 2 * n / k + depth * depth * max(math.log(k), 1.0)
+
+
+def theorem3_bound(k: int, delta: Optional[int] = None) -> float:
+    """Theorem 3: ``k min(log Delta, log k) + 2k``."""
+    return k * _log_term(k, delta) + 2 * k
+
+
+def lemma2_bound(k: int, delta: Optional[int] = None) -> float:
+    """Lemma 2: re-anchors at any depth ``d`` are at most
+    ``k (min(log k, log Delta) + 3)``."""
+    return k * (_log_term(k, delta) + 3)
+
+
+def adversarial_bound(n: int, depth: int, k: int) -> float:
+    """Proposition 7: exploration is complete once the average number of
+    allowed moves reaches ``2n/k + D^2 (log k + 3)``.
+
+    The ``log Delta`` refinement is unavailable here — the adversary can
+    pin all robots at one anchor (see Section 4.2).
+    """
+    lk = math.log(k) if k > 1 else 0.0
+    return 2 * n / k + depth * depth * (lk + 3)
+
+
+def cte_simplified(n: float, depth: float, k: int) -> float:
+    """CTE's guarantee shape (Fraigniaud et al. [10]): ``n / log k + D``."""
+    return n / max(math.log(k), 1.0) + depth
+
+
+def yostar_simplified(n: float, depth: float, k: int) -> float:
+    """Yo*'s guarantee (Ortolf–Schindelhauer [13]), as simplified in the
+    paper: ``2^{sqrt(log D loglog k)} log k (log n + log k) (n/k + D)``."""
+    loglog_k = math.log(max(math.log(k), math.e)) if k > 2 else 1.0
+    log_d = math.log(depth) if depth > 1 else 0.0
+    blowup = 2.0 ** math.sqrt(max(log_d * loglog_k, 0.0))
+    lk = max(math.log(k), 1.0)
+    return blowup * lk * (math.log(max(n, 2)) + lk) * (n / k + depth)
+
+
+def max_ell(k: int) -> int:
+    """The constraint of Figure 1's caption: ``ell <= log k / loglog k``
+    (BFDN_ell can only beat CTE when ``k^{1/ell} > log k``)."""
+    if k < 3:
+        return 1
+    lk = math.log(k)
+    return max(1, int(lk / math.log(lk)))
+
+
+def bfdn_ell_bound(
+    n: int, depth: int, k: int, ell: int, delta: Optional[int] = None
+) -> float:
+    """Theorem 10: ``4n/k^{1/ell} + 2^{ell+1} (ell + 1 +
+    min(log Delta, log k / ell)) D^{1+1/ell}``."""
+    if ell < 1:
+        raise ValueError("ell must be >= 1")
+    lk = (math.log(k) if k > 1 else 0.0) / ell
+    log_term = lk if delta is None or delta <= 1 else min(math.log(delta), lk)
+    return 4 * n / k ** (1 / ell) + 2 ** (ell + 1) * (ell + 1 + log_term) * depth ** (
+        1 + 1 / ell
+    )
+
+
+def bfdn_ell_simplified(n: float, depth: float, k: int, ell: int) -> float:
+    """Figure 1's shape for BFDN_ell:
+    ``n / k^{1/ell} + 2^ell log k D^{1+1/ell}``."""
+    if ell < 1:
+        raise ValueError("ell must be >= 1")
+    return n / k ** (1 / ell) + 2**ell * max(math.log(k), 1.0) * depth ** (1 + 1 / ell)
+
+
+def best_bfdn_ell_simplified(n: float, depth: float, k: int, min_ell: int = 2) -> float:
+    """Best simplified BFDN_ell guarantee over the admissible ``ell`` range
+    (``ell >= 2`` by default, since ``ell = 1`` *is* BFDN up to constants)."""
+    top = max(max_ell(k), min_ell)
+    return min(
+        bfdn_ell_simplified(n, depth, k, ell) for ell in range(min_ell, top + 1)
+    )
+
+
+def offline_lower_bound_value(n: float, depth: float, k: int) -> float:
+    """``max(2n/k, 2D)`` — the offline cost every online run is compared to."""
+    return max(2 * n / k, 2 * depth)
+
+
+def competitive_overhead(rounds: float, n: int, k: int) -> float:
+    """The additive overhead ``T - 2n/k`` studied by [1] and this paper."""
+    return rounds - 2 * n / k
+
+
+def competitive_ratio(rounds: float, n: int, depth: int, k: int) -> float:
+    """``T / (n/k + D)`` — the classical competitive ratio denominator."""
+    return rounds / (n / k + depth)

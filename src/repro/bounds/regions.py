@@ -1,0 +1,158 @@
+"""Figure 1: regions of the ``(n, D)`` plane where each algorithm's
+runtime guarantee is best.
+
+The paper's Figure 1 plots, for a fixed team size ``k``, which of CTE,
+Yo*, BFDN and BFDN_ell has the smallest (simplified) runtime guarantee at
+each point of a log-log ``(n, D)`` grid, with the region ``n <= D`` shaded
+out (no trees there: a tree with depth D has more than D nodes).
+
+:func:`compute_region_map` evaluates the four guarantees on such a grid;
+:func:`render_ascii` draws the chart in the terminal.  The Appendix A
+closed-form boundaries (e.g. *BFDN beats CTE iff* ``D^2 log^2 k <= n``)
+are exposed as predicates so tests can check the computed map against the
+paper's algebra.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .guarantees import (
+    best_bfdn_ell_simplified,
+    bfdn_simplified,
+    cte_simplified,
+    max_ell,
+    yostar_simplified,
+)
+
+#: Display order and one-letter codes for the contenders.
+ALGORITHMS: Tuple[str, ...] = ("CTE", "Yo*", "BFDN", "BFDN_ell")
+CODES: Dict[str, str] = {"CTE": "C", "Yo*": "Y", "BFDN": "B", "BFDN_ell": "L", "": "."}
+
+
+def guarantee(name: str, n: float, depth: float, k: int) -> float:
+    """The (constants-dropped) guarantee score of one contender.
+
+    Note on scale: Yo*'s ``2^{sqrt(log D loglog k)} log k (log n + log k)``
+    blow-up must drop below ``k / log k`` before Yo* can win a region, so
+    — exactly as the paper's schematic axes (``e^k``, ``e^{log^2 k}``)
+    suggest — all four regions of Figure 1 only coexist for large ``k``;
+    the benchmark uses ``k = 2^20``.
+    """
+    if name == "CTE":
+        return cte_simplified(n, depth, k)
+    if name == "Yo*":
+        return yostar_simplified(n, depth, k)
+    if name == "BFDN":
+        return bfdn_simplified(n, depth, k)
+    if name == "BFDN_ell":
+        return best_bfdn_ell_simplified(n, depth, k)
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+def region_winner(n: float, depth: float, k: int) -> str:
+    """The contender with the best guarantee at ``(n, D)`` (``""`` when
+    ``n <= D``, where no tree exists)."""
+    if n <= depth:
+        return ""
+    values = {name: guarantee(name, n, depth, k) for name in ALGORITHMS}
+    return min(values, key=lambda name: (values[name], ALGORITHMS.index(name)))
+
+
+@dataclass
+class RegionMap:
+    """A computed Figure 1 grid."""
+
+    k: int
+    log2_n: np.ndarray  # grid columns (log2 n)
+    log2_d: np.ndarray  # grid rows (log2 D)
+    winners: List[List[str]]  # winners[row][col]
+
+    def counts(self) -> Dict[str, int]:
+        """How many grid cells each contender wins."""
+        out: Dict[str, int] = {name: 0 for name in ALGORITHMS}
+        for row in self.winners:
+            for w in row:
+                if w:
+                    out[w] += 1
+        return out
+
+    def winner_at(self, n: float, depth: float) -> str:
+        """Winner at an arbitrary (off-grid) point."""
+        return region_winner(n, depth, self.k)
+
+
+def compute_region_map(
+    k: int,
+    log2_n_max: float = 40.0,
+    log2_d_max: float = 30.0,
+    resolution: int = 60,
+) -> RegionMap:
+    """Evaluate all guarantees over a log-log grid, like Figure 1."""
+    if k < 2:
+        raise ValueError("the multi-robot comparison needs k >= 2")
+    log2_n = np.linspace(1.0, log2_n_max, resolution)
+    log2_d = np.linspace(0.0, log2_d_max, resolution)
+    winners: List[List[str]] = []
+    for ld in log2_d:
+        row = []
+        for ln in log2_n:
+            row.append(region_winner(2.0**ln, 2.0**ld, k))
+        winners.append(row)
+    return RegionMap(k=k, log2_n=log2_n, log2_d=log2_d, winners=winners)
+
+
+def render_ascii(region_map: RegionMap) -> str:
+    """Draw the region map (D on the vertical axis, decreasing downward is
+    *not* used — the top row is the largest D, matching Figure 1)."""
+    lines = [
+        f"Figure 1 regions for k={region_map.k} "
+        f"(C=CTE, Y=Yo*, B=BFDN, L=BFDN_ell, .=no trees (n<=D))",
+        f"ell range: 2..{max(2, max_ell(region_map.k))}",
+    ]
+    for row_idx in range(len(region_map.log2_d) - 1, -1, -1):
+        label = f"log2 D={region_map.log2_d[row_idx]:5.1f} |"
+        lines.append(label + "".join(CODES[w] for w in region_map.winners[row_idx]))
+    lo, hi = region_map.log2_n[0], region_map.log2_n[-1]
+    lines.append(" " * 14 + f"log2 n: {lo:.0f} .. {hi:.0f}")
+    return "\n".join(lines)
+
+
+def to_csv(region_map: RegionMap) -> str:
+    """CSV dump (``log2_n, log2_d, winner``) for external plotting."""
+    rows = ["log2_n,log2_d,winner"]
+    for row_idx, ld in enumerate(region_map.log2_d):
+        for col_idx, ln in enumerate(region_map.log2_n):
+            rows.append(f"{ln:.4f},{ld:.4f},{region_map.winners[row_idx][col_idx]}")
+    return "\n".join(rows)
+
+
+# ----------------------------------------------------------------------
+# Appendix A closed-form boundaries (used to cross-check the grid).
+# ----------------------------------------------------------------------
+def bfdn_beats_cte(n: float, depth: float, k: int) -> bool:
+    """Appendix A: BFDN is faster than CTE in the range
+    ``D^2 log^2 k <= n``."""
+    return depth * depth * math.log(k) ** 2 <= n
+
+
+def bfdn_ell_beats_bfdn(n: float, depth: float, k: int, ell: int) -> bool:
+    """Appendix A: BFDN_ell overtakes BFDN when ``n / k^{1/ell} < D^2``."""
+    return n / k ** (1 / ell) < depth * depth
+
+
+def bfdn_beats_bfdn_ell(n: float, depth: float, k: int) -> bool:
+    """Appendix A: BFDN is faster than BFDN_ell when ``n/k > D^2``."""
+    return n / k > depth * depth
+
+
+def bfdn_ell_beats_cte(n: float, depth: float, k: int, ell: int) -> bool:
+    """Appendix A: sufficient condition ``D < n^{ell/(ell+1)} / (k log^2 k)``
+    (requires ``k^{1/ell} > log k``)."""
+    if k ** (1 / ell) <= math.log(k):
+        return False
+    return depth < n ** (ell / (ell + 1)) / (k * math.log(k) ** 2)

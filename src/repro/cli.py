@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``explore``   run an exploration algorithm on a generated tree
+``compare``   sweep several algorithms over the standard tree families
+``figure1``   draw the Figure 1 region chart
+``game``      play the balls-in-urns game and report Theorem 3's numbers
+``demo``      animate BFDN on a small tree, frame by frame
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .analysis import EXPERIMENTS, render_table, run_experiment, run_sweep
+from .baselines import CTE, OnlineDFS
+from .bounds import bfdn_bound, compute_region_map, render_ascii, theorem3_bound
+from .core import BFDN, BFDNEll, WriteReadBFDN
+from .game import BalancedPlayer, GreedyAdversary, UrnBoard, game_value, play_game
+from .mission import run_mission
+from .sim import Simulator, TraceRecorder
+from .sim.render import animate
+from .trees import Tree, generators as gen
+
+ALGORITHMS: Dict[str, Callable[[], object]] = {
+    "bfdn": BFDN,
+    "bfdn-wr": WriteReadBFDN,
+    "bfdn-ell2": lambda: BFDNEll(2),
+    "bfdn-ell3": lambda: BFDNEll(3),
+    "cte": CTE,
+    "dfs": OnlineDFS,
+}
+
+TREES: Dict[str, Callable[[int], Tree]] = {
+    "random": lambda n: gen.random_recursive(n),
+    "path": gen.path,
+    "star": gen.star,
+    "caterpillar": lambda n: gen.caterpillar(max(2, n // 5), 4),
+    "spider": lambda n: gen.spider(8, max(1, n // 8)),
+    "comb": lambda n: gen.comb(max(2, n // 6), 5),
+    "deep": lambda n: gen.random_tree_with_depth(n, max(2, n // 4)),
+}
+
+
+def cmd_explore(args) -> int:
+    """Run one exploration and print the Theorem 1 numbers."""
+    tree = TREES[args.tree](args.n)
+    factory = ALGORITHMS[args.algorithm]
+    shared = args.algorithm == "cte"
+    result = Simulator(
+        tree, factory(), args.k, allow_shared_reveal=shared
+    ).run()
+    bound = bfdn_bound(tree.n, tree.depth, args.k, tree.max_degree)
+    print(f"tree: n={tree.n} D={tree.depth} max_degree={tree.max_degree}")
+    print(f"{args.algorithm} with k={args.k}: {result.rounds} rounds "
+          f"(complete={result.complete}, all home={result.all_home})")
+    print(f"Theorem 1 bound: {bound:.0f}; 2n/k = {2 * tree.n / args.k:.0f}")
+    return 0 if result.complete else 1
+
+
+def cmd_compare(args) -> int:
+    """Sweep the chosen algorithms over the standard families."""
+    factories = {name: ALGORITHMS[name] for name in args.algorithms}
+    records = run_sweep(
+        factories,
+        gen.standard_families(k=max(args.k), size=args.size),
+        team_sizes=args.k,
+        allow_shared_reveal={"cte": True},
+    )
+    print(render_table([r.as_row() for r in records]))
+    return 0
+
+
+def cmd_figure1(args) -> int:
+    """Draw the Figure 1 region chart for the given team size."""
+    region_map = compute_region_map(
+        1 << args.log2_k,
+        resolution=args.resolution,
+        log2_n_max=max(60.0, 6.5 * args.log2_k),
+        log2_d_max=max(40.0, 5.0 * args.log2_k),
+    )
+    print(render_ascii(region_map))
+    print("cells won:", region_map.counts())
+    return 0
+
+
+def cmd_game(args) -> int:
+    """Play the urn game and report simulated vs DP vs Theorem 3."""
+    record = play_game(
+        UrnBoard(args.k, args.delta), GreedyAdversary(), BalancedPlayer()
+    )
+    print(f"k={args.k} Delta={args.delta}:")
+    print(f"  simulated (greedy adversary) : {record.steps} steps")
+    print(f"  exact DP optimum             : {game_value(args.k, args.delta)}")
+    print(f"  Theorem 3 bound              : {theorem3_bound(args.k, args.delta):.1f}")
+    return 0
+
+
+def cmd_mission(args) -> int:
+    """Auto-select the algorithm by guarantee and run the mission."""
+    tree = TREES[args.tree](args.n)
+    report = run_mission(tree, args.k, prefer_write_read=args.write_read)
+    print(report.summary())
+    return 0 if report.result.complete else 1
+
+
+def cmd_experiment(args) -> int:
+    """Run experiments from the registry (E1..E15) and print reports."""
+    for exp_id in args.ids:
+        print(run_experiment(exp_id))
+        print()
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """Animate a small BFDN run frame by frame in the terminal."""
+    tree = TREES[args.tree](args.n)
+    recorder = TraceRecorder(BFDN())
+    Simulator(tree, recorder, args.k).run()
+    for round_idx, frame in enumerate(animate(recorder.trace, tree, args.rounds)):
+        print(f"--- round {round_idx} ---")
+        print(frame)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BFDN collaborative tree exploration"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("explore", help="run one exploration")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="bfdn")
+    p.add_argument("--tree", choices=sorted(TREES), default="random")
+    p.add_argument("-n", type=int, default=1000, help="tree size")
+    p.add_argument("-k", type=int, default=8, help="team size")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("compare", help="sweep algorithms over families")
+    p.add_argument(
+        "--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+        default=["bfdn", "cte"],
+    )
+    p.add_argument("-k", type=int, nargs="+", default=[4, 16])
+    p.add_argument("--size", choices=["small", "medium", "large"], default="small")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("figure1", help="draw the Figure 1 region chart")
+    p.add_argument("--log2-k", type=int, default=40, dest="log2_k")
+    p.add_argument("--resolution", type=int, default=44)
+    p.set_defaults(func=cmd_figure1)
+
+    p = sub.add_parser("game", help="play the balls-in-urns game")
+    p.add_argument("-k", type=int, default=16)
+    p.add_argument("--delta", type=int, default=16)
+    p.set_defaults(func=cmd_game)
+
+    p = sub.add_parser(
+        "mission", help="auto-select the best algorithm for an instance and run it"
+    )
+    p.add_argument("--tree", choices=sorted(TREES), default="random")
+    p.add_argument("-n", type=int, default=1000)
+    p.add_argument("-k", type=int, default=8)
+    p.add_argument("--write-read", action="store_true", dest="write_read")
+    p.set_defaults(func=cmd_mission)
+
+    p = sub.add_parser(
+        "experiment", help="run experiments from DESIGN.md's index (E1..E15)"
+    )
+    p.add_argument("ids", nargs="+", metavar="ID", help="e.g. E3 E8")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("demo", help="animate BFDN on a small tree")
+    p.add_argument("--tree", choices=sorted(TREES), default="random")
+    p.add_argument("-n", type=int, default=15)
+    p.add_argument("-k", type=int, default=3)
+    p.add_argument("--rounds", type=int, default=10, help="frames to show")
+    p.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

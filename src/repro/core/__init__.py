@@ -1,0 +1,44 @@
+"""Core contribution: BFDN (Algorithm 1) and its variants."""
+
+from .bfdn import BFDN, Excursion
+from .bfdn_adversarial import AdversarialRunResult, run_with_breakdowns
+from .bfdn_shortcut import ShortcutBFDN
+from .bfdn_writeread import WriteReadBFDN
+from .invariants import CheckedBFDN, InvariantViolation
+from .reference import ReferenceBFDN
+from .reanchor import (
+    LeastLoadedPolicy,
+    MostLoadedPolicy,
+    RandomPolicy,
+    ReanchorPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from .recursive import (
+    BFDN1Instance,
+    BFDNEll,
+    DepthLimitedBFDN,
+    DivideDepthInstance,
+)
+
+__all__ = [
+    "BFDN",
+    "Excursion",
+    "WriteReadBFDN",
+    "AdversarialRunResult",
+    "run_with_breakdowns",
+    "CheckedBFDN",
+    "InvariantViolation",
+    "ReferenceBFDN",
+    "ShortcutBFDN",
+    "ReanchorPolicy",
+    "LeastLoadedPolicy",
+    "RandomPolicy",
+    "MostLoadedPolicy",
+    "RoundRobinPolicy",
+    "make_policy",
+    "BFDNEll",
+    "BFDN1Instance",
+    "DepthLimitedBFDN",
+    "DivideDepthInstance",
+]

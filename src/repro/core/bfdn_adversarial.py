@@ -1,0 +1,72 @@
+"""BFDN under adversarial robot break-downs (Section 4.2, Proposition 7).
+
+At each round an adversary decides which robots may move; the others are
+stalled in place.  The only change to Algorithm 1 is that the sequential
+per-round assignment iterates over the robots *allowed to move* (so a
+blocked robot never reserves a dangling edge an unblocked one could take)
+— :class:`repro.core.bfdn.BFDN` already implements exactly that via its
+``movable`` argument, so this module provides the run harness and the
+Proposition 7 accounting rather than a separate algorithm.
+
+Proposition 7: for any schedule of allowed moves ``M`` whose average
+``A(M)`` reaches ``2n/k + D^2 (log k + 3)``, every edge of the tree has
+been visited (robots are not required to make it home — the adversary may
+stall them forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bounds.guarantees import adversarial_bound
+from ..sim.adversary import BreakdownAdversary
+from ..sim.engine import ExplorationResult, Simulator
+from ..trees.tree import Tree
+from .bfdn import BFDN
+
+
+@dataclass
+class AdversarialRunResult:
+    """Outcome of a break-down run, with Proposition 7's accounting."""
+
+    result: ExplorationResult
+    #: Average number of allowed moves per robot up to the completion round.
+    average_allowed: float
+    #: The guarantee ``2n/k + D^2 (log k + 3)``.
+    bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        """Exploration completed no later than the schedule reaching the
+        Proposition 7 average."""
+        return self.result.complete and self.average_allowed <= self.bound
+
+
+def run_with_breakdowns(
+    tree: Tree,
+    k: int,
+    adversary: BreakdownAdversary,
+    max_rounds: Optional[int] = None,
+) -> AdversarialRunResult:
+    """Run BFDN against a break-down adversary until every edge is seen.
+
+    The simulation stops as soon as the tree is completely explored (the
+    adversarial model does not require a return to the root); the result
+    records the wall-clock rounds and the realised ``A(M)``.
+    """
+    sim = Simulator(
+        tree,
+        BFDN(),
+        k,
+        adversary=adversary,
+        stop_when_complete=True,
+        max_rounds=max_rounds,
+    )
+    result = sim.run()
+    average = adversary.average_allowed(result.wall_rounds, k)
+    return AdversarialRunResult(
+        result=result,
+        average_allowed=average,
+        bound=adversarial_bound(tree.n, tree.depth, k),
+    )

@@ -1,0 +1,148 @@
+"""BFDN with shortcut re-anchoring (an ablation the paper motivates).
+
+Section 2 of the paper: "The reason why we ask that the robots go back
+all the way to the root before being reassigned a new anchor, rather than
+having them use a shortest path from their previous anchor to their next
+anchor, will become apparent when we adapt the algorithm to the
+distributed write-read communication setting."
+
+In the *complete communication* model that detour is pure overhead.  This
+variant re-anchors a robot the moment its depth-next phase runs dry —
+when it is about to ascend above its anchor — and walks it to the new
+anchor along the shortest explored path (through the LCA) instead of via
+the root.  The ablation quantifies what the write-read-compatible detour
+costs (benchmark ``test_bench_ablation_shortcut``); Theorem 1's bound is
+kept (the shortcut only removes moves relative to Algorithm 1's
+root-to-root excursions — verified empirically in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..sim.engine import STAY, UP, Exploration, ExplorationAlgorithm, Move, down, explore
+from ..trees.partial import RevealEvent
+from .reanchor import LeastLoadedPolicy, ReanchorPolicy
+
+
+class ShortcutBFDN(ExplorationAlgorithm):
+    """BFDN with direct anchor-to-anchor travel (complete communication).
+
+    Behaviour differences from Algorithm 1:
+
+    * a robot is re-anchored when depth-next would take it *above its
+      anchor* (its anchor's territory is exhausted), not only at the root;
+    * travel to the new anchor follows the shortest explored path from
+      the robot's current position;
+    * at termination robots still return to the root (the problem
+      definition requires it).
+    """
+
+    name = "BFDN-shortcut"
+
+    def __init__(self, policy: Optional[ReanchorPolicy] = None):
+        self.policy = policy or LeastLoadedPolicy()
+        self._anchors: List[int] = []
+        self._paths: List[List[int]] = []  # node sequences still to walk
+        self._loads: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, expl: Exploration) -> None:
+        root = expl.tree.root
+        self._anchors = [root] * expl.k
+        self._paths = [[] for _ in range(expl.k)]
+        self._loads = {root: expl.k}
+        if expl.ptree.is_open(root):
+            self.policy.on_open(root, 0)
+            self.policy.on_load_change(root, expl.k)
+
+    def observe(self, expl: Exploration, events) -> None:
+        for ev in events:
+            if ev.child_open:
+                self.policy.on_open(ev.child, expl.ptree.node_depth(ev.child))
+
+    # ------------------------------------------------------------------
+    def _route(self, ptree, u: int, target: int) -> List[int]:
+        if u == target:
+            return []
+        pu = ptree.path_from_root(u)
+        pt = ptree.path_from_root(target)
+        common = 0
+        limit = min(len(pu), len(pt))
+        while common < limit and pu[common] == pt[common]:
+            common += 1
+        lca_idx = common - 1
+        up_part = pu[lca_idx:-1]
+        up_part.reverse()
+        return up_part + pt[lca_idx + 1 :]
+
+    def _reanchor(self, expl: Exploration, i: int) -> None:
+        ptree = expl.ptree
+        root = expl.tree.root
+        d = ptree.min_open_depth
+        if d is None:
+            new = root  # all explored: go home
+        else:
+            new = self.policy.choose(ptree, d, self._loads)
+        old = self._anchors[i]
+        if new != old:
+            self._loads[old] -= 1
+            self.policy.on_load_change(old, self._loads[old])
+            self._loads[new] = self._loads.get(new, 0) + 1
+            self.policy.on_load_change(new, self._loads[new])
+            self._anchors[i] = new
+        if d is not None:
+            expl.metrics.log_reanchor(expl.round, i, new, ptree.node_depth(new))
+        self._paths[i] = self._route(ptree, expl.positions[i], new)
+
+    # ------------------------------------------------------------------
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        root = expl.tree.root
+        ptree = expl.ptree
+        moves: Dict[int, Move] = {}
+        port_iters: Dict[int, Iterator[int]] = {}
+        for i in sorted(movable):
+            u = expl.positions[i]
+            anchor = self._anchors[i]
+            if not self._paths[i]:
+                # Depth-next: explore an unselected dangling port here...
+                it = port_iters.get(u)
+                if it is None:
+                    it = iter(sorted(ptree.dangling_ports(u)))
+                    port_iters[u] = it
+                port = next(it, None)
+                if port is not None:
+                    moves[i] = explore(port)
+                    continue
+                # ... or ascend; but ascending above the anchor means the
+                # territory is finished: re-anchor right here.
+                if u == anchor or not self._in_subtree(ptree, u, anchor):
+                    self._reanchor(expl, i)
+                    if self._paths[i]:
+                        moves[i] = self._step(ptree, i, u)
+                    elif u != root and self._anchors[i] == root:
+                        moves[i] = UP  # walking home after completion
+                    else:
+                        moves[i] = STAY
+                else:
+                    moves[i] = UP
+            else:
+                moves[i] = self._step(ptree, i, u)
+        return moves
+
+    def _step(self, ptree, i: int, u: int) -> Move:
+        nxt = self._paths[i].pop(0)
+        return UP if ptree.parent(u) == nxt else down(nxt)
+
+    @staticmethod
+    def _in_subtree(ptree, u: int, anchor: int) -> bool:
+        depth_a = ptree.node_depth(anchor)
+        while ptree.node_depth(u) > depth_a:
+            u = ptree.parent(u)
+        return u == anchor
+
+    # ------------------------------------------------------------------
+    @property
+    def anchors(self) -> List[int]:
+        """Current anchors (for tests)."""
+        return list(self._anchors)

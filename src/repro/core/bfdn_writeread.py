@@ -1,0 +1,332 @@
+"""BFDN in the restricted memory / write-read communication model
+(Section 4.1, Algorithm 2, Proposition 6).
+
+Robots may communicate with a central planner only when located at the
+root, and carry ``Delta + D log Delta`` bits of internal memory: a stack
+of port numbers describing the path to their anchor, plus the bitmap of
+*finished* ports observed at their anchor.  Away from the root a robot
+uses only local whiteboard information:
+
+* the routine ``PARTITION(v)`` hands out the downward ports of ``v`` one
+  by one (largest first, each untraversed port at most once — so no two
+  robots are ever sent through the same port ``j >= 1``), and yields the
+  upward port once every downward port has been handed out;
+* a robot moving up from a child marks the corresponding port of the
+  parent *finished* on the parent's whiteboard, and a robot located at its
+  anchor snapshots the anchor's finished-port bitmap into its memory.
+
+The central planner (Algorithm 2) tracks the working depth ``d``, the
+anchor list ``A`` at depth ``d``, the set ``R`` of anchors from which an
+anchored robot has returned, and the children candidates ``A' \\ R'``
+reconstructed from the returning robots' bitmaps.  Anchors are identified
+by ``(parent_node, port)`` pairs — i.e. port sequences, as in the paper —
+because a candidate's final edge may still be dangling when robots are
+dispatched to it (the dispatched robot then performs the first traversal).
+
+Proposition 6: the runtime bound of Theorem 1 carries over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.engine import STAY, UP, Exploration, ExplorationAlgorithm, Move, down, explore
+
+_MODE_BF = "bf"
+_MODE_DN = "dn"
+_MODE_HOME = "home"
+
+#: Anchor key: ``None`` denotes the root anchor; otherwise ``(node, port)``.
+AnchorKey = Optional[Tuple[int, int]]
+
+
+class _RobotMemory:
+    """The ``Delta + D log Delta`` bits each robot carries."""
+
+    __slots__ = (
+        "key",
+        "anchor_node",
+        "stack",
+        "final_port",
+        "finished_bitmap",
+        "anchor_degree",
+    )
+
+    def __init__(self, key: AnchorKey, anchor_node: Optional[int]):
+        self.key = key
+        self.anchor_node = anchor_node
+        self.stack: List[int] = []
+        self.final_port: Optional[int] = None
+        self.finished_bitmap: Set[int] = set()
+        self.anchor_degree = 0
+
+
+class _Planner:
+    """The central planner at the root (Algorithm 2)."""
+
+    def __init__(self, root: int, k: int):
+        self.root = root
+        self.depth = 0
+        self.anchors: List[AnchorKey] = [None]
+        self.returned: Set[AnchorKey] = set()
+        self.loads: Dict[AnchorKey, int] = {None: k}
+        #: Per-anchor merged reports: anchor node id, degree, finished ports.
+        self.reports: Dict[AnchorKey, Tuple[int, int, Set[int]]] = {}
+        self.finished = False
+        #: Total anchor assignments performed, per depth (Lemma 2 metric).
+        self.assignments_per_depth: Dict[int, int] = {}
+
+    def process_return(self, mem: _RobotMemory) -> None:
+        """Read the memory of a robot that completed an excursion."""
+        key = mem.key
+        if self.loads.get(key, 0) > 0:
+            self.loads[key] -= 1
+        if key in self.anchors and mem.anchor_node is not None:
+            self.returned.add(key)
+            node, degree, bitmap = self.reports.get(
+                key, (mem.anchor_node, 0, set())
+            )
+            bitmap = bitmap | mem.finished_bitmap
+            degree = max(degree, mem.anchor_degree)
+            self.reports[key] = (mem.anchor_node, degree, bitmap)
+
+    def maybe_advance(
+        self, root_degree: int, root_finished: Set[int]
+    ) -> None:
+        """Lines 7–13 of Algorithm 2: advance the working depth once a
+        robot has returned from every current anchor.
+
+        The planner *is located at the root*, so for the root anchor it
+        reads the root's whiteboard directly instead of relying on the
+        (possibly stale) snapshot in a returning robot's memory.
+        """
+        while not self.finished and all(key in self.returned for key in self.anchors):
+            candidates: List[AnchorKey] = []
+            for key in self.anchors:
+                if key is None:
+                    node, degree, bitmap = self.root, root_degree, root_finished
+                else:
+                    report = self.reports.get(key)
+                    if report is None:
+                        continue
+                    node, degree, bitmap = report
+                first = 0 if node == self.root else 1
+                for port in range(first, degree):
+                    if port not in bitmap:
+                        candidates.append((node, port))
+            if not candidates:
+                self.finished = True  # line 9: exploration is finished
+                return
+            self.depth += 1
+            self.anchors = candidates  # A <- A' \ R'
+            self.returned = set()
+            self.reports = {}
+            self.loads = {key: 0 for key in candidates}
+
+    def assign(self) -> AnchorKey:
+        """Minimum-load anchor of ``A \\ R`` (``"none"`` when ineligible)."""
+        eligible = [key for key in self.anchors if key not in self.returned]
+        if not eligible:
+            return "none"  # type: ignore[return-value]
+        best = min(
+            eligible, key=lambda key: (self.loads.get(key, 0), key or (-1, -1))
+        )
+        self.loads[best] = self.loads.get(best, 0) + 1
+        self.assignments_per_depth[self.depth] = (
+            self.assignments_per_depth.get(self.depth, 0) + 1
+        )
+        return best
+
+
+class WriteReadBFDN(ExplorationAlgorithm):
+    """BFDN with root-only communication and whiteboard ``PARTITION``."""
+
+    name = "BFDN-WR"
+
+    def __init__(self) -> None:
+        self._planner: Optional[_Planner] = None
+        self._memories: List[_RobotMemory] = []
+        self._modes: List[str] = []
+        #: True while a robot is out on an excursion; a robot at the root
+        #: reports to the planner only if it actually left (otherwise the
+        #: initial all-at-root state would read as k instant returns).
+        self._on_excursion: List[bool] = []
+        # Whiteboards: next downward port PARTITION(v) hands out, and the
+        # finished ports of v.
+        self._next_port: Dict[int, int] = {}
+        self._finished_ports: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, expl: Exploration) -> None:
+        root = expl.tree.root
+        k = expl.k
+        self._planner = _Planner(root, k)
+        self._memories = [_RobotMemory(None, root) for _ in range(k)]
+        self._modes = [_MODE_DN] * k  # all start at their anchor (the root)
+        self._on_excursion = [False] * k
+        self._next_port = {}
+        self._finished_ports = {}
+
+    # ------------------------------------------------------------------
+    def _partition(
+        self, expl: Exploration, v: int, selected: Set[Tuple[int, int]]
+    ) -> Optional[int]:
+        """One call to the local routine PARTITION(v).
+
+        Hands out the largest not-yet-traversed downward port; ports
+        already traversed (logged on the whiteboard, cf. Remark 5) or
+        selected by another robot this very round are skipped so no port
+        is ever entered twice.  Returns None once all downward ports are
+        exhausted.
+        """
+        root = expl.tree.root
+        ptree = expl.ptree
+        if v not in self._next_port:
+            self._next_port[v] = ptree.degree(v) - 1
+        lower = 0 if v == root else 1
+        port = self._next_port[v]
+        while port >= lower and (
+            ptree.child_via(v, port) is not None or (v, port) in selected
+        ):
+            port -= 1
+        if port < lower:
+            self._next_port[v] = port
+            return None
+        self._next_port[v] = port - 1
+        return port
+
+    # ------------------------------------------------------------------
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        planner = self._planner
+        assert planner is not None, "attach() was not called"
+        root = expl.tree.root
+        ptree = expl.ptree
+        moves: Dict[int, Move] = {}
+        selected: Set[Tuple[int, int]] = set()  # dangling edges taken this round
+
+        # 1. Robots arriving back at the root hand their memory over.
+        for i in sorted(movable):
+            if (
+                self._modes[i] == _MODE_DN
+                and expl.positions[i] == root
+                and self._on_excursion[i]
+            ):
+                planner.process_return(self._memories[i])
+                self._modes[i] = _MODE_HOME
+                self._on_excursion[i] = False
+
+        # 2. The planner advances the working depth if it can, then
+        #    re-anchors waiting robots with balanced loads.
+        planner.maybe_advance(
+            ptree.degree(root), self._finished_ports.get(root, set())
+        )
+        if not planner.finished:
+            for i in sorted(movable):
+                if self._modes[i] != _MODE_HOME or expl.positions[i] != root:
+                    continue
+                key = planner.assign()
+                if key == "none":
+                    break
+                mem = self._memories[i]
+                mem.key = key
+                mem.finished_bitmap = set()
+                mem.anchor_degree = 0
+                if key is None:
+                    mem.anchor_node = root
+                    mem.stack = []
+                    mem.final_port = None
+                    self._modes[i] = _MODE_DN
+                else:
+                    parent, port = key
+                    mem.anchor_node = None  # resolved on arrival
+                    path = ptree.path_from_root(parent)
+                    mem.stack = list(reversed(path[1:]))
+                    mem.final_port = port
+                    self._modes[i] = _MODE_BF
+
+        # 3. Move selection.
+        for i in sorted(movable):
+            mode = self._modes[i]
+            mem = self._memories[i]
+            u = expl.positions[i]
+            if mode == _MODE_HOME:
+                moves[i] = STAY
+                continue
+            if mode == _MODE_BF:
+                move = self._bf_step(expl, mem, u, selected)
+                if move is not None:
+                    moves[i] = move
+                    if move[0] != "stay":
+                        self._on_excursion[i] = True
+                    continue
+                # Descent complete: the robot stands at its anchor.
+                mem.anchor_node = u
+                self._modes[i] = _MODE_DN
+            # Depth-next phase, driven by PARTITION.
+            if u == mem.anchor_node:
+                mem.finished_bitmap = set(self._finished_ports.get(u, ()))
+                mem.anchor_degree = ptree.degree(u)
+            port = self._partition(expl, u, selected)
+            if port is not None:
+                selected.add((u, port))
+                self._on_excursion[i] = True
+                moves[i] = explore(port)
+            elif u == root:
+                # A fresh root-anchored robot found nothing left to take:
+                # wait at the root for a new anchor (no excursion to report).
+                self._modes[i] = _MODE_HOME
+                moves[i] = STAY
+            else:
+                parent = ptree.parent(u)
+                incoming = ptree.port_of_child(parent, u)
+                self._finished_ports.setdefault(parent, set()).add(incoming)
+                moves[i] = UP
+        return moves
+
+    # ------------------------------------------------------------------
+    def _bf_step(
+        self,
+        expl: Exploration,
+        mem: _RobotMemory,
+        u: int,
+        selected: Set[Tuple[int, int]],
+    ) -> Optional[Move]:
+        """One breadth-first move down the memorised port stack.
+
+        Returns None when the descent is complete (robot at its anchor).
+        The final edge of the path may still be dangling, in which case the
+        robot performs its first traversal (or waits one round if another
+        robot selected that edge this very round).
+        """
+        if mem.stack:
+            return down(mem.stack.pop())
+        if mem.final_port is None:
+            return None
+        parent, port = u, mem.final_port
+        child = expl.ptree.child_via(parent, port)
+        if child is not None:
+            mem.final_port = None
+            return down(child)
+        if (parent, port) in selected:
+            return STAY  # another robot is revealing this edge right now
+        selected.add((parent, port))
+        mem.final_port = None
+        return explore(port)
+    # ------------------------------------------------------------------
+    @property
+    def planner_depth(self) -> int:
+        """Current working depth of the central planner (for tests)."""
+        assert self._planner is not None
+        return self._planner.depth
+
+    @property
+    def planner_finished(self) -> bool:
+        """True once the planner has declared exploration finished."""
+        assert self._planner is not None
+        return self._planner.finished
+
+    @property
+    def assignments_per_depth(self) -> Dict[int, int]:
+        """Planner anchor assignments per working depth (Lemma 2 metric)."""
+        assert self._planner is not None
+        return dict(self._planner.assignments_per_depth)

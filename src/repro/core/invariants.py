@@ -1,0 +1,136 @@
+"""Run-time invariant checking for BFDN executions.
+
+Wraps a :class:`~repro.core.bfdn.BFDN` instance and, after every round,
+asserts the structural claims of the paper's analysis:
+
+* **Claim 2** — each dangling edge is first traversed by a single robot
+  (enforced by the engine; re-checked via reveal counts);
+* **Claim 4 / Open Node Coverage** — every open node lies in the subtree
+  of some robot's anchor;
+* **Claim 5** — whenever all anchors are at depth ≤ d−1, every explored
+  node at depth d roots a subtree that is either fully explored or hosts
+  at least one robot;
+* **working-depth monotonicity** — the minimum open depth never
+  decreases;
+* **load conservation** — anchor loads sum to k.
+
+Checking is O(n) per round, so use it in tests and debugging, not in
+benchmarks.  Violations raise :class:`InvariantViolation` with a
+round-stamped message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..sim.engine import Exploration, ExplorationAlgorithm, Move
+from ..trees.partial import RevealEvent
+from .bfdn import BFDN
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the analysis failed during a run."""
+
+
+class CheckedBFDN(ExplorationAlgorithm):
+    """BFDN with per-round invariant validation."""
+
+    name = "BFDN-checked"
+
+    def __init__(self, inner: Optional[BFDN] = None):
+        self.inner = inner or BFDN()
+        self._last_working_depth = -1
+
+    # ------------------------------------------------------------------
+    def attach(self, expl: Exploration) -> None:
+        self._last_working_depth = -1
+        self.inner.attach(expl)
+
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        return self.inner.select_moves(expl, movable)
+
+    def observe(self, expl: Exploration, events: Sequence[RevealEvent]) -> None:
+        self.inner.observe(expl, events)
+        self._check_round(expl)
+
+    def handle_blocked(self, expl: Exploration, robot: int, move: Move) -> None:
+        self.inner.handle_blocked(expl, robot, move)
+
+    # ------------------------------------------------------------------
+    def _fail(self, expl: Exploration, message: str) -> None:
+        raise InvariantViolation(f"round {expl.round}: {message}")
+
+    def _check_round(self, expl: Exploration) -> None:
+        self._check_working_depth(expl)
+        self._check_load_conservation(expl)
+        self._check_open_node_coverage(expl)
+        self._check_claim5(expl)
+
+    def _check_working_depth(self, expl: Exploration) -> None:
+        depth = expl.ptree.min_open_depth
+        if depth is None:
+            return
+        if depth < self._last_working_depth:
+            self._fail(
+                expl,
+                f"working depth decreased: {self._last_working_depth} -> {depth}",
+            )
+        self._last_working_depth = depth
+
+    def _check_load_conservation(self, expl: Exploration) -> None:
+        total = sum(self.inner.loads.values())
+        if total != expl.k:
+            self._fail(expl, f"anchor loads sum to {total}, expected {expl.k}")
+
+    def _check_open_node_coverage(self, expl: Exploration) -> None:
+        """Claim 4: all open nodes lie under some anchor."""
+        ptree = expl.ptree
+        anchors = set(self.inner.anchors)
+        depth = ptree.min_open_depth
+        if depth is None:
+            return
+        for v in list(ptree.open_nodes_at(depth)):
+            w = v
+            while w != -1 and w not in anchors:
+                w = ptree.parent(w)
+            if w == -1:
+                self._fail(expl, f"open node {v} is not under any anchor")
+
+    def _check_claim5(self, expl: Exploration) -> None:
+        """When every anchor sits at depth <= d-1, each explored node at
+        depth d has a finished subtree or hosts a robot in it."""
+        ptree = expl.ptree
+        anchors = self.inner.anchors
+        if not anchors:
+            return
+        max_anchor_depth = max(ptree.node_depth(a) for a in anchors)
+        d = max_anchor_depth + 1
+        # Robots by their depth-d ancestor.
+        hosts: Set[int] = set()
+        for p in expl.positions:
+            depth_p = ptree.node_depth(p)
+            while depth_p > d:
+                p = ptree.parent(p)
+                depth_p -= 1
+            if depth_p == d:
+                hosts.add(p)
+        # Every unfinished depth-d subtree must host a robot.
+        stack = [expl.tree.root]
+        while stack:
+            u = stack.pop()
+            du = ptree.node_depth(u)
+            if du == d:
+                if not ptree.is_finished(u) and u not in hosts:
+                    self._fail(
+                        expl,
+                        f"unfinished depth-{d} subtree at {u} hosts no robot "
+                        f"(anchors all at depth <= {max_anchor_depth})",
+                    )
+                continue
+            stack.extend(ptree.explored_children(u))
+
+    # ------------------------------------------------------------------
+    @property
+    def excursions(self):
+        """Excursion log of the wrapped instance."""
+        return self.inner.excursions

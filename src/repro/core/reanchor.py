@@ -1,0 +1,129 @@
+"""Anchor-selection policies for the ``Reanchor`` procedure.
+
+The paper's policy (Algorithm 1, line 28) selects, among the open nodes of
+minimum depth, one with the least number of anchored robots — this is the
+balanced player of the urns-and-balls game of Section 3, and the
+``k (min(log k, log D) + 3)`` bound of Lemma 2 depends on it.  The other
+policies here are ablations used to show empirically that the balancing is
+load-bearing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..trees.partial import PartialTree
+
+
+class ReanchorPolicy(ABC):
+    """Chooses an anchor among the open nodes of minimum depth.
+
+    Implementations may keep incremental state; the BFDN driver notifies
+    them of load changes and newly opened nodes.
+    """
+
+    name = "abstract"
+
+    @abstractmethod
+    def choose(self, ptree: PartialTree, depth: int, loads: Dict[int, int]) -> int:
+        """Return the chosen anchor among ``ptree.open_nodes_at(depth)``."""
+
+    def on_load_change(self, node: int, load: int) -> None:
+        """Load of ``node`` changed (hook for incremental policies)."""
+
+    def on_open(self, node: int, depth: int) -> None:
+        """``node`` at ``depth`` became open (hook for incremental policies)."""
+
+
+class LeastLoadedPolicy(ReanchorPolicy):
+    """The paper's policy: ``argmin_{v in U} n_v`` with deterministic
+    (smallest node id) tie-breaking.
+
+    Uses per-depth lazy heaps of ``(load, node)`` entries so each choice
+    costs amortised ``O(log)`` instead of scanning ``U``.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self) -> None:
+        self._heaps: Dict[int, List[Tuple[int, int]]] = {}
+        self._depth_of: Dict[int, int] = {}
+
+    def on_open(self, node: int, depth: int) -> None:
+        self._depth_of[node] = depth
+        heapq.heappush(self._heaps.setdefault(depth, []), (0, node))
+
+    def on_load_change(self, node: int, load: int) -> None:
+        depth = self._depth_of.get(node)
+        if depth is not None:
+            heapq.heappush(self._heaps.setdefault(depth, []), (load, node))
+
+    def choose(self, ptree: PartialTree, depth: int, loads: Dict[int, int]) -> int:
+        heap = self._heaps.setdefault(depth, [])
+        open_nodes = ptree.open_nodes_at(depth)
+        while heap:
+            load, node = heap[0]
+            if node not in open_nodes or loads.get(node, 0) != load:
+                heapq.heappop(heap)  # stale entry
+                continue
+            return node
+        # The heap can be empty of valid entries only if open nodes at this
+        # depth were never registered (e.g. policy attached mid-run); fall
+        # back to a scan.
+        return min(open_nodes, key=lambda v: (loads.get(v, 0), v))
+
+
+class RandomPolicy(ReanchorPolicy):
+    """Ablation: uniform choice among minimum-depth open nodes."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, ptree: PartialTree, depth: int, loads: Dict[int, int]) -> int:
+        return self._rng.choice(sorted(ptree.open_nodes_at(depth)))
+
+
+class MostLoadedPolicy(ReanchorPolicy):
+    """Ablation: the anti-balanced player (``argmax n_v``) — the worst-case
+    strategy the urns-and-balls analysis rules out."""
+
+    name = "most-loaded"
+
+    def choose(self, ptree: PartialTree, depth: int, loads: Dict[int, int]) -> int:
+        return max(ptree.open_nodes_at(depth), key=lambda v: (loads.get(v, 0), -v))
+
+
+class RoundRobinPolicy(ReanchorPolicy):
+    """Ablation: cycles through the open nodes ignoring load entirely."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def choose(self, ptree: PartialTree, depth: int, loads: Dict[int, int]) -> int:
+        nodes = sorted(ptree.open_nodes_at(depth))
+        node = nodes[self._counter % len(nodes)]
+        self._counter += 1
+        return node
+
+
+def make_policy(name: str, seed: int = 0) -> ReanchorPolicy:
+    """Factory by name: ``least-loaded`` (paper), ``random``,
+    ``most-loaded`` or ``round-robin``."""
+    policies = {
+        "least-loaded": LeastLoadedPolicy,
+        "most-loaded": MostLoadedPolicy,
+        "round-robin": RoundRobinPolicy,
+    }
+    if name == "random":
+        return RandomPolicy(seed)
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ValueError(f"unknown reanchor policy {name!r}") from None

@@ -1,0 +1,19 @@
+"""Recursive BFDN construction (Section 5): anchor-based algorithms,
+the divide-depth functor and BFDN_ell."""
+
+from .anchor_based import AnchorBasedInstance, check_open_node_coverage
+from .bfdn_depth_limited import BFDN1Instance, DepthLimitedBFDN
+from .bfdn_ell import BFDNEll
+from .divide_depth import DivideDepthInstance
+from .validators import AnchorInvariantViolation, ValidatedBFDNEll
+
+__all__ = [
+    "AnchorBasedInstance",
+    "check_open_node_coverage",
+    "BFDN1Instance",
+    "DepthLimitedBFDN",
+    "DivideDepthInstance",
+    "BFDNEll",
+    "ValidatedBFDNEll",
+    "AnchorInvariantViolation",
+]

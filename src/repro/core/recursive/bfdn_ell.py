@@ -1,0 +1,151 @@
+"""``BFDN_ell`` — the recursive algorithm of Theorem 10 (Definition 13).
+
+For a parameter ``ell >= 1`` and ``K = floor(k^{1/ell})^ell`` robots
+(surplus robots idle at the root), the algorithm runs the recursively
+constructed anchor-based algorithm
+
+    ``BFDN_ell(k*, K, d) = D[BFDN_{ell-1}(k*, K/n_team, d/n_iter);
+    n_team; n_iter]``  with ``k* = n_team = K^{1/ell}``, ``n_iter = d^{1/ell}``,
+
+on the doubling depth schedule ``d_j = 2^{j ell}``: each call is
+interrupted right after its last iteration (without running deep) and the
+next call starts from the current robot positions, until the whole tree is
+explored.  At the bottom of the recursion sits the depth-limited
+``BFDN_1`` of :mod:`repro.core.recursive.bfdn_depth_limited`.
+
+Theorem 10: the runtime is at most
+``4n / k^{1/ell} + 2^{ell+1}(ell + 1 + min(log Delta, log k / ell)) D^{1+1/ell}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ...sim.engine import (
+    STAY,
+    UP,
+    Exploration,
+    ExplorationAlgorithm,
+    Move,
+)
+from ...trees.partial import RevealEvent
+from .anchor_based import AnchorBasedInstance
+from .bfdn_depth_limited import BFDN1Instance
+from .divide_depth import DivideDepthInstance, _route
+
+
+class BFDNEll(ExplorationAlgorithm):
+    """The recursive Breadth-First Depth-Next algorithm ``BFDN_ell``.
+
+    ``ell = 1`` degenerates to depth-limited BFDN on the same doubling
+    schedule (same bound as Theorem 1 up to a factor 4).
+    """
+
+    def __init__(self, ell: int):
+        if ell < 1:
+            raise ValueError("ell must be >= 1")
+        self.ell = ell
+        self.name = f"BFDN_ell(ell={ell})"
+        self._k_star = 1
+        self._pool: List[int] = []
+        self._stage = 1  # the index j of the current depth d_j = 2^{j ell}
+        self._instance: Optional[AnchorBasedInstance] = None
+        self._going_home = False
+        self._home_routes: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, expl: Exploration) -> None:
+        k = expl.k
+        self._k_star = max(1, int(round(k ** (1.0 / self.ell))))
+        while self._k_star**self.ell > k:
+            self._k_star -= 1
+        self._k_star = max(1, self._k_star)
+        capacity = self._k_star**self.ell
+        self._pool = list(range(capacity))
+        self._stage = 1
+        self._going_home = False
+        self._home_routes = {}
+        self._instance = self._build(
+            expl, self.ell, expl.tree.root, self._pool, self._stage
+        )
+
+    def _build(
+        self, expl: Exploration, level: int, root: int, robots: Sequence[int], j: int
+    ) -> AnchorBasedInstance:
+        """Recursive construction: level ``m`` explores ``2^{j m}`` deeper
+        than its root using ``n_iter = 2^j`` iterations of level ``m-1``."""
+        if level == 1:
+            limit = expl.ptree.node_depth(root) + 2**j
+            return BFDN1Instance(expl, root, robots, self._k_star, limit)
+        return DivideDepthInstance(
+            expl,
+            root,
+            robots,
+            k_star=self._k_star,
+            n_team=self._k_star,
+            n_iter=2**j,
+            child_depth_budget=2 ** (j * (level - 1)),
+            child_builder=lambda e, r, team: self._build(e, level - 1, r, team, j),
+        )
+
+    # ------------------------------------------------------------------
+    def _stage_finished(self, expl: Exploration) -> bool:
+        """Did the current call complete its last iteration?"""
+        inst = self._instance
+        if isinstance(inst, DivideDepthInstance):
+            return inst.iterations_done
+        assert isinstance(inst, BFDN1Instance)
+        return inst.is_running_deep()
+
+    # ------------------------------------------------------------------
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        moves: Dict[int, Move] = {}
+        ptree = expl.ptree
+        root = expl.tree.root
+
+        if not self._going_home and ptree.is_complete():
+            # Everything is traversed: walk the whole team back home.
+            self._going_home = True
+            self._home_routes = {
+                i: _route(ptree, expl.positions[i], root)
+                for i in range(expl.k)
+                if expl.positions[i] != root
+            }
+        if self._going_home:
+            done = []
+            for i, route in self._home_routes.items():
+                if i not in movable:
+                    continue
+                nxt = route.pop(0)
+                moves[i] = UP if ptree.parent(expl.positions[i]) == nxt else STAY
+                if not route:
+                    done.append(i)
+            for i in done:
+                del self._home_routes[i]
+            return moves
+
+        inst = self._instance
+        assert inst is not None
+        refresh = getattr(inst, "refresh", None)
+        if refresh is not None:
+            refresh(expl)
+        if self._stage_finished(expl):
+            # Definition 13: interrupt right after the last iteration and
+            # restart with the doubled depth d_{j+1}.
+            self._stage += 1
+            self._instance = self._build(
+                expl, self.ell, root, self._pool, self._stage
+            )
+            inst = self._instance
+        inst.select(expl, moves, movable & set(self._pool))
+        return moves
+
+    def observe(self, expl: Exploration, events: Sequence[RevealEvent]) -> None:
+        if self._instance is not None and not self._going_home:
+            self._instance.route_events(expl, events)
+
+    # ------------------------------------------------------------------
+    @property
+    def stage(self) -> int:
+        """Current depth-schedule index ``j`` (``d_j = 2^{j ell}``)."""
+        return self._stage

@@ -1,0 +1,236 @@
+"""The divide-depth functor ``D[A(k*, k', d'); n_team; n_iter]``
+(Section 5, Algorithm 3).
+
+The functor turns an anchor-based algorithm into another anchor-based
+algorithm that reaches ``n_iter`` times deeper: it runs ``n_iter``
+iterations, each running parallel child instances on the subtrees rooted
+at the previous iteration's anchors, and interrupts all instances
+simultaneously as soon as the overall number of active robots drops below
+``k*`` — which, by the Shallow Activity invariant, can only happen once
+every child's anchors sit at the iteration's target depth.
+
+Implementation notes (complete-communication model):
+
+* Teams are formed by position: robots already inside a subtree ``T(r)``
+  belong to ``r``'s team (they cannot teleport); free robots fill teams up
+  to ``k'`` and walk to their root through explored edges.  When a fresh
+  functor is started over ground that previous runs already explored
+  (the ``BFDN_ell`` depth-doubling of Definition 13), a team may exceed
+  ``k'``; this only adds workers and preserves every invariant.
+* An iteration's interruption and the start of the next one happen
+  atomically inside one round, so the functor's reported activity never
+  dips below ``k*`` while it still has shallow work — exactly what the
+  parent's interruption rule assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ...sim.engine import STAY, UP, Exploration, Move, down
+from ...trees.partial import RevealEvent
+from .anchor_based import AnchorBasedInstance
+
+#: Builds a child instance on subtree ``T(root)`` for the given robots.
+ChildBuilder = Callable[[Exploration, int, Sequence[int]], AnchorBasedInstance]
+
+_PHASE_WALK = "walk"
+_PHASE_RUN = "run"
+_PHASE_DEEP = "deep"
+_PHASE_DONE = "done"
+
+
+def _route(ptree, u: int, target: int) -> List[int]:
+    """Node sequence from ``u`` (exclusive) to ``target`` (inclusive)
+    through the explored tree."""
+    if u == target:
+        return []
+    pu = ptree.path_from_root(u)
+    pt = ptree.path_from_root(target)
+    common = 0
+    limit = min(len(pu), len(pt))
+    while common < limit and pu[common] == pt[common]:
+        common += 1
+    lca_index = common - 1
+    up_part = pu[lca_index:-1]  # nodes visited while ascending
+    up_part.reverse()
+    return up_part + pt[lca_index + 1 :]
+
+
+class DivideDepthInstance(AnchorBasedInstance):
+    """One run of ``D[A(k*, k', d'); n_team; n_iter]`` on ``T(root)``."""
+
+    def __init__(
+        self,
+        expl: Exploration,
+        root: int,
+        robots: Sequence[int],
+        k_star: int,
+        n_team: int,
+        n_iter: int,
+        child_depth_budget: int,
+        child_builder: ChildBuilder,
+    ):
+        depth_limit = expl.ptree.node_depth(root) + n_iter * child_depth_budget
+        super().__init__(root, robots, k_star, depth_limit)
+        self.n_team = n_team
+        self.n_iter = n_iter
+        self.child_depth_budget = child_depth_budget
+        self.child_builder = child_builder
+
+        self.iteration = 0
+        self.children: List[AnchorBasedInstance] = []
+        self.iterations_done = False
+        self._phase = _PHASE_RUN
+        self._teams: Dict[int, List[int]] = {}
+        self._walk_routes: Dict[int, List[int]] = {}
+        self._waiting: Set[int] = set()
+        self._start_iteration(expl, [root])
+
+    # ------------------------------------------------------------------
+    def _is_inside(self, ptree, u: int, r: int, r_depth: int) -> bool:
+        """True when ``u`` lies in ``T(r)`` (in the explored tree)."""
+        while ptree.node_depth(u) > r_depth:
+            u = ptree.parent(u)
+        return u == r
+
+    def _start_iteration(self, expl: Exploration, roots: Sequence[int]) -> None:
+        """Lines 5–13 of Algorithm 3: form the teams and send them walking."""
+        ptree = expl.ptree
+        self.iteration += 1
+        self.children = []
+        self._teams = {}
+        self._walk_routes = {}
+        self._waiting = set()
+        k_prime = max(1, len(self.robots) // self.n_team)
+
+        # Robots already inside a subtree are forced members of its team.
+        depth_of = {r: ptree.node_depth(r) for r in roots}
+        free: List[int] = []
+        for i in self.robots:
+            u = expl.positions[i]
+            home = None
+            for r in roots:
+                if u == r or self._is_inside(ptree, u, r, depth_of[r]):
+                    home = r
+                    break
+            if home is None:
+                free.append(i)
+            else:
+                self._teams.setdefault(home, []).append(i)
+
+        # Fill every team up to k' with free robots (they will walk).
+        free_iter = iter(free)
+        assigned_free: Dict[int, List[int]] = {}
+        for r in roots:
+            team = self._teams.setdefault(r, [])
+            fills = []
+            while len(team) + len(fills) < k_prime:
+                i = next(free_iter, None)
+                if i is None:
+                    break
+                fills.append(i)
+            assigned_free[r] = fills
+            team.extend(fills)
+        self._waiting = set(free_iter)  # leftover robots wait in place
+
+        # Walking routes for the newly assigned robots.
+        for r, fills in assigned_free.items():
+            for i in fills:
+                route = _route(ptree, expl.positions[i], r)
+                if route:
+                    self._walk_routes[i] = route
+        self._phase = _PHASE_WALK
+        if not self._walk_routes:
+            self._build_children(expl)
+
+    def _build_children(self, expl: Exploration) -> None:
+        self.children = [
+            self.child_builder(expl, r, team) for r, team in sorted(self._teams.items())
+        ]
+        self._phase = _PHASE_RUN if self.iteration <= self.n_iter else _PHASE_DEEP
+
+    # ------------------------------------------------------------------
+    def refresh(self, expl: Exploration) -> None:
+        """Advance iteration boundaries *before* activity is sampled, so a
+        parent never observes the transient dip at an interruption."""
+        if self._phase not in (_PHASE_RUN, _PHASE_DEEP):
+            return
+        for child in self.children:
+            refresh = getattr(child, "refresh", None)
+            if refresh is not None:
+                refresh(expl)
+        if self._phase != _PHASE_RUN:
+            return
+        total = sum(child.active_count for child in self.children)
+        if total >= self.k_star:
+            return
+        # Interruption (line 15's while loop exits).
+        if self.iteration >= self.n_iter:
+            self.iterations_done = True
+            self._phase = _PHASE_DEEP  # line 20: keep running the instances
+            return
+        claims: Set[int] = set()
+        for child in self.children:
+            claims.update(child.anchor_claims(expl))
+        if not claims:
+            self.iterations_done = True
+            self._phase = _PHASE_DONE
+            return
+        self._start_iteration(expl, sorted(claims))
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        expl: Exploration,
+        moves: Dict[int, Move],
+        movable: Set[int],
+    ) -> None:
+        self.refresh(expl)
+        ptree = expl.ptree
+        if self._phase == _PHASE_WALK:
+            if self._walk_routes:
+                done_walking = []
+                for i, route in self._walk_routes.items():
+                    if i not in movable:
+                        continue
+                    nxt = route.pop(0)
+                    moves[i] = (
+                        UP if ptree.parent(expl.positions[i]) == nxt else down(nxt)
+                    )
+                    if not route:
+                        done_walking.append(i)
+                for i in done_walking:
+                    del self._walk_routes[i]
+                return
+            # All walkers arrived (their last moves are applied by now):
+            # build the child instances and fall through to run them.
+            self._build_children(expl)
+        if self._phase in (_PHASE_RUN, _PHASE_DEEP):
+            for child in self.children:
+                child.select(expl, moves, movable)
+        for i in self._waiting:
+            if i in movable:
+                moves.setdefault(i, STAY)
+
+    # ------------------------------------------------------------------
+    def route_events(self, expl: Exploration, events: Sequence[RevealEvent]) -> None:
+        for child in self.children:
+            child.route_events(expl, events)
+
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        if self._phase == _PHASE_WALK:
+            # All team members count as active while rebalancing: they hold
+            # anchors at the iteration roots (Shallow Activity).
+            return sum(len(team) for team in self._teams.values())
+        if self._phase == _PHASE_DONE:
+            return 0
+        return sum(child.active_count for child in self.children)
+
+    def anchor_claims(self, expl: Exploration) -> List[int]:
+        claims: Set[int] = set()
+        for child in self.children:
+            claims.update(child.anchor_claims(expl))
+        return sorted(claims)

@@ -1,0 +1,129 @@
+"""Run-time validation of the Appendix B anchor-based invariants.
+
+Wraps a :class:`~repro.core.recursive.bfdn_ell.BFDNEll` run and, each
+round, checks the invariants that carry the Section 5 analysis:
+
+* **DFS Open Coverage** — every open node lies on the root-path of some
+  robot's position (``open ⊆ ∪ P_T[u_i]``);
+* **Parallel Positions** — for any two robots, every strict ancestor of
+  their LCA is closed;
+* **working-depth monotonicity** — the global minimum open depth never
+  decreases.
+
+(The remaining invariants — Limited Anchor Depth, Inactive Depth, Shallow
+Activity — are asserted at the functor level in the unit tests, where the
+anchor/activity bookkeeping is directly visible.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ...sim.engine import Exploration, ExplorationAlgorithm, Move
+from ...trees.partial import RevealEvent
+from .bfdn_ell import BFDNEll
+
+
+class AnchorInvariantViolation(AssertionError):
+    """An Appendix B invariant failed during a recursive run."""
+
+
+class ValidatedBFDNEll(ExplorationAlgorithm):
+    """``BFDN_ell`` with per-round Appendix B invariant checks.
+
+    O(n) per round — use in tests, not benchmarks.
+    """
+
+    def __init__(self, ell: int):
+        self.inner = BFDNEll(ell)
+        self.name = f"validated({self.inner.name})"
+        self._last_working_depth = -1
+
+    # ------------------------------------------------------------------
+    def attach(self, expl: Exploration) -> None:
+        self._last_working_depth = -1
+        self.inner.attach(expl)
+
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        return self.inner.select_moves(expl, movable)
+
+    def observe(self, expl: Exploration, events: Sequence[RevealEvent]) -> None:
+        self.inner.observe(expl, events)
+        self._check(expl)
+
+    # ------------------------------------------------------------------
+    def _fail(self, expl: Exploration, message: str) -> None:
+        raise AnchorInvariantViolation(f"round {expl.round}: {message}")
+
+    def _check(self, expl: Exploration) -> None:
+        ptree = expl.ptree
+        depth = ptree.min_open_depth
+        if depth is not None:
+            if depth < self._last_working_depth:
+                self._fail(
+                    expl,
+                    f"working depth decreased "
+                    f"{self._last_working_depth} -> {depth}",
+                )
+            self._last_working_depth = depth
+        self._check_dfs_open_coverage(expl)
+        self._check_parallel_positions(expl)
+
+    def _check_dfs_open_coverage(self, expl: Exploration) -> None:
+        """Open nodes lie on some robot's root-path."""
+        ptree = expl.ptree
+        on_paths: Set[int] = set()
+        for p in expl.positions:
+            v = p
+            while v != -1 and v not in on_paths:
+                on_paths.add(v)
+                v = ptree.parent(v)
+        # Scan explored nodes for open ones (validator is O(n) by design).
+        for v in list(ptree.explored_nodes()):
+            if ptree.is_open(v) and v not in on_paths:
+                self._fail(
+                    expl,
+                    f"open node {v} (depth {ptree.node_depth(v)}) is on no "
+                    f"robot's root-path",
+                )
+
+    def _check_parallel_positions(self, expl: Exploration) -> None:
+        """Strict ancestors of any two robots' LCA are closed.
+
+        Equivalent single pass: every open node has at most one *strict*
+        descendant subtree containing robots below it... we check the
+        direct form on the robot pairs' LCAs (k is small).
+        """
+        ptree = expl.ptree
+        k = expl.k
+        for i in range(k):
+            for j in range(i + 1, k):
+                lca = self._lca(ptree, expl.positions[i], expl.positions[j])
+                v = ptree.parent(lca)
+                while v != -1:
+                    if ptree.is_open(v):
+                        self._fail(
+                            expl,
+                            f"open strict ancestor {v} of LCA({i}, {j}) = {lca}",
+                        )
+                    v = ptree.parent(v)
+
+    @staticmethod
+    def _lca(ptree, a: int, b: int) -> int:
+        da, db = ptree.node_depth(a), ptree.node_depth(b)
+        while da > db:
+            a = ptree.parent(a)
+            da -= 1
+        while db > da:
+            b = ptree.parent(b)
+            db -= 1
+        while a != b:
+            a = ptree.parent(a)
+            b = ptree.parent(b)
+        return a
+
+    # ------------------------------------------------------------------
+    @property
+    def stage(self) -> int:
+        """Depth-schedule index of the wrapped instance."""
+        return self.inner.stage

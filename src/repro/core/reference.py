@@ -1,0 +1,98 @@
+"""A direct, deliberately naive transliteration of Algorithm 1.
+
+``ReferenceBFDN`` re-reads the pseudo-code line by line each round with
+no incremental data structures: ``Reanchor`` recomputes the candidate set
+``U`` by scanning every explored node, loads are recounted from the
+anchor array, and the dangling-and-unselected check walks the selected
+set.  It is O(n) per robot per round — far too slow for benchmarks, and
+exactly as simple as the paper's listing.
+
+Its purpose is *differential testing*: the optimised
+:class:`~repro.core.bfdn.BFDN` must produce the identical move sequence
+on every tree (see ``tests/test_differential.py``).  Any divergence means
+one of the two strayed from Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.engine import STAY, UP, Exploration, ExplorationAlgorithm, Move, down, explore
+
+
+class ReferenceBFDN(ExplorationAlgorithm):
+    """Algorithm 1, transliterated with no optimisations."""
+
+    name = "BFDN-reference"
+
+    def __init__(self) -> None:
+        self._anchors: List[int] = []
+        self._stacks: List[List[int]] = []
+
+    def attach(self, expl: Exploration) -> None:
+        root = expl.tree.root
+        self._anchors = [root] * expl.k  # line 2
+        self._stacks = [[] for _ in range(expl.k)]  # line 3
+
+    # ------------------------------------------------------------------
+    def _candidate_set(self, expl: Exploration) -> Set[int]:
+        """Line 26: U = explored nodes adjacent to a dangling edge with
+        minimal depth — recomputed from scratch by full scan."""
+        ptree = expl.ptree
+        open_nodes = [v for v in ptree.explored_nodes() if ptree.dangling_ports(v)]
+        if not open_nodes:
+            return set()
+        min_depth = min(ptree.node_depth(v) for v in open_nodes)
+        return {v for v in open_nodes if ptree.node_depth(v) == min_depth}
+
+    def _reanchor(self, expl: Exploration, i: int) -> None:
+        """Procedure REANCHOR (lines 25–30), recomputing loads each call."""
+        candidates = self._candidate_set(expl)
+        if candidates:
+            loads = {v: 0 for v in candidates}
+            for anchor in self._anchors:  # line 28's n_v, recounted
+                if anchor in loads:
+                    loads[anchor] += 1
+            self._anchors[i] = min(candidates, key=lambda v: (loads[v], v))
+            # Line 8: stack the edges that lead to the anchor.
+            path = expl.ptree.path_from_root(self._anchors[i])
+            self._stacks[i] = list(reversed(path[1:]))
+        else:
+            self._anchors[i] = expl.tree.root  # line 30
+            self._stacks[i] = []
+
+    # ------------------------------------------------------------------
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        root = expl.tree.root
+        ptree = expl.ptree
+        moves: Dict[int, Move] = {}
+        selected_edges: Set[Tuple[int, int]] = set()
+        for i in sorted(movable):  # line 5 (sequential decisions)
+            if expl.positions[i] == root:  # line 6
+                self._reanchor(expl, i)  # line 7
+            if self._stacks[i]:  # line 9
+                # Procedure BF (lines 16–17): unstack one edge.
+                moves[i] = down(self._stacks[i].pop())
+            else:
+                # Procedure DN (lines 19–23).
+                u = expl.positions[i]
+                unselected = [
+                    port
+                    for port in sorted(ptree.dangling_ports(u))
+                    if (u, port) not in selected_edges
+                ]
+                if unselected:  # line 20
+                    port = unselected[0]
+                    selected_edges.add((u, port))
+                    moves[i] = explore(port)  # line 21
+                elif u == root:
+                    moves[i] = STAY  # line 23: up at the root is bottom
+                else:
+                    moves[i] = UP  # line 23
+        return moves
+
+    # ------------------------------------------------------------------
+    @property
+    def anchors(self) -> List[int]:
+        """Current anchors (compared against the fast implementation)."""
+        return list(self._anchors)

@@ -1,0 +1,49 @@
+"""The balls-in-urns game of Section 3 and its resource-allocation
+interpretation."""
+
+from .adversaries import (
+    DPAdversary,
+    FreshUrnAdversary,
+    GreedyAdversary,
+    MinLoadAdversary,
+    RandomAdversary,
+    UrnAdversary,
+)
+from .allocation import POLICIES, AllocationResult, run_allocation
+from .board import UrnBoard
+from .minimax import balanced_is_optimal, minimax_from, minimax_value
+from .optimal import game_value, game_value_table, verify_lemma4
+from .play import GameRecord, play_game
+from .players import (
+    BalancedPlayer,
+    FixedTargetPlayer,
+    GreedyWorstPlayer,
+    RandomPlayer,
+    UrnPlayer,
+)
+
+__all__ = [
+    "UrnBoard",
+    "UrnPlayer",
+    "BalancedPlayer",
+    "GreedyWorstPlayer",
+    "RandomPlayer",
+    "FixedTargetPlayer",
+    "UrnAdversary",
+    "GreedyAdversary",
+    "DPAdversary",
+    "FreshUrnAdversary",
+    "RandomAdversary",
+    "MinLoadAdversary",
+    "play_game",
+    "GameRecord",
+    "game_value",
+    "game_value_table",
+    "verify_lemma4",
+    "minimax_value",
+    "minimax_from",
+    "balanced_is_optimal",
+    "run_allocation",
+    "AllocationResult",
+    "POLICIES",
+]

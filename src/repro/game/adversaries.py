@@ -1,0 +1,129 @@
+"""Adversary (ball-picker) strategies for the balls-in-urns game.
+
+Lemma 4 of the paper shows a strategic adversary always prefers option (a)
+— re-picking an urn it has already chosen — whenever a ball lies outside
+``U_t``, and otherwise empties the most loaded urn of ``U_t`` (removing
+``ceil(N/u)`` balls' worth of budget).  :class:`GreedyAdversary` implements
+exactly that; the DP in :mod:`repro.game.optimal` certifies it is optimal
+against the balanced player.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from .board import UrnBoard
+
+
+class UrnAdversary(ABC):
+    """Chooses the source urn ``a_t`` each step (must be non-empty)."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def choose(self, board: UrnBoard) -> int:
+        """The urn the ball is removed from."""
+
+
+class GreedyAdversary(UrnAdversary):
+    """The optimal play from Lemma 4.
+
+    Option (a) whenever available: pick a previously-chosen urn holding a
+    ball.  Otherwise option (b): pick the most loaded urn of ``U_t``
+    (maximising the balls expelled from ``U``, i.e. minimising ``N_{t+1}``,
+    which is best since ``R(., u)`` is non-increasing).
+    """
+
+    name = "greedy"
+
+    def choose(self, board: UrnBoard) -> int:
+        chosen_with_balls = [i for i in board.chosen if board.loads[i] >= 1]
+        if chosen_with_balls:
+            return min(chosen_with_balls)  # any one works; deterministic
+        unchosen = board.unchosen
+        return max(unchosen, key=lambda i: (board.loads[i], -i))
+
+
+class FreshUrnAdversary(UrnAdversary):
+    """Ablation: always burns a fresh urn (option (b)) — provably
+    suboptimal, ends the game in at most ``~k`` steps."""
+
+    name = "fresh-urn"
+
+    def choose(self, board: UrnBoard) -> int:
+        unchosen = [i for i in board.unchosen if board.loads[i] >= 1]
+        if unchosen:
+            return min(unchosen)
+        legal = board.legal_adversary_moves()
+        return min(legal)
+
+
+class RandomAdversary(UrnAdversary):
+    """Uniform choice among non-empty urns."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, board: UrnBoard) -> int:
+        return self._rng.choice(board.legal_adversary_moves())
+
+
+class MinLoadAdversary(UrnAdversary):
+    """Ablation: drains the least-loaded non-empty urn."""
+
+    name = "min-load"
+
+    def choose(self, board: UrnBoard) -> int:
+        legal = board.legal_adversary_moves()
+        return min(legal, key=lambda i: (board.loads[i], i))
+
+
+class DPAdversary(UrnAdversary):
+    """The provably optimal adversary, reading moves off the ``R(N, u)``
+    table of :mod:`repro.game.optimal`.
+
+    At each step it evaluates both options of the recursion — re-pick a
+    chosen urn (option (a)) when a ball lies outside ``U``, or burn a
+    fresh urn (option (b)) — and picks the branch with the larger
+    remaining value.  Against the balanced player its game length equals
+    ``R`` exactly, which certifies :class:`GreedyAdversary` (Lemma 4's
+    "option (a) first" rule) empirically.
+    """
+
+    name = "dp-optimal"
+
+    def __init__(self, k: int, delta: int):
+        from .optimal import game_value_table
+
+        self._table = game_value_table(k, delta)
+        self.k = k
+
+    def choose(self, board: UrnBoard) -> int:
+        unchosen = board.unchosen
+        n_in_u = sum(board.loads[i] for i in unchosen)
+        u = len(unchosen)
+        best_value = -1
+        best_urn: int = -1
+        # Option (a): any previously chosen urn with a ball.
+        chosen_with_balls = [i for i in board.chosen if board.loads[i] >= 1]
+        if chosen_with_balls:
+            value = self._table[u][min(n_in_u + 1, self.k)]
+            if value > best_value:
+                best_value = value
+                best_urn = min(chosen_with_balls)
+        # Option (b): each unchosen urn (distinct loads matter).
+        for i in sorted(unchosen):
+            if board.loads[i] < 1:
+                continue
+            next_n = min(n_in_u - board.loads[i] + 1, self.k)
+            value = self._table[u - 1][next_n] if u >= 1 else 0
+            if value > best_value:
+                best_value = value
+                best_urn = i
+        if best_urn < 0:
+            return min(board.legal_adversary_moves())
+        return best_urn

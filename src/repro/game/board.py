@@ -1,0 +1,110 @@
+"""The two-player zero-sum balls-in-urns game (Section 3.1).
+
+The board is a list of ``k`` urn loads summing to ``k`` (initially one
+ball per urn).  At each step the adversary removes a ball from a non-empty
+urn ``a_t``; the player places it into an urn ``b_t`` of its choice among
+the urns never selected by the adversary.  ``U_t`` is the set of urns never
+chosen by the adversary; the game stops when every urn of ``U_t`` holds at
+least ``Delta`` balls (vacuously when ``U_t`` is empty).
+
+Theorem 3: the balanced player ends any game within
+``k * min(log Delta, log k) + 2k`` steps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Set
+
+
+class UrnBoard:
+    """Mutable game state.
+
+    Parameters
+    ----------
+    k:
+        Number of urns (and balls).
+    delta:
+        The stopping threshold ``Delta``; when ``delta >= k`` the game
+        only stops once every urn has been chosen by the adversary.
+    loads:
+        Optional initial loads (defaults to one ball per urn).  The
+        BFDN reduction (Section 3.2) starts from a board with one urn
+        holding ``k - u`` balls and ``u`` urns holding one ball each.
+    chosen:
+        Urns considered already chosen by the adversary at start.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        delta: int,
+        loads: Optional[Sequence[int]] = None,
+        chosen: Optional[Set[int]] = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if delta < 1:
+            raise ValueError("delta must be >= 1")
+        self.k = k
+        self.delta = delta
+        if loads is None:
+            self.loads: List[int] = [1] * k
+        else:
+            if len(loads) != k:
+                raise ValueError("loads must have length k")
+            if any(x < 0 for x in loads):
+                raise ValueError("loads must be non-negative")
+            self.loads = list(loads)
+        self.total = sum(self.loads)
+        self.chosen: Set[int] = set(chosen or ())
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def unchosen(self) -> Set[int]:
+        """``U_t``: urns never selected by the adversary."""
+        return set(range(self.k)) - self.chosen
+
+    def is_over(self) -> bool:
+        """All urns of ``U_t`` hold at least ``Delta`` balls."""
+        return all(self.loads[i] >= self.delta for i in self.unchosen)
+
+    def legal_adversary_moves(self) -> List[int]:
+        """Non-empty urns the adversary may pick from."""
+        return [i for i in range(self.k) if self.loads[i] >= 1]
+
+    def legal_player_moves(self, a: int) -> List[int]:
+        """Urns the player may move the ball to: urns never chosen by the
+        adversary (``a`` excluded since it has just been chosen)."""
+        return [i for i in range(self.k) if i not in self.chosen and i != a]
+
+    # ------------------------------------------------------------------
+    def step(self, a: int, b: int) -> None:
+        """Apply one (adversary, player) move pair.
+
+        The player must place the ball into a never-chosen urn whenever one
+        exists; when the adversary has just chosen the last unchosen urn the
+        placement is irrelevant (the game ends) and any urn is accepted.
+        """
+        if self.loads[a] < 1:
+            raise ValueError(f"urn {a} is empty")
+        self.chosen.add(a)
+        if b in self.chosen and any(
+            i not in self.chosen for i in range(self.k)
+        ):
+            raise ValueError(f"urn {b} was already chosen by the adversary")
+        self.loads[a] -= 1
+        self.loads[b] += 1
+        self.steps += 1
+
+    # ------------------------------------------------------------------
+    def theorem3_bound(self) -> float:
+        """``k min(log Delta, log k) + 2k`` (natural logarithms)."""
+        return self.k * min(math.log(self.delta), math.log(self.k)) + 2 * self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UrnBoard(k={self.k}, delta={self.delta}, steps={self.steps}, "
+            f"|U|={len(self.unchosen)}, loads={self.loads})"
+        )

@@ -1,0 +1,92 @@
+"""Exact value of the balls-in-urns game against the balanced player.
+
+The paper's proof of Theorem 3 introduces ``R(N, u)``: the largest number
+of steps the game may still last once the balanced player's move has led to
+a configuration with ``N`` balls in the never-chosen set ``U`` and
+``u = |U|``.  Equations (1)–(2):
+
+* ``R(N, u) = 0``                         when ``Delta * u - N <= 0``;
+* ``N < k``:  ``R = 1 + max(R(N+1, u), R(N - ceil(N/u) + 1, u-1),
+  R(N - floor(N/u) + 1, u-1))``;
+* ``N == k``: ``R = 1 + max(R(N - ceil(N/u) + 1, u-1),
+  R(N - floor(N/u) + 1, u-1))``.
+
+The full game (all ``k`` urns unchosen, one ball each) lasts exactly
+``R(k, k)`` against an optimal adversary.  Lemma 4 proves the maximum in
+the ``N < k`` case is always the first branch, which this module verifies
+numerically (:func:`verify_lemma4`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+
+def game_value_table(k: int, delta: int) -> List[List[int]]:
+    """The full ``R`` table: ``table[u][N]`` for ``0 <= u, N <= k``.
+
+    Filled iteratively (``u`` ascending, ``N`` descending) since ``R(N,u)``
+    depends only on ``R(N+1, u)`` and ``R(., u-1)``.
+    """
+    if k < 1 or delta < 1:
+        raise ValueError("k >= 1 and delta >= 1 required")
+    table = [[0] * (k + 1) for _ in range(k + 1)]
+    for u in range(1, k + 1):
+        prev = table[u - 1]
+        row = table[u]
+        for n in range(k, -1, -1):
+            if delta * u - n <= 0:
+                row[n] = 0
+                continue
+            ceil_drop = n - math.ceil(n / u) + 1
+            floor_drop = n - (n // u) + 1
+            best = max(prev[min(ceil_drop, k)], prev[min(floor_drop, k)])
+            if n < k:
+                best = max(best, row[n + 1])
+            row[n] = 1 + best
+    return table
+
+
+def game_value(k: int, delta: int, balls_in_u: int = -1, u: int = -1) -> int:
+    """Exact game length against the balanced player from a configuration.
+
+    With the default arguments this is the value of the *standard* start
+    (``N = u = k``), i.e. the optimal-adversary game length.  Pass
+    ``balls_in_u`` and ``u`` for the modified initial condition of
+    Section 3.2 (``u`` candidate anchors holding one robot each).
+    """
+    if balls_in_u < 0:
+        balls_in_u = k
+    if u < 0:
+        u = k
+    if not (0 <= balls_in_u <= k and 0 <= u <= k):
+        raise ValueError("need 0 <= balls_in_u, u <= k")
+    return game_value_table(k, delta)[u][balls_in_u]
+
+
+def verify_lemma4(k: int, delta: int) -> bool:
+    """Numerically check the two statements of Lemma 4 on the ``R`` table:
+
+    i)  ``N -> R(N, u)`` is non-increasing, and
+    ii) for ``N < k`` (with ``Delta u - N > 0``) the maximum of (1) is
+        achieved by the option-(a) branch ``R(N + 1, u)``.
+    """
+    table = game_value_table(k, delta)
+    for u in range(0, k + 1):
+        row = table[u]
+        for n in range(k):
+            if row[n] < row[n + 1]:
+                return False
+        if u == 0:
+            continue
+        prev = table[u - 1]
+        for n in range(k):
+            if delta * u - n <= 0:
+                continue
+            ceil_drop = n - math.ceil(n / u) + 1
+            floor_drop = n - (n // u) + 1
+            option_b = max(prev[min(ceil_drop, k)], prev[min(floor_drop, k)])
+            if row[n + 1] < option_b:
+                return False
+    return True

@@ -1,0 +1,62 @@
+"""Game runner for the balls-in-urns game."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .adversaries import UrnAdversary
+from .board import UrnBoard
+from .players import UrnPlayer
+
+
+@dataclass
+class GameRecord:
+    """A full play-out of the game."""
+
+    k: int
+    delta: int
+    steps: int
+    bound: float
+    history: List[Tuple[int, int]] = field(default_factory=list)
+    final_loads: List[int] = field(default_factory=list)
+
+    @property
+    def within_bound(self) -> bool:
+        """Did the game respect Theorem 3's bound?  (Only guaranteed when
+        the player is the balanced player.)"""
+        return self.steps <= self.bound
+
+
+def play_game(
+    board: UrnBoard,
+    adversary: UrnAdversary,
+    player: UrnPlayer,
+    max_steps: Optional[int] = None,
+    record_history: bool = False,
+) -> GameRecord:
+    """Play the game to completion and return the record.
+
+    ``max_steps`` guards against non-terminating ablation match-ups (e.g. a
+    bad player against a patient adversary); it defaults to ``8 k^2 + 64``,
+    far above Theorem 3's ``k log k + 2k``.
+    """
+    cap = max_steps if max_steps is not None else 8 * board.k * board.k + 64
+    history: List[Tuple[int, int]] = []
+    while not board.is_over():
+        if board.steps >= cap:
+            break
+        a = adversary.choose(board)
+        legal = [i for i in range(board.k) if i not in board.chosen and i != a]
+        b = player.choose(board, a) if legal else a
+        board.step(a, b)
+        if record_history:
+            history.append((a, b))
+    return GameRecord(
+        k=board.k,
+        delta=board.delta,
+        steps=board.steps,
+        bound=board.theorem3_bound(),
+        history=history,
+        final_loads=list(board.loads),
+    )

@@ -1,0 +1,78 @@
+"""Player (urn-chooser) strategies for the balls-in-urns game.
+
+The paper's player is :class:`BalancedPlayer`: put the ball into the
+least-loaded urn among those never chosen by the adversary.  Theorem 3
+bounds its game length by ``k min(log Delta, log k) + 2k``.  The other
+strategies are ablations showing that balancing is necessary.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from .board import UrnBoard
+
+
+class UrnPlayer(ABC):
+    """Chooses the destination urn ``b_t`` after the adversary's pick."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def choose(self, board: UrnBoard, a: int) -> int:
+        """Destination urn for the ball removed from urn ``a``."""
+
+
+class BalancedPlayer(UrnPlayer):
+    """The paper's strategy: least-loaded never-chosen urn
+    (``b_t in argmin_{i in U \\ {a_t}} n_i``, ties to the lowest index)."""
+
+    name = "balanced"
+
+    def choose(self, board: UrnBoard, a: int) -> int:
+        candidates = board.legal_player_moves(a)
+        if not candidates:
+            raise ValueError("no legal player move: the game should be over")
+        return min(candidates, key=lambda i: (board.loads[i], i))
+
+
+class GreedyWorstPlayer(UrnPlayer):
+    """Ablation: always refill the *most* loaded unchosen urn, keeping the
+    others starved — the opposite of the paper's strategy."""
+
+    name = "most-loaded"
+
+    def choose(self, board: UrnBoard, a: int) -> int:
+        candidates = board.legal_player_moves(a)
+        if not candidates:
+            raise ValueError("no legal player move: the game should be over")
+        return max(candidates, key=lambda i: (board.loads[i], -i))
+
+
+class RandomPlayer(UrnPlayer):
+    """Ablation: uniform choice among never-chosen urns."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, board: UrnBoard, a: int) -> int:
+        candidates = board.legal_player_moves(a)
+        if not candidates:
+            raise ValueError("no legal player move: the game should be over")
+        return self._rng.choice(candidates)
+
+
+class FixedTargetPlayer(UrnPlayer):
+    """Ablation: dump every ball into the lowest-indexed legal urn."""
+
+    name = "fixed-target"
+
+    def choose(self, board: UrnBoard, a: int) -> int:
+        candidates = board.legal_player_moves(a)
+        if not candidates:
+            raise ValueError("no legal player move: the game should be over")
+        return min(candidates)

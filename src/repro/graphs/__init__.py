@@ -1,0 +1,28 @@
+"""Graph substrate and graph exploration (Section 4.3)."""
+
+from .exploration import (
+    GraphBFDN,
+    GraphExploration,
+    GraphExplorationResult,
+    proposition9_bound,
+    run_graph_bfdn,
+)
+from .graph import Graph
+from .grid import GridGraph, Obstacle, is_manhattan, random_obstacle_grid
+from .mazes import braided_maze, maze_stats, perfect_maze
+
+__all__ = [
+    "Graph",
+    "GridGraph",
+    "Obstacle",
+    "is_manhattan",
+    "random_obstacle_grid",
+    "GraphExploration",
+    "GraphBFDN",
+    "GraphExplorationResult",
+    "run_graph_bfdn",
+    "proposition9_bound",
+    "perfect_maze",
+    "braided_maze",
+    "maze_stats",
+]

@@ -1,0 +1,130 @@
+"""Grid graphs with rectangular obstacles (Ortolf–Schindelhauer [12]).
+
+The setting the paper cites as a natural application of Proposition 9:
+robots explore the free cells of a ``width x height`` grid from the corner
+``(0, 0)``, with axis-aligned rectangular obstacles removed.  When no
+obstacle shadows a cell, the distance to the origin is the Manhattan
+distance ``i + j``; :func:`is_manhattan` checks whether a given instance
+has this property (Proposition 9 itself only needs the generic BFS
+oracle, which :class:`~repro.graphs.graph.Graph` always provides).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """An axis-aligned rectangle of blocked cells (inclusive bounds)."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x0 > self.x1 or self.y0 > self.y1:
+            raise ValueError("empty obstacle rectangle")
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+
+class GridGraph(Graph):
+    """The free-cell graph of a rectangular grid with obstacles.
+
+    Cells are 4-connected; the origin is ``(0, 0)`` which must be free,
+    and the free region must be connected.
+    """
+
+    def __init__(self, width: int, height: int, obstacles: Sequence[Obstacle] = ()):
+        if width < 1 or height < 1:
+            raise ValueError("width and height must be >= 1")
+        self.width = width
+        self.height = height
+        self.obstacles = list(obstacles)
+
+        def blocked(x: int, y: int) -> bool:
+            return any(o.contains(x, y) for o in self.obstacles)
+
+        if blocked(0, 0):
+            raise ValueError("the origin cell (0, 0) must be free")
+
+        self._cell_of: List[Tuple[int, int]] = []
+        self._id_of: Dict[Tuple[int, int], int] = {}
+        for y in range(height):
+            for x in range(width):
+                if not blocked(x, y):
+                    self._id_of[(x, y)] = len(self._cell_of)
+                    self._cell_of.append((x, y))
+
+        edges = []
+        for (x, y), u in self._id_of.items():
+            for dx, dy in ((1, 0), (0, 1)):
+                v = self._id_of.get((x + dx, y + dy))
+                if v is not None:
+                    edges.append((u, v))
+        super().__init__(len(self._cell_of), edges, origin=self._id_of[(0, 0)])
+
+    # ------------------------------------------------------------------
+    def cell(self, v: int) -> Tuple[int, int]:
+        """Grid coordinates of node ``v``."""
+        return self._cell_of[v]
+
+    def node_at(self, x: int, y: int) -> Optional[int]:
+        """Node id of the free cell ``(x, y)``, or None when blocked."""
+        return self._id_of.get((x, y))
+
+    def manhattan(self, v: int) -> int:
+        """``i + j`` for the cell of ``v``."""
+        x, y = self._cell_of[v]
+        return x + y
+
+
+def is_manhattan(grid: GridGraph) -> bool:
+    """True when every free cell's graph distance to the origin equals its
+    Manhattan distance (the property [12]'s instances enjoy)."""
+    return all(
+        grid.distance_to_origin(v) == grid.manhattan(v) for v in range(grid.n)
+    )
+
+
+def random_obstacle_grid(
+    width: int,
+    height: int,
+    num_obstacles: int,
+    max_side: int = 4,
+    seed: int = 0,
+    max_tries: int = 200,
+) -> GridGraph:
+    """A random connected grid instance with rectangular obstacles.
+
+    Obstacles are drawn uniformly (sides up to ``max_side``) and rejected
+    when they would block the origin or disconnect the free region.
+    """
+    rng = random.Random(seed)
+    obstacles: List[Obstacle] = []
+    for _ in range(max_tries):
+        if len(obstacles) >= num_obstacles:
+            break
+        x0 = rng.randrange(width)
+        y0 = rng.randrange(height)
+        o = Obstacle(
+            x0,
+            y0,
+            min(width - 1, x0 + rng.randrange(max_side)),
+            min(height - 1, y0 + rng.randrange(max_side)),
+        )
+        if o.contains(0, 0):
+            continue
+        try:
+            GridGraph(width, height, obstacles + [o])
+        except ValueError:
+            continue  # would disconnect the free region
+        obstacles.append(o)
+    return GridGraph(width, height, obstacles)

@@ -1,0 +1,89 @@
+"""Maze generators for graph exploration demos and benchmarks.
+
+A perfect maze (spanning tree of the grid) is the degenerate graph case —
+BFDN on it behaves like tree BFDN; knocking walls down adds cycles and
+exercises the backtrack-and-close rule at a controllable rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from .graph import Graph
+
+
+def perfect_maze(
+    width: int, height: int, seed: int = 0
+) -> Graph:
+    """A uniform-ish perfect maze: a random DFS spanning tree of the
+    ``width x height`` grid.  ``n = width*height`` nodes, ``n - 1`` edges,
+    origin at cell (0, 0)."""
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be >= 1")
+    rng = random.Random(seed)
+
+    def node(x: int, y: int) -> int:
+        return y * width + x
+
+    visited = {(0, 0)}
+    stack = [(0, 0)]
+    edges: List[Tuple[int, int]] = []
+    while stack:
+        x, y = stack[-1]
+        neighbours = [
+            (x + dx, y + dy)
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+            if 0 <= x + dx < width and 0 <= y + dy < height
+            and (x + dx, y + dy) not in visited
+        ]
+        if not neighbours:
+            stack.pop()
+            continue
+        nxt = rng.choice(neighbours)
+        visited.add(nxt)
+        edges.append((node(x, y), node(*nxt)))
+        stack.append(nxt)
+    return Graph(width * height, edges, origin=0)
+
+
+def braided_maze(
+    width: int, height: int, extra_passages: int, seed: int = 0
+) -> Graph:
+    """A perfect maze with ``extra_passages`` additional walls removed.
+
+    Each removed wall creates exactly one cycle, i.e. one edge the
+    closing rule of Proposition 9 must pay for — the knob for studying
+    how the non-tree surplus affects exploration.
+    """
+    if extra_passages < 0:
+        raise ValueError("extra_passages must be >= 0")
+    rng = random.Random(seed ^ 0x5EED)
+    base = perfect_maze(width, height, seed)
+    present: Set[Tuple[int, int]] = set(base.edges())
+
+    def node(x: int, y: int) -> int:
+        return y * width + x
+
+    candidates = []
+    for y in range(height):
+        for x in range(width):
+            for dx, dy in ((1, 0), (0, 1)):
+                if x + dx < width and y + dy < height:
+                    edge = tuple(sorted((node(x, y), node(x + dx, y + dy))))
+                    if edge not in present:
+                        candidates.append(edge)
+    rng.shuffle(candidates)
+    for edge in candidates[:extra_passages]:
+        present.add(edge)  # type: ignore[arg-type]
+    return Graph(width * height, sorted(present), origin=0)
+
+
+def maze_stats(graph: Graph) -> Dict[str, float]:
+    """Cycle surplus and eccentricity summary of a maze instance."""
+    return {
+        "nodes": graph.n,
+        "edges": graph.num_edges,
+        "cycles": graph.num_edges - (graph.n - 1),
+        "radius": graph.radius,
+    }

@@ -1,0 +1,147 @@
+"""High-level mission API: explore first, pick the algorithm for me.
+
+The paper's Figure 1 is, in practice, a decision chart: given rough prior
+knowledge of the instance shape ``(n, D)`` and the team size ``k``, it
+tells you which algorithm's guarantee is best.  :func:`plan_mission`
+automates that choice and :func:`run_mission` executes it, returning a
+structured report — the entry point for users who want "k robots, this
+tree, go" without reading Section 5.
+
+Selection rule (guarantee-driven, deterministic):
+
+* ``k == 1``                         → plain DFS (optimal);
+* BFDN's simplified guarantee best  → BFDN;
+* BFDN_ell's best (some ``ell >= 2``) → BFDN_ell with the best ``ell``;
+* otherwise (CTE / Yo* territory)   → CTE.
+
+``prefer_write_read=True`` swaps BFDN for its restricted-communication
+implementation (same bound, Proposition 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .baselines import CTE, OnlineDFS, offline_lower_bound
+from .bounds import (
+    bfdn_bound,
+    bfdn_ell_simplified,
+    bfdn_simplified,
+    cte_simplified,
+    max_ell,
+)
+from .core import BFDN, BFDNEll, WriteReadBFDN
+from .sim import ExplorationResult, Simulator
+from .trees.tree import Tree
+
+
+@dataclass
+class MissionPlan:
+    """The algorithm choice and its rationale."""
+
+    algorithm_name: str
+    ell: Optional[int]
+    rationale: str
+    expected_bound: float
+
+    def build(self, prefer_write_read: bool = False):
+        """Instantiate the chosen algorithm."""
+        if self.algorithm_name == "DFS":
+            return OnlineDFS()
+        if self.algorithm_name == "BFDN":
+            return WriteReadBFDN() if prefer_write_read else BFDN()
+        if self.algorithm_name == "BFDN_ell":
+            assert self.ell is not None
+            return BFDNEll(self.ell)
+        return CTE()
+
+
+@dataclass
+class MissionReport:
+    """Outcome of a full mission."""
+
+    plan: MissionPlan
+    result: ExplorationResult
+    n: int
+    depth: int
+    k: int
+
+    @property
+    def rounds(self) -> int:
+        return self.result.rounds
+
+    @property
+    def lower_bound(self) -> int:
+        return offline_lower_bound(self.n, self.depth, self.k)
+
+    @property
+    def efficiency(self) -> float:
+        """Offline lower bound over measured rounds (1.0 = optimal)."""
+        if self.result.rounds == 0:
+            return 1.0  # nothing to explore
+        return self.lower_bound / self.result.rounds
+
+    def summary(self) -> str:
+        return (
+            f"{self.plan.algorithm_name}"
+            f"{f'(ell={self.plan.ell})' if self.plan.ell else ''} explored "
+            f"n={self.n}, D={self.depth} with k={self.k} in "
+            f"{self.rounds} rounds (offline >= {self.lower_bound}; "
+            f"efficiency {self.efficiency:.2f}) — {self.plan.rationale}"
+        )
+
+
+def plan_mission(n: int, depth: int, k: int) -> MissionPlan:
+    """Choose the algorithm whose guarantee is best at ``(n, D, k)``."""
+    if n < 1 or depth < 0 or k < 1:
+        raise ValueError("need n >= 1, depth >= 0, k >= 1")
+    if k == 1:
+        return MissionPlan(
+            "DFS", None, "single robot: depth-first search is optimal",
+            2.0 * max(n - 1, 0),
+        )
+    d = float(max(depth, 1))
+    scores = {"BFDN": bfdn_simplified(n, d, k), "CTE": cte_simplified(n, d, k)}
+    best_ell, best_ell_score = None, math.inf
+    for ell in range(2, max(max_ell(k), 2) + 1):
+        if k ** (1 / ell) < 2:
+            break  # too few robots per team at this depth of recursion
+        score = bfdn_ell_simplified(n, d, k, ell)
+        if score < best_ell_score:
+            best_ell, best_ell_score = ell, score
+    if best_ell is not None:
+        scores["BFDN_ell"] = best_ell_score
+
+    winner = min(scores, key=scores.get)  # type: ignore[arg-type]
+    if winner == "BFDN":
+        return MissionPlan(
+            "BFDN", None,
+            "large n relative to D^2 log k: additive-overhead regime",
+            bfdn_bound(n, depth, k),
+        )
+    if winner == "BFDN_ell":
+        return MissionPlan(
+            "BFDN_ell", best_ell,
+            f"deep tree (D^2 > n/k^(1/{best_ell})): recursive depth-splitting",
+            best_ell_score,
+        )
+    return MissionPlan(
+        "CTE", None,
+        "depth-dominated instance: even-splitting guarantee wins",
+        scores["CTE"],
+    )
+
+
+def run_mission(
+    tree: Tree, k: int, prefer_write_read: bool = False
+) -> MissionReport:
+    """Plan and execute the exploration of ``tree`` with ``k`` robots."""
+    plan = plan_mission(tree.n, tree.depth, k)
+    algorithm = plan.build(prefer_write_read)
+    shared = plan.algorithm_name == "CTE"
+    result = Simulator(tree, algorithm, k, allow_shared_reveal=shared).run()
+    return MissionReport(
+        plan=plan, result=result, n=tree.n, depth=tree.depth, k=k
+    )

@@ -1,0 +1,66 @@
+"""Synchronous round-based simulation engine for collaborative exploration."""
+
+from .adversary import (
+    BreakdownAdversary,
+    NoBreakdowns,
+    RandomBreakdowns,
+    RoundRobinBreakdowns,
+    ScheduleAdversary,
+    TargetedBreakdowns,
+)
+from .engine import (
+    STAY,
+    UP,
+    Exploration,
+    ExplorationAlgorithm,
+    ExplorationResult,
+    Move,
+    MoveError,
+    Simulator,
+    down,
+    explore,
+)
+from .metrics import ExplorationMetrics, ReanchorRecord
+from .reactive import (
+    BlockDeepest,
+    BlockExplorers,
+    RandomReactive,
+    ReactiveAdversary,
+    ReactiveRunResult,
+    run_reactive,
+)
+from .timeseries import RoundSample, TimeSeries, TimeSeriesRecorder
+from .trace import Trace, TraceRecorder, replay
+
+__all__ = [
+    "Exploration",
+    "ExplorationAlgorithm",
+    "ExplorationResult",
+    "ExplorationMetrics",
+    "ReanchorRecord",
+    "Simulator",
+    "Move",
+    "MoveError",
+    "STAY",
+    "UP",
+    "down",
+    "explore",
+    "BreakdownAdversary",
+    "NoBreakdowns",
+    "RandomBreakdowns",
+    "RoundRobinBreakdowns",
+    "ScheduleAdversary",
+    "TargetedBreakdowns",
+    "Trace",
+    "TraceRecorder",
+    "replay",
+    "TimeSeries",
+    "TimeSeriesRecorder",
+    "RoundSample",
+    "ReactiveAdversary",
+    "ReactiveRunResult",
+    "BlockExplorers",
+    "BlockDeepest",
+    "RandomReactive",
+    "run_reactive",
+]

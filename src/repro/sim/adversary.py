@@ -1,0 +1,114 @@
+"""Break-down adversaries (Section 4.2 of the paper).
+
+An adversary decides, at each round ``t`` and for each robot ``i``, whether
+the robot is allowed to move (``M[t][i] = 1``) or is stalled at its current
+location.  The paper requires the schedule to contain finitely many 1s for
+the impossibility-of-return discussion, but for simulation we only need the
+schedule to *eventually* allow enough moves: Proposition 7 states that all
+edges are visited once the average number of allowed moves per robot
+reaches ``2n/k + D^2 (log k + 3)``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Set
+
+
+class BreakdownAdversary(ABC):
+    """Decides which robots may move at each round."""
+
+    #: Rounds after which the adversary stops interfering (all adversaries
+    #: here are finite-horizon so simulations terminate); the simulator
+    #: uses this to size its wall-clock safety cap.
+    horizon: int = 0
+
+    @abstractmethod
+    def allowed(self, round_: int, k: int) -> Set[int]:
+        """The set of robot indices allowed to move at ``round_``."""
+
+    def average_allowed(self, rounds: int, k: int) -> float:
+        """``A(M)`` restricted to the first ``rounds`` rounds: the average
+        number of allowed moves per robot."""
+        total = sum(len(self.allowed(t, k)) for t in range(rounds))
+        return total / k
+
+
+class NoBreakdowns(BreakdownAdversary):
+    """The standard synchronous model: everyone moves every round."""
+
+    def allowed(self, round_: int, k: int) -> Set[int]:
+        return set(range(k))
+
+
+class ScheduleAdversary(BreakdownAdversary):
+    """An explicit schedule: ``schedule[t]`` lists the robots allowed at
+    round ``t``; rounds beyond the schedule allow everyone (so simulations
+    terminate)."""
+
+    def __init__(self, schedule: Sequence[Sequence[int]]):
+        self._schedule: List[Set[int]] = [set(s) for s in schedule]
+        self.horizon = len(self._schedule)
+
+    def allowed(self, round_: int, k: int) -> Set[int]:
+        if round_ < len(self._schedule):
+            return {i for i in self._schedule[round_] if 0 <= i < k}
+        return set(range(k))
+
+
+class RandomBreakdowns(BreakdownAdversary):
+    """Each robot independently allowed with probability ``p`` each round,
+    for the first ``horizon`` rounds (everyone moves afterwards)."""
+
+    def __init__(self, p: float, horizon: int, seed: int = 0):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+        self._cache: List[Set[int]] = []
+
+    def allowed(self, round_: int, k: int) -> Set[int]:
+        if round_ >= self.horizon:
+            return set(range(k))
+        while len(self._cache) <= round_:
+            self._cache.append(
+                {i for i in range(k) if self._rng.random() < self.p}
+            )
+        return self._cache[round_]
+
+
+class RoundRobinBreakdowns(BreakdownAdversary):
+    """Blocks a rotating window of ``num_blocked`` robots each round, for
+    the first ``horizon`` rounds."""
+
+    def __init__(self, num_blocked: int, horizon: int):
+        if num_blocked < 0:
+            raise ValueError("num_blocked must be >= 0")
+        self.num_blocked = num_blocked
+        self.horizon = horizon
+
+    def allowed(self, round_: int, k: int) -> Set[int]:
+        if round_ >= self.horizon:
+            return set(range(k))
+        blocked = {(round_ + j) % k for j in range(min(self.num_blocked, k))}
+        return set(range(k)) - blocked
+
+
+class TargetedBreakdowns(BreakdownAdversary):
+    """Permanently blocks a fixed subset of robots for ``horizon`` rounds.
+
+    This is the adversary from the paper's remark that the ``log(Delta)``
+    refinement of Lemma 2 fails under break-downs: the adversary can pin
+    robots at a chosen anchor.
+    """
+
+    def __init__(self, blocked: Sequence[int], horizon: int):
+        self.blocked = set(blocked)
+        self.horizon = horizon
+
+    def allowed(self, round_: int, k: int) -> Set[int]:
+        if round_ >= self.horizon:
+            return set(range(k))
+        return set(range(k)) - self.blocked

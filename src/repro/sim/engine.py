@@ -1,0 +1,288 @@
+"""Synchronous round-based exploration engine.
+
+This is the paper's formal model (Section 2): at each round every robot
+selects an incident edge (or no move); all robots then move simultaneously
+and the partially explored tree is updated with the information brought
+back by robots that traversed dangling edges.
+
+Moves are small tuples:
+
+* ``STAY``               — do not move (the paper's ``\\bot``);
+* ``UP``                 — move to the parent (interpreted as ``STAY`` at the root);
+* ``("down", child)``    — move along an explored edge to ``child``;
+* ``("explore", port)``  — traverse the dangling ``port`` at the current node.
+
+The engine validates every move against the partial view, so an algorithm
+cannot accidentally use information it does not have.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..trees.partial import PartialTree, RevealEvent
+from ..trees.tree import Tree
+from .adversary import BreakdownAdversary, NoBreakdowns
+from .metrics import ExplorationMetrics
+
+Move = Tuple
+STAY: Move = ("stay",)
+UP: Move = ("up",)
+
+
+def down(child: int) -> Move:
+    """Move along an explored edge to the explored child ``child``."""
+    return ("down", child)
+
+
+def explore(port: int) -> Move:
+    """Traverse the dangling ``port`` at the robot's current node."""
+    return ("explore", port)
+
+
+class MoveError(ValueError):
+    """An algorithm selected an illegal move."""
+
+
+class ExplorationAlgorithm(ABC):
+    """Interface implemented by every exploration strategy.
+
+    ``select_moves`` is called once per round with the exploration state
+    and the set of robots the (break-down) adversary allows to move; the
+    returned dict maps robot indices to moves.  Robots without an entry
+    stay in place.
+    """
+
+    name = "abstract"
+
+    def attach(self, expl: "Exploration") -> None:
+        """Called once before the first round."""
+
+    @abstractmethod
+    def select_moves(self, expl: "Exploration", movable: Set[int]) -> Dict[int, Move]:
+        """Select this round's moves."""
+
+    def observe(self, expl: "Exploration", events: Sequence[RevealEvent]) -> None:
+        """Called after each round with the reveals that occurred."""
+
+    def handle_blocked(self, expl: "Exploration", robot: int, move: Move) -> None:
+        """A *reactive* adversary (Remark 8) cancelled this robot's
+        selected move after commitment.  Implementations that mutate state
+        inside ``select_moves`` must roll that state back here."""
+
+
+class Exploration:
+    """Mutable state of one collaborative exploration run."""
+
+    def __init__(self, tree: Tree, k: int, allow_shared_reveal: bool = False):
+        if k < 1:
+            raise ValueError("at least one robot is required")
+        self.tree = tree
+        self.k = k
+        #: When False (the default, matching BFDN's Claim 2) two robots may
+        #: not select the same dangling edge in the same round.  CTE's model
+        #: permits it, so CTE runs set this to True.
+        self.allow_shared_reveal = allow_shared_reveal
+        self.ptree = PartialTree(tree.root, tree.degree(tree.root))
+        self.positions: List[int] = [tree.root] * k
+        self.round = 0
+        self.metrics = ExplorationMetrics()
+
+    # ------------------------------------------------------------------
+    def robots_at(self, v: int) -> List[int]:
+        """Robots currently located at node ``v``."""
+        return [i for i, p in enumerate(self.positions) if p == v]
+
+    def is_done(self) -> bool:
+        """The paper's termination condition: explored and everyone home."""
+        return self.ptree.is_complete() and all(
+            p == self.tree.root for p in self.positions
+        )
+
+    # ------------------------------------------------------------------
+    def apply(self, moves: Dict[int, Move], movable: Set[int]) -> List[RevealEvent]:
+        """Execute one synchronous round.  Returns the reveal events.
+
+        Increments the round counter only if some robot moved, so the
+        final all-stay round that triggers termination is not billed,
+        matching the do-while loop of Algorithm 1.
+        """
+        root = self.tree.root
+        new_positions = list(self.positions)
+        reveals: Dict[Tuple[int, int], List[int]] = {}
+        moved: List[int] = []
+
+        for i, move in moves.items():
+            if not 0 <= i < self.k:
+                raise MoveError(f"unknown robot {i}")
+            if i not in movable:
+                raise MoveError(f"robot {i} is blocked this round")
+            u = self.positions[i]
+            kind = move[0]
+            if kind == "stay":
+                continue
+            if kind == "up":
+                if u == root:
+                    continue  # up at the root is interpreted as "stay"
+                new_positions[i] = self.ptree.parent(u)
+                moved.append(i)
+            elif kind == "down":
+                child = move[1]
+                if not self.ptree.is_explored(child) or self.ptree.parent(child) != u:
+                    raise MoveError(f"robot {i}: no explored edge {u} -> {child}")
+                new_positions[i] = child
+                moved.append(i)
+            elif kind == "explore":
+                port = move[1]
+                if port not in self.ptree.dangling_ports(u):
+                    raise MoveError(f"robot {i}: port {port} of {u} is not dangling")
+                reveals.setdefault((u, port), []).append(i)
+                moved.append(i)
+            else:
+                raise MoveError(f"robot {i}: unknown move {move!r}")
+
+        events: List[RevealEvent] = []
+        decide = getattr(self.tree, "decide_degree", None)
+        for (u, port), robots in reveals.items():
+            if len(robots) > 1 and not self.allow_shared_reveal:
+                raise MoveError(
+                    f"robots {robots} selected the same dangling edge "
+                    f"({u}, port {port}); forbidden in this model"
+                )
+            if decide is not None:
+                # Adaptive adversary (trees.lazy): the node's structure is
+                # fixed only now, knowing how many robots arrive.
+                decide(u, port, len(robots))
+            child = self.tree.port_to(u, port)
+            events.append(
+                self.ptree.reveal(
+                    u, port, child, self.tree.degree(child), by_robot=robots[0]
+                )
+            )
+            for i in robots:
+                new_positions[i] = child
+
+        if moved:
+            self.round += 1
+            self.metrics.rounds = self.round
+            self.metrics.total_moves += len(moved)
+            for i in moved:
+                self.metrics.moves_per_robot[i] += 1
+            stationary = self.k - len(moved)
+            if stationary:
+                self.metrics.idle_rounds += 1
+                for i in range(self.k):
+                    if i not in moves or moves[i][0] == "stay":
+                        self.metrics.idle_per_robot[i] += 1
+        self.metrics.reveals += len(events)
+        self.positions = new_positions
+        return events
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a simulated exploration."""
+
+    rounds: int
+    #: Wall-clock rounds including rounds where every robot was blocked
+    #: (== ``rounds`` in the standard model, possibly larger under a
+    #: break-down adversary).
+    wall_rounds: int
+    complete: bool
+    all_home: bool
+    metrics: ExplorationMetrics
+    positions: List[int]
+    ptree: PartialTree
+
+    @property
+    def done(self) -> bool:
+        """Explored every edge and returned to the root."""
+        return self.complete and self.all_home
+
+
+class Simulator:
+    """Drives an :class:`ExplorationAlgorithm` on a ground-truth tree.
+
+    Parameters
+    ----------
+    tree:
+        The (hidden) tree to explore.
+    algorithm:
+        The strategy under test.
+    k:
+        Team size.
+    adversary:
+        Optional break-down adversary (Section 4.2); defaults to the
+        standard model where every robot moves every round.
+    stop_when_complete:
+        Stop as soon as every edge is explored, without waiting for the
+        robots to return (the adversarial model's success criterion).
+    max_rounds:
+        Safety cap; defaults to the termination bound ``3 n D`` from the
+        paper's termination argument (plus slack for tiny trees).
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        algorithm: ExplorationAlgorithm,
+        k: int,
+        adversary: Optional[BreakdownAdversary] = None,
+        stop_when_complete: bool = False,
+        max_rounds: Optional[int] = None,
+        allow_shared_reveal: bool = False,
+    ):
+        self.tree = tree
+        self.algorithm = algorithm
+        self.k = k
+        self.adversary = adversary or NoBreakdowns()
+        self.stop_when_complete = stop_when_complete
+        self.max_rounds = (
+            max_rounds
+            if max_rounds is not None
+            else 3 * tree.n * max(tree.depth, 1) + 3 * tree.n + 100
+        )
+        self.allow_shared_reveal = allow_shared_reveal
+
+    def run(self) -> ExplorationResult:
+        """Run the exploration to termination and return the result.
+
+        The wall clock ``t`` (which drives the break-down adversary)
+        advances every round, including rounds where every robot is
+        blocked; the billed round counter ``expl.round`` only advances
+        when somebody moves, matching the do-while loop of Algorithm 1.
+        """
+        expl = Exploration(self.tree, self.k, self.allow_shared_reveal)
+        self.algorithm.attach(expl)
+        everyone = set(range(self.k))
+        horizon = getattr(self.adversary, "horizon", 0)
+        wall_cap = self.max_rounds + 2 * horizon + 100
+        t = 0
+        while True:
+            if self.stop_when_complete and expl.ptree.is_complete():
+                break
+            movable = self.adversary.allowed(t, self.k)
+            moves = self.algorithm.select_moves(expl, movable)
+            before = list(expl.positions)
+            events = expl.apply(moves, movable)
+            self.algorithm.observe(expl, events)
+            if expl.positions == before and movable == everyone:
+                break  # nobody moved although everyone could: done
+            t += 1
+            if expl.round > self.max_rounds or t > wall_cap:
+                raise RuntimeError(
+                    f"{self.algorithm.name}: exceeded {self.max_rounds} rounds "
+                    f"on tree(n={self.tree.n}, D={self.tree.depth}), k={self.k}"
+                )
+        root = self.tree.root
+        return ExplorationResult(
+            rounds=expl.round,
+            wall_rounds=t,
+            complete=expl.ptree.is_complete(),
+            all_home=all(p == root for p in expl.positions),
+            metrics=expl.metrics,
+            positions=list(expl.positions),
+            ptree=expl.ptree,
+        )

@@ -1,0 +1,167 @@
+"""Reactive break-down adversaries (the paper's Remark 8).
+
+Remark 8 suggests a stronger adversarial setting: the adversary *observes
+the moves the robots have selected* before choosing which robots to
+block.  This module implements that model: each round, the algorithm
+commits its moves, the reactive adversary inspects them (and the whole
+exploration state) and strikes out a subset, and only the surviving moves
+execute.  The paper leaves the analysis of this model open; the harness
+lets us probe it empirically (see ``test_bench_reactive.py``).
+
+Blocking is *sound* with respect to the engine's rules: dropping a subset
+of a legal synchronous move set leaves a legal move set (dangling-edge
+selections are distinct per round, so removing some cannot create a
+conflict).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .engine import Exploration, ExplorationAlgorithm, ExplorationResult, Move
+
+
+class ReactiveAdversary(ABC):
+    """Chooses which robots to block *after* seeing their selected moves."""
+
+    #: Rounds after which the adversary stops interfering.
+    horizon: int = 0
+
+    @abstractmethod
+    def block(
+        self, round_: int, expl: Exploration, moves: Dict[int, Move]
+    ) -> Set[int]:
+        """The robots whose moves are cancelled this round."""
+
+
+class BlockExplorers(ReactiveAdversary):
+    """The nastiest simple policy: block (a fraction of) the robots that
+    are about to traverse a dangling edge, delaying every discovery."""
+
+    def __init__(self, budget_per_round: int, horizon: int):
+        if budget_per_round < 0:
+            raise ValueError("budget_per_round must be >= 0")
+        self.budget_per_round = budget_per_round
+        self.horizon = horizon
+
+    def block(self, round_, expl, moves):
+        if round_ >= self.horizon:
+            return set()
+        explorers = sorted(i for i, m in moves.items() if m[0] == "explore")
+        return set(explorers[: self.budget_per_round])
+
+
+class BlockDeepest(ReactiveAdversary):
+    """Blocks the deepest moving robots — starving the depth-first part."""
+
+    def __init__(self, budget_per_round: int, horizon: int):
+        self.budget_per_round = budget_per_round
+        self.horizon = horizon
+
+    def block(self, round_, expl, moves):
+        if round_ >= self.horizon:
+            return set()
+        movers = [
+            (expl.ptree.node_depth(expl.positions[i]), i)
+            for i, m in moves.items()
+            if m[0] != "stay"
+        ]
+        movers.sort(reverse=True)
+        return {i for _, i in movers[: self.budget_per_round]}
+
+
+class RandomReactive(ReactiveAdversary):
+    """Blocks each selected mover independently with probability ``p``."""
+
+    def __init__(self, p: float, horizon: int, seed: int = 0):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("p must be in [0, 1)")
+        self.p = p
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+
+    def block(self, round_, expl, moves):
+        if round_ >= self.horizon:
+            return set()
+        return {
+            i
+            for i, m in moves.items()
+            if m[0] != "stay" and self._rng.random() < self.p
+        }
+
+
+@dataclass
+class ReactiveRunResult:
+    """Outcome of a reactive-adversary run."""
+
+    result: ExplorationResult
+    blocked_moves: int
+    executed_moves: int
+
+    @property
+    def interference(self) -> float:
+        """Fraction of selected moves the adversary cancelled."""
+        total = self.blocked_moves + self.executed_moves
+        return self.blocked_moves / total if total else 0.0
+
+
+def run_reactive(
+    tree,
+    algorithm: ExplorationAlgorithm,
+    k: int,
+    adversary: ReactiveAdversary,
+    max_wall_rounds: Optional[int] = None,
+) -> ReactiveRunResult:
+    """Drive an exploration where the adversary strikes selected moves.
+
+    Stops as soon as the tree is completely explored (as in Section 4.2,
+    robots need not return home against an adversary).
+    """
+    expl = Exploration(tree, k)
+    algorithm.attach(expl)
+    everyone = set(range(k))
+    cap = (
+        max_wall_rounds
+        if max_wall_rounds is not None
+        else 3 * tree.n * max(tree.depth, 1) + 2 * adversary.horizon + 1000
+    )
+    blocked_total = 0
+    executed_total = 0
+    t = 0
+    while not expl.ptree.is_complete():
+        moves = algorithm.select_moves(expl, everyone)
+        blocked = adversary.block(t, expl, moves)
+        surviving = {i: m for i, m in moves.items() if i not in blocked}
+        for i in blocked:
+            if i in moves:
+                algorithm.handle_blocked(expl, i, moves[i])
+        blocked_total += sum(
+            1 for i in blocked if i in moves and moves[i][0] != "stay"
+        )
+        executed_total += sum(1 for m in surviving.values() if m[0] != "stay")
+        before = list(expl.positions)
+        events = expl.apply(surviving, everyone)
+        algorithm.observe(expl, events)
+        t += 1
+        if expl.positions == before and not blocked and t > adversary.horizon:
+            break  # genuinely stuck without interference: incomplete tree?
+        if t > cap:
+            raise RuntimeError(f"reactive run exceeded {cap} wall rounds")
+    root = tree.root
+    result = ExplorationResult(
+        rounds=expl.round,
+        wall_rounds=t,
+        complete=expl.ptree.is_complete(),
+        all_home=all(p == root for p in expl.positions),
+        metrics=expl.metrics,
+        positions=list(expl.positions),
+        ptree=expl.ptree,
+    )
+    return ReactiveRunResult(
+        result=result,
+        blocked_moves=blocked_total,
+        executed_moves=executed_total,
+    )

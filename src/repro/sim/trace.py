@@ -1,0 +1,108 @@
+"""Trace recording and replay.
+
+A :class:`TraceRecorder` wraps any exploration algorithm and logs every
+round's robot positions and moves.  Traces serve three purposes: debugging,
+golden-file regression tests, and driving visualisations.  A recorded trace
+can be *replayed* against the same tree to verify it is a legal execution
+(every move valid, synchronous semantics respected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from ..trees.partial import PartialTree, RevealEvent
+from ..trees.tree import Tree
+from .engine import Exploration, ExplorationAlgorithm, Move
+
+
+@dataclass
+class TraceRound:
+    """One round of a recorded execution."""
+
+    round: int
+    positions_before: List[int]
+    moves: Dict[int, Move]
+
+
+@dataclass
+class Trace:
+    """A full recorded execution."""
+
+    k: int
+    rounds: List[TraceRound] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "k": self.k,
+            "rounds": [
+                {
+                    "round": r.round,
+                    "positions": list(r.positions_before),
+                    "moves": {str(i): list(m) for i, m in r.moves.items()},
+                }
+                for r in self.rounds
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Trace":
+        """Inverse of :meth:`to_dict`."""
+        trace = cls(k=data["k"])
+        for r in data["rounds"]:
+            trace.rounds.append(
+                TraceRound(
+                    round=r["round"],
+                    positions_before=list(r["positions"]),
+                    moves={int(i): tuple(m) for i, m in r["moves"].items()},
+                )
+            )
+        return trace
+
+
+class TraceRecorder(ExplorationAlgorithm):
+    """Wraps an algorithm and records its moves round by round."""
+
+    def __init__(self, inner: ExplorationAlgorithm):
+        self.inner = inner
+        self.name = f"traced({inner.name})"
+        self.trace: Trace = Trace(k=0)
+
+    def attach(self, expl: Exploration) -> None:
+        self.trace = Trace(k=expl.k)
+        self.inner.attach(expl)
+
+    def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
+        moves = self.inner.select_moves(expl, movable)
+        self.trace.rounds.append(
+            TraceRound(
+                round=expl.round,
+                positions_before=list(expl.positions),
+                moves=dict(moves),
+            )
+        )
+        return moves
+
+    def observe(self, expl: Exploration, events: Sequence[RevealEvent]) -> None:
+        self.inner.observe(expl, events)
+
+
+def replay(trace: Trace, tree: Tree, allow_shared_reveal: bool = False) -> Tuple[int, PartialTree]:
+    """Re-execute a trace on ``tree`` and validate every move.
+
+    Returns the number of (billed) rounds and the final partial tree.
+    Raises if any recorded move is illegal, which makes traces usable as
+    machine-checked certificates of an execution.
+    """
+    expl = Exploration(tree, trace.k, allow_shared_reveal)
+    everyone = set(range(trace.k))
+    for entry in trace.rounds:
+        if entry.positions_before != expl.positions:
+            raise ValueError(
+                f"trace mismatch at round {entry.round}: positions "
+                f"{entry.positions_before} != {expl.positions}"
+            )
+        expl.apply(entry.moves, everyone)
+    return expl.round, expl.ptree

@@ -1,0 +1,27 @@
+"""Tree substrate: rooted trees, online (partially explored) views,
+generators and adversarial constructions."""
+
+from .partial import PartialTree, RevealEvent
+from .tree import Tree, tree_from_edges
+from . import adversarial, canonical, generators, lazy, serialization, stats, validation
+from .canonical import are_isomorphic, canonical_code, canonical_form
+from .stats import TreeStats, tree_stats
+
+__all__ = [
+    "Tree",
+    "tree_from_edges",
+    "PartialTree",
+    "RevealEvent",
+    "generators",
+    "adversarial",
+    "serialization",
+    "validation",
+    "lazy",
+    "stats",
+    "TreeStats",
+    "tree_stats",
+    "canonical",
+    "canonical_code",
+    "canonical_form",
+    "are_isomorphic",
+]

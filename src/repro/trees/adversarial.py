@@ -1,0 +1,82 @@
+"""Adversarial tree constructions from the collaborative-exploration
+literature.
+
+The key instance is the family on which CTE (Fraigniaud et al. [10]) is
+slow: Higashikawa et al. [11] exhibit trees with ``n = kD`` edges on which
+CTE needs ``Dk / log2(k)`` rounds, which shows that CTE's competitive
+analysis is tight.  :func:`cte_trap_tree` builds the construction in that
+spirit: a chain of gadgets, each presenting CTE with equal-looking branches
+of which all but one are long dead-end paths.  CTE splits its robots evenly
+among the branches, so only a vanishing fraction of the team follows the
+"real" branch, while BFDN's breadth-first re-anchoring recycles robots that
+finish a dead end.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .tree import Tree
+
+__all__ = ["cte_trap_tree", "reanchor_stress_tree"]
+
+
+def cte_trap_tree(k: int, num_gadgets: int, trap_length: int) -> Tree:
+    """A chain of trap gadgets (in the spirit of [11]).
+
+    Each gadget hangs ``k`` branches off the current spine node: ``k - 1``
+    dead-end paths of ``trap_length`` edges, plus one single edge that
+    continues to the next gadget.  An even-splitting strategy (CTE) strands
+    most robots in the traps gadget after gadget; BFDN re-anchors finished
+    robots to the frontier.
+
+    The resulting tree has ``n = num_gadgets * ((k - 1) * trap_length + 1) + 1``
+    nodes and depth ``num_gadgets + trap_length - 1`` (roughly).
+    """
+    if k < 2 or num_gadgets < 1 or trap_length < 1:
+        raise ValueError("k >= 2, num_gadgets >= 1, trap_length >= 1 required")
+    parents: List[int] = [-1]
+    spine = 0
+    for _ in range(num_gadgets):
+        # k - 1 trap paths hanging from the current spine node.
+        for _ in range(k - 1):
+            prev = spine
+            for _ in range(trap_length):
+                parents.append(prev)
+                prev = len(parents) - 1
+        # The continuing edge.
+        parents.append(spine)
+        spine = len(parents) - 1
+    return Tree(parents)
+
+
+def reanchor_stress_tree(k: int, depth: int) -> Tree:
+    """A tree that forces many re-anchorings at every depth.
+
+    Every depth level has ``k`` open nodes whose subtrees have wildly
+    unequal sizes (1, 2, 4, ... nodes), so a load-oblivious re-anchoring
+    policy keeps sending robots to nearly-finished anchors.  Used by the
+    Lemma 2 benchmarks and the re-anchoring-policy ablation.
+    """
+    if k < 1 or depth < 1:
+        raise ValueError("k >= 1 and depth >= 1 required")
+    parents: List[int] = [-1]
+    level = [0]
+    for d in range(depth):
+        new_level: List[int] = []
+        for idx, node in enumerate(level):
+            # Each level node gets a continuing child ...
+            parents.append(node)
+            new_level.append(len(parents) - 1)
+            # ... plus a burst of leaves of geometrically varying size.
+            burst = 1 << (idx % 4)
+            for _ in range(burst):
+                parents.append(node)
+        # Keep the level width capped at k continuing nodes.
+        if len(new_level) < k and d < depth - 1:
+            extra_parent = new_level[0]
+            while len(new_level) < k:
+                parents.append(extra_parent)
+                new_level.append(len(parents) - 1)
+        level = new_level[:k]
+    return Tree(parents)

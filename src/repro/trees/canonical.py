@@ -1,0 +1,72 @@
+"""Canonical forms and isomorphism for rooted trees (AHU encoding).
+
+Random-tree studies deduplicate structurally identical instances, and
+regression fixtures want shape-stable identifiers; both need rooted-tree
+isomorphism.  The classic Aho-Hopcroft-Ullman encoding does it in linear
+time: a node's code is the sorted tuple of its children's codes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .tree import Tree
+
+
+def canonical_code(tree: Tree) -> str:
+    """The AHU canonical string of the rooted tree.
+
+    Two trees get the same code iff they are isomorphic *as rooted trees*
+    (children unordered).  Codes are balanced-parenthesis strings,
+    ``n``-linear in size.
+    """
+    # Process nodes in reverse BFS order so children precede parents.
+    order = list(tree.bfs_order())
+    codes: Dict[int, str] = {}
+    for v in reversed(order):
+        child_codes = sorted(codes[c] for c in tree.children(v))
+        codes[v] = "(" + "".join(child_codes) + ")"
+    return codes[tree.root]
+
+
+def are_isomorphic(a: Tree, b: Tree) -> bool:
+    """Rooted-tree isomorphism via canonical codes."""
+    if a.n != b.n or a.depth != b.depth or a.max_degree != b.max_degree:
+        return False
+    return canonical_code(a) == canonical_code(b)
+
+
+def canonical_form(tree: Tree) -> Tree:
+    """An isomorphic copy with children ordered by canonical code and
+    nodes renumbered in BFS order — a normal form: two trees are
+    isomorphic iff their canonical forms are equal."""
+    order = list(tree.bfs_order())
+    codes: Dict[int, str] = {}
+    for v in reversed(order):
+        child_codes = sorted(codes[c] for c in tree.children(v))
+        codes[v] = "(" + "".join(child_codes) + ")"
+
+    parents: List[int] = [-1]
+    relabel: Dict[int, int] = {tree.root: 0}
+    queue = [tree.root]
+    head = 0
+    while head < len(queue):
+        v = queue[head]
+        head += 1
+        for c in sorted(tree.children(v), key=lambda c: codes[c]):
+            relabel[c] = len(parents)
+            parents.append(relabel[v])
+            queue.append(c)
+    return Tree(parents)
+
+
+def dedupe_isomorphic(trees: List[Tree]) -> List[Tree]:
+    """Keep one representative per isomorphism class, preserving order."""
+    seen: Dict[str, bool] = {}
+    out: List[Tree] = []
+    for tree in trees:
+        code = canonical_code(tree)
+        if code not in seen:
+            seen[code] = True
+            out.append(tree)
+    return out

@@ -1,0 +1,225 @@
+"""Adaptive (lazily materialised) trees.
+
+Online lower bounds — like Higashikawa et al. [11]'s ``Dk/log2 k`` bound
+for CTE on trees with ``n = kD`` edges — are proved against an *adaptive*
+adversary: the tree's structure beyond the explored frontier is decided
+only when a robot arrives, in the worst way for the algorithm under test.
+A fixed synthetic tree cannot realise such bounds (the algorithm's
+redistribution heals it), so this module provides:
+
+* :class:`LazyTree` — a drop-in for :class:`~repro.trees.tree.Tree` in the
+  simulation engine whose node degrees are decided at reveal time by a
+  pluggable :class:`AdversaryPolicy` that sees how many robots arrive;
+* :class:`TrapTheMajorityPolicy` — a policy in the spirit of [11]: every
+  group arrival splits in two, the half-with-more-robots is sent into a
+  dead-end path ("trap") while the smaller half continues;
+* :func:`materialize` — freezes the tree built during an adaptive run
+  into an ordinary :class:`Tree`, so other algorithms can be compared on
+  the *same* instance afterwards.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Tuple
+
+from .tree import Tree
+
+
+class AdversaryPolicy(ABC):
+    """Decides the number of children of each node when it is revealed."""
+
+    @abstractmethod
+    def decide_children(
+        self, tree: "LazyTree", node: int, parent: int, depth: int, arriving: int
+    ) -> int:
+        """Number of children of ``node``, fixed forever at reveal time.
+
+        ``arriving`` is the number of robots traversing the edge into
+        ``node`` this round (1 in the strict model; possibly more when
+        shared reveals are allowed, as in CTE's model).
+        """
+
+
+class LazyTree:
+    """A tree whose shape beyond the frontier is decided on demand.
+
+    Exposes the subset of the :class:`Tree` interface the simulation
+    engine uses (``root``, ``degree``, ``port_to``, ``n``, ``depth``)
+    plus the ``decide_degree`` hook the engine calls at reveal time.
+    Node 0 is the root; its child count is fixed at construction.
+    """
+
+    def __init__(self, root_children: int, policy: AdversaryPolicy, max_nodes: int):
+        if root_children < 0 or max_nodes < 1:
+            raise ValueError("root_children >= 0 and max_nodes >= 1 required")
+        self.policy = policy
+        self.max_nodes = max_nodes
+        self._parents: List[int] = [-1]
+        self._children: List[List[int]] = [[]]
+        self._depths: List[int] = [0]
+        self._num_children: List[Optional[int]] = [root_children]
+        self._materialized_edges: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        return 0
+
+    @property
+    def n(self) -> int:
+        """Nodes created so far (grows during the run); used only for the
+        simulator's safety caps."""
+        return max(self.max_nodes, len(self._parents))
+
+    @property
+    def depth(self) -> int:
+        """Depth budget proxy for the simulator's caps."""
+        return max(self.max_nodes, 1)
+
+    @property
+    def materialized_nodes(self) -> int:
+        return len(self._parents)
+
+    def node_depth(self, v: int) -> int:
+        return self._depths[v]
+
+    def degree(self, v: int) -> int:
+        if not 0 <= v < len(self._num_children) or self._num_children[v] is None:
+            raise RuntimeError(f"degree of node {v} queried before its reveal")
+        return self._num_children[v] + (0 if v == 0 else 1)
+
+    def decide_degree(self, parent: int, port: int, arriving: int) -> None:
+        """Engine hook: a robot is about to traverse ``(parent, port)``.
+
+        Materialises the child node and asks the policy for its child
+        count (0 when the node budget is exhausted, so every adaptive run
+        terminates).
+        """
+        key = (parent, port)
+        if key in self._materialized_edges:
+            return
+        child = len(self._parents)
+        self._parents.append(parent)
+        self._children.append([])
+        self._children[parent].append(child)
+        depth = self._depths[parent] + 1
+        self._depths.append(depth)
+        self._materialized_edges[key] = child
+        if len(self._parents) >= self.max_nodes:
+            count = 0
+        else:
+            count = max(
+                0, self.policy.decide_children(self, child, parent, depth, arriving)
+            )
+            count = min(count, self.max_nodes - len(self._parents))
+        self._num_children.append(count)
+
+    def port_to(self, v: int, port: int) -> int:
+        child = self._materialized_edges.get((v, port))
+        if child is None:
+            raise RuntimeError(
+                f"port ({v}, {port}) traversed without decide_degree"
+            )
+        return child
+
+    # ------------------------------------------------------------------
+    def freeze(self) -> Tree:
+        """The tree explored so far, as an ordinary :class:`Tree`.
+
+        Only fully revealed nodes can be frozen faithfully; unexplored
+        dangling ports become leaves (they were never materialised, which
+        is only sound after a complete exploration).
+        """
+        return Tree(list(self._parents))
+
+
+class TrapTheMajorityPolicy(AdversaryPolicy):
+    """An adaptive anti-even-splitting adversary in the spirit of [11].
+
+    Nodes come in three roles, decided at reveal time:
+
+    * *split* — two children; assigned when a group of >= ``split_at``
+      robots arrives together (the algorithm will divide them);
+    * *trap*  — one child, a dead-end path of length ``trap_length``
+      (walked to the bottom and back by whoever entered); assigned to the
+      sibling where the *larger* half of a split group arrives;
+    * *leaf*  — no children; lone arrivals hit dead ends immediately.
+
+    The policy tracks, per split node, the arrival counts of its two
+    children within the same round and sends the majority into the trap.
+    """
+
+    def __init__(self, trap_length: int, split_at: int = 2, depth_limit: int = 10**9):
+        if trap_length < 1:
+            raise ValueError("trap_length >= 1 required")
+        self.trap_length = trap_length
+        self.split_at = max(2, split_at)
+        self.depth_limit = depth_limit
+        self._role: Dict[int, str] = {}
+        self._trap_remaining: Dict[int, int] = {}
+        self._first_arrival: Dict[int, Tuple[int, int]] = {}  # parent -> (child, count)
+
+    def decide_children(
+        self, tree: LazyTree, node: int, parent: int, depth: int, arriving: int
+    ) -> int:
+        parent_role = self._role.get(parent, "split-parent")
+        if parent_role == "trap":
+            remaining = self._trap_remaining[parent] - 1
+            if remaining <= 0:
+                self._role[node] = "leaf"
+                return 0
+            self._role[node] = "trap"
+            self._trap_remaining[node] = remaining
+            return 1
+
+        # Child of a split (or of the root): decide by arrival counts.
+        first = self._first_arrival.get(parent)
+        if first is None or first[0] == node:
+            self._first_arrival[parent] = (node, arriving)
+            majority = None  # first sibling: compare against the group
+        else:
+            majority = arriving >= first[1]
+
+        if depth >= self.depth_limit or arriving < self.split_at:
+            # Lone stragglers (or depth exhausted) get a short dead end.
+            self._role[node] = "leaf"
+            return 0
+        if majority is True:
+            # The crowded side walks a dead-end path; the first-revealed
+            # sibling continues provisionally (the adversary cannot know
+            # yet which side carries more robots).
+            self._role[node] = "trap"
+            self._trap_remaining[node] = self.trap_length
+            return 1
+        self._role[node] = "split"
+        return 2
+
+
+def run_adaptive(
+    algorithm_factory,
+    k: int,
+    policy: AdversaryPolicy,
+    root_children: int,
+    max_nodes: int,
+    allow_shared_reveal: bool = True,
+    max_rounds: Optional[int] = None,
+):
+    """Run an exploration algorithm against an adaptive adversary.
+
+    Returns ``(result, frozen_tree)`` where ``frozen_tree`` is the
+    materialised instance — deterministic algorithms replay identically
+    on it, so rivals can be compared on the same tree afterwards.
+    """
+    from ..sim.engine import Simulator
+
+    tree = LazyTree(root_children, policy, max_nodes)
+    sim = Simulator(
+        tree,  # type: ignore[arg-type] — duck-typed engine interface
+        algorithm_factory(),
+        k,
+        allow_shared_reveal=allow_shared_reveal,
+        max_rounds=max_rounds if max_rounds is not None else 200 * max_nodes + 1000,
+    )
+    result = sim.run()
+    return result, tree.freeze()

@@ -1,0 +1,77 @@
+"""Shape statistics for trees.
+
+Workload characterisation for the benchmark tables: depth profiles,
+branching distributions, leaf counts, and the ``(n, D)`` placement of an
+instance relative to the Figure 1 regions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .tree import Tree
+
+
+@dataclass
+class TreeStats:
+    """Summary statistics of one tree."""
+
+    n: int
+    depth: int
+    max_degree: int
+    num_leaves: int
+    avg_branching: float
+    #: Number of nodes at each depth.
+    width_profile: List[int]
+    #: Histogram of children counts over internal nodes.
+    branching_histogram: Dict[int, int]
+
+    @property
+    def max_width(self) -> int:
+        """The widest level."""
+        return max(self.width_profile)
+
+    @property
+    def is_path_like(self) -> bool:
+        """Depth within a factor 2 of n (thin trees)."""
+        return self.depth * 2 >= self.n
+
+    @property
+    def is_star_like(self) -> bool:
+        """Almost all nodes are leaves hanging near the root."""
+        return self.depth <= 2 and self.num_leaves >= self.n - 2
+
+
+def tree_stats(tree: Tree) -> TreeStats:
+    """Compute :class:`TreeStats` in one pass."""
+    widths = [0] * (tree.depth + 1)
+    leaves = 0
+    histogram: Counter = Counter()
+    internal = 0
+    for v in tree.nodes():
+        widths[tree.node_depth(v)] += 1
+        children = len(tree.children(v))
+        if children == 0:
+            leaves += 1
+        else:
+            internal += 1
+            histogram[children] += 1
+    avg = (tree.n - 1) / internal if internal else 0.0
+    return TreeStats(
+        n=tree.n,
+        depth=tree.depth,
+        max_degree=tree.max_degree,
+        num_leaves=leaves,
+        avg_branching=avg,
+        width_profile=widths,
+        branching_histogram=dict(histogram),
+    )
+
+
+def figure1_placement(tree: Tree, k: int) -> str:
+    """Which Figure 1 region this instance sits in for team size ``k``."""
+    from ..bounds.regions import region_winner
+
+    return region_winner(float(tree.n), float(max(tree.depth, 1)), k)

@@ -1,0 +1,65 @@
+"""Structural validation helpers for trees and exploration outcomes."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from .partial import PartialTree
+from .tree import Tree
+
+__all__ = [
+    "check_tree_invariants",
+    "check_partial_consistent",
+    "check_exploration_complete",
+]
+
+
+def check_tree_invariants(tree: Tree) -> None:
+    """Raise ``AssertionError`` unless ``tree`` is structurally sound."""
+    assert tree.n >= 1
+    assert tree.parent(tree.root) == -1
+    seen = 0
+    for v in tree.nodes():
+        seen += 1
+        if v != tree.root:
+            p = tree.parent(v)
+            assert v in tree.children(p), f"{v} missing from children of {p}"
+            assert tree.node_depth(v) == tree.node_depth(p) + 1
+            assert tree.port_to(v, 0) == p, "port 0 must lead to the parent"
+        for j, u in enumerate(tree.ports(v)):
+            assert tree.port_of(v, u) == j
+    assert seen == tree.n
+    assert tree.depth == max(tree.node_depth(v) for v in tree.nodes())
+    assert tree.max_degree == max(tree.degree(v) for v in tree.nodes())
+    tour = tree.euler_tour()
+    assert len(tour) == 2 * (tree.n - 1) + 1
+    assert tour[0] == tour[-1] == tree.root
+
+
+def check_partial_consistent(ptree: PartialTree, tree: Tree) -> None:
+    """Check that a partial view agrees with the ground-truth tree."""
+    for v in ptree.explored_nodes():
+        assert ptree.node_depth(v) == tree.node_depth(v)
+        assert ptree.degree(v) == tree.degree(v)
+        if v != tree.root:
+            assert ptree.parent(v) == tree.parent(v)
+        for port in ptree.dangling_ports(v):
+            child = tree.port_to(v, port)
+            assert not ptree.is_explored(child), (
+                f"dangling port {port} of {v} leads to explored node {child}"
+            )
+        open_expected = bool(ptree.dangling_ports(v))
+        assert ptree.is_open(v) == open_expected
+
+
+def check_exploration_complete(
+    ptree: PartialTree, tree: Tree, positions: Iterable[int]
+) -> None:
+    """Assert the paper's termination condition: every edge traversed and
+    (for the standard model) all robots back at the root."""
+    assert ptree.is_complete(), "dangling edges remain"
+    assert ptree.num_explored == tree.n, (
+        f"{ptree.num_explored} nodes explored out of {tree.n}"
+    )
+    for p in positions:
+        assert p == tree.root, f"robot not at root (at {p})"

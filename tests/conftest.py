@@ -1,0 +1,56 @@
+"""Shared fixtures: representative trees and hypothesis strategies."""
+
+import random
+
+import pytest
+
+from repro.trees import Tree, generators as gen
+
+
+def small_tree_cases():
+    """Labelled trees covering every structural regime, kept small enough
+    that each unit test stays fast."""
+    rng = random.Random(7)
+    return [
+        ("single", gen.path(1)),
+        ("edge", gen.path(2)),
+        ("path", gen.path(40)),
+        ("star", gen.star(30)),
+        ("binary", gen.complete_ary(2, 5)),
+        ("ternary", gen.complete_ary(3, 3)),
+        ("caterpillar", gen.caterpillar(12, 3)),
+        ("spider", gen.spider(6, 8)),
+        ("broom", gen.broom(10, 12)),
+        ("comb", gen.comb(10, 4)),
+        ("random-recursive", gen.random_recursive(120, rng)),
+        ("random-deg3", gen.random_bounded_degree(100, 3, rng)),
+        ("random-depth", gen.random_tree_with_depth(90, 20, rng)),
+        ("lopsided", gen.lopsided(5, 6)),
+    ]
+
+
+@pytest.fixture(params=small_tree_cases(), ids=lambda case: case[0])
+def tree_case(request):
+    """One (label, tree) pair per structural family."""
+    return request.param
+
+
+@pytest.fixture
+def binary_tree():
+    return gen.complete_ary(2, 5)
+
+
+def random_parent_array(rng: random.Random, n: int, depth_bias: float = 0.5):
+    """Random parent array for hypothesis-style tests: each node attaches
+    to a random earlier node, biased toward recent nodes for depth."""
+    parents = [-1]
+    for v in range(1, n):
+        if rng.random() < depth_bias:
+            parents.append(v - 1)
+        else:
+            parents.append(rng.randrange(v))
+    return parents
+
+
+def random_tree(rng: random.Random, n: int, depth_bias: float = 0.5) -> Tree:
+    return Tree(random_parent_array(rng, n, depth_bias))

@@ -1,0 +1,76 @@
+"""Tests for the sweep harness and text reporting."""
+
+import pytest
+
+from repro.analysis import render_table, run_sweep, summarize_by
+from repro.baselines import CTE, OnlineDFS
+from repro.core import BFDN
+from repro.trees import generators as gen
+
+
+class TestSweep:
+    def test_records_complete(self):
+        workloads = [("star", gen.star(20)), ("path", gen.path(20))]
+        records = run_sweep(
+            {"BFDN": BFDN, "CTE": CTE},
+            workloads,
+            team_sizes=(1, 2),
+            allow_shared_reveal={"CTE": True},
+        )
+        assert len(records) == 2 * 2 * 2
+        for rec in records:
+            assert rec.complete and rec.all_home
+            assert rec.rounds >= rec.lower_bound * 0 and rec.rounds > 0
+            assert rec.ratio > 0
+
+    def test_overhead_definition(self):
+        records = run_sweep({"BFDN": BFDN}, [("star", gen.star(30))], (2,))
+        rec = records[0]
+        assert rec.overhead == pytest.approx(rec.rounds - 2 * rec.n / rec.k)
+
+    def test_bfdn_within_bound_in_records(self):
+        records = run_sweep(
+            {"BFDN": BFDN},
+            gen.standard_families(4, "small")[:6],
+            team_sizes=(2, 4),
+        )
+        for rec in records:
+            assert rec.rounds <= rec.bfdn_bound
+
+    def test_as_row_keys(self):
+        records = run_sweep({"BFDN": BFDN}, [("s", gen.star(10))], (2,))
+        row = records[0].as_row()
+        for key in ("algorithm", "tree", "n", "D", "k", "rounds", "overhead"):
+            assert key in row
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        rows = [
+            {"a": 1, "b": "xy"},
+            {"a": 222, "b": "z"},
+        ]
+        out = render_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_render_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        out = render_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_summarize_by(self):
+        rows = [
+            {"g": "x", "v": 1.0},
+            {"g": "x", "v": 3.0},
+            {"g": "y", "v": 10.0},
+        ]
+        summary = summarize_by(rows, "g", "v")
+        assert summary["x"]["mean"] == 2.0
+        assert summary["x"]["count"] == 2
+        assert summary["y"]["max"] == 10.0

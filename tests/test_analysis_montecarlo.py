@@ -1,0 +1,63 @@
+"""Tests for the Monte Carlo slack studies."""
+
+import pytest
+
+from repro.analysis import (
+    Distribution,
+    game_length_distribution,
+    overhead_distribution,
+)
+
+
+class TestDistribution:
+    def test_quantiles(self):
+        d = Distribution([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert d.quantile(0.0) == 1.0
+        assert d.quantile(0.5) == 3.0
+        assert d.quantile(1.0) == 5.0
+        assert d.mean == 3.0
+        assert d.max == 5.0
+
+    def test_quantile_bounds(self):
+        d = Distribution([1.0])
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+
+    def test_summary_keys(self):
+        s = Distribution([1.0, 2.0]).summary()
+        assert set(s) == {"samples", "mean", "p50", "p90", "max"}
+
+
+class TestOverheadStudy:
+    def test_within_budget_always(self):
+        study = overhead_distribution(n=300, depth=20, k=8, num_samples=8)
+        assert study.within_budget()
+        assert 0 < study.worst_utilisation <= 1.0
+
+    def test_typical_far_below_worst_case(self):
+        """Random trees use a small fraction of the D^2 log k budget —
+        the worst case is genuinely adversarial."""
+        study = overhead_distribution(n=500, depth=25, k=8, num_samples=10)
+        assert study.distribution.quantile(0.5) < 0.5 * study.budget
+
+    def test_reproducible(self):
+        a = overhead_distribution(200, 15, 4, num_samples=5, seed=3)
+        b = overhead_distribution(200, 15, 4, num_samples=5, seed=3)
+        assert a.distribution.values == b.distribution.values
+
+
+class TestGameStudy:
+    def test_within_budget(self):
+        study = game_length_distribution(k=16, num_samples=30)
+        assert study.within_budget()
+
+    def test_random_adversary_weaker_than_optimal(self):
+        from repro.game import game_value
+
+        study = game_length_distribution(k=16, num_samples=30)
+        assert study.distribution.max <= game_value(16, 16)
+
+    def test_delta_parameter(self):
+        small = game_length_distribution(k=16, delta=2, num_samples=20)
+        large = game_length_distribution(k=16, delta=16, num_samples=20)
+        assert small.budget < large.budget

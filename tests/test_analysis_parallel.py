@@ -1,0 +1,59 @@
+"""Tests for the multiprocess sweep runner."""
+
+import pytest
+
+from repro.analysis.parallel import ALGORITHMS, Job, JobResult, make_job, run_jobs
+from repro.core import BFDN
+from repro.sim import Simulator
+from repro.trees import generators as gen
+
+
+class TestJobSpecs:
+    def test_make_job_roundtrips_tree(self):
+        tree = gen.comb(5, 2)
+        job = make_job("bfdn", "comb", tree, 3)
+        assert job.parents[0] == -1
+        assert len(job.parents) == tree.n
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            make_job("nope", "x", gen.path(3), 2)
+
+    def test_jobs_are_hashable(self):
+        job = make_job("bfdn", "p", gen.path(4), 2)
+        assert hash(job) == hash(make_job("bfdn", "p", gen.path(4), 2))
+
+
+class TestInlineExecution:
+    def test_results_match_direct_simulation(self):
+        tree = gen.random_recursive(120)
+        jobs = [make_job("bfdn", "rnd", tree, k) for k in (2, 4)]
+        results = run_jobs(jobs, max_workers=1)
+        for job, res in zip(jobs, results):
+            direct = Simulator(tree, BFDN(), job.k).run()
+            assert res.rounds == direct.rounds
+            assert res.complete and res.all_home
+
+    def test_every_named_algorithm_runs(self):
+        tree = gen.caterpillar(8, 2)
+        jobs = [make_job(name, name, tree, 4) for name in sorted(ALGORITHMS)]
+        results = run_jobs(jobs, max_workers=1)
+        for res in results:
+            assert res.complete, res.algorithm
+
+    def test_order_preserved(self):
+        tree = gen.star(20)
+        jobs = [make_job("bfdn", f"j{i}", tree, k) for i, k in enumerate((1, 2, 4))]
+        results = run_jobs(jobs, max_workers=1)
+        assert [r.label for r in results] == ["j0", "j1", "j2"]
+
+
+class TestProcessPool:
+    def test_parallel_matches_inline(self):
+        trees = [("a", gen.comb(6, 2)), ("b", gen.spider(3, 5))]
+        jobs = [make_job("bfdn", lbl, t, k) for lbl, t in trees for k in (2, 3)]
+        inline = run_jobs(jobs, max_workers=1)
+        pooled = run_jobs(jobs, max_workers=2)
+        assert [(r.label, r.k, r.rounds) for r in inline] == [
+            (r.label, r.k, r.rounds) for r in pooled
+        ]

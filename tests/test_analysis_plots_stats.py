@@ -1,0 +1,119 @@
+"""Tests for ASCII plotting and replication statistics."""
+
+import pytest
+
+from repro.analysis import (
+    PairedComparison,
+    Replication,
+    compare_paired,
+    line_plot,
+    replicate,
+    scatter_loglog,
+)
+
+
+class TestLinePlot:
+    def test_basic_shape(self):
+        out = line_plot([1, 2, 3], {"a": [1, 2, 3]}, width=20, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 3  # rows + axis + range + legend
+        assert "*=a" in lines[-1]
+
+    def test_title(self):
+        out = line_plot([1, 2], {"a": [1, 2]}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_multiple_series_glyphs(self):
+        out = line_plot([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "*=a" in out and "+=b" in out
+
+    def test_empty(self):
+        assert line_plot([], {}) == "(no data)"
+
+    def test_extremes_on_grid(self):
+        out = line_plot([1, 10], {"a": [5, 50]}, width=12, height=4)
+        rows = out.splitlines()
+        assert rows[0].strip().startswith("50.0")  # max label on top row
+
+
+class TestScatterLogLog:
+    def test_basic(self):
+        out = scatter_loglog({"s": [(1, 1), (10, 100), (100, 10_000)]})
+        assert "log10 x: 0.0 .. 2.0" in out
+        assert "*=s" in out
+
+    def test_drops_nonpositive(self):
+        out = scatter_loglog({"s": [(0, 1), (-2, 3)]})
+        assert out == "(no data)"
+
+    def test_mixed_sets(self):
+        out = scatter_loglog({"a": [(1, 1)], "b": [(10, 10)]})
+        assert "*=a" in out and "+=b" in out
+
+
+class TestReplication:
+    def test_mean_std(self):
+        r = Replication([2.0, 4.0, 6.0])
+        assert r.mean == 4.0
+        assert r.std == pytest.approx(2.0)
+
+    def test_ci_contains_mean(self):
+        r = Replication([1.0, 2.0, 3.0, 4.0])
+        lo, hi = r.confidence_interval()
+        assert lo < r.mean < hi
+
+    def test_single_value(self):
+        r = Replication([5.0])
+        assert r.std == 0.0
+        assert r.confidence_interval() == (5.0, 5.0)
+
+    def test_replicate_runs_each_seed(self):
+        r = replicate(lambda s: s * 2.0, [1, 2, 3])
+        assert r.values == [2.0, 4.0, 6.0]
+
+    def test_replicate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 1.0, [])
+
+
+class TestPaired:
+    def test_wins_and_dominance(self):
+        c = PairedComparison(a=[1, 2, 3], b=[2, 2, 4])
+        assert c.wins == 2
+        assert c.a_dominates()  # ties allowed: never worse, twice better
+        d = PairedComparison(a=[1, 5, 3], b=[2, 3, 3])
+        assert not d.a_dominates()  # loses the middle instance
+
+    def test_mean_difference(self):
+        c = PairedComparison(a=[1.0, 3.0], b=[2.0, 2.0])
+        assert c.mean_difference == 0.0
+
+    def test_compare_paired_uses_same_seeds(self):
+        c = compare_paired(lambda s: s, lambda s: s + 1, [1, 2])
+        assert c.differences == [-1.0, -1.0]
+        assert c.a_dominates()
+
+
+class TestOnRealMeasurements:
+    def test_bfdn_vs_dogpile_replicated(self):
+        """Statistical version of the ablation: across random stress-ish
+        instances, the balanced policy never loses to the anti-balanced
+        one on average."""
+        from repro.core import BFDN, make_policy
+        from repro.sim import Simulator
+        from repro.trees import generators as gen
+
+        def rounds_with(policy):
+            def measure(seed):
+                import random as _r
+
+                tree = gen.random_tree_with_depth(150, 20, _r.Random(seed))
+                algo = BFDN(policy=make_policy(policy, seed=seed))
+                return Simulator(tree, algo, 6).run().rounds
+
+            return measure
+
+        cmp = compare_paired(
+            rounds_with("least-loaded"), rounds_with("most-loaded"), range(6)
+        )
+        assert cmp.mean_difference <= 0.0 or abs(cmp.mean_difference) < 5

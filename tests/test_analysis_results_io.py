@@ -1,0 +1,62 @@
+"""Tests for result persistence (CSV/JSON round trips)."""
+
+import pytest
+
+from repro.analysis.results_io import (
+    load_rows,
+    rows_from_csv,
+    rows_to_csv,
+    save_rows,
+)
+
+ROWS = [
+    {"tree": "star", "k": 4, "rounds": 128, "ratio": 1.97, "ok": True},
+    {"tree": "comb", "k": 8, "rounds": 689, "ratio": 6.44, "ok": False},
+]
+
+
+class TestCsv:
+    def test_roundtrip_types(self):
+        restored = rows_from_csv(rows_to_csv(ROWS))
+        assert restored == ROWS
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+        assert rows_from_csv("") == []
+
+    def test_header_order(self):
+        text = rows_to_csv(ROWS)
+        assert text.splitlines()[0] == "tree,k,rounds,ratio,ok"
+
+
+class TestFiles:
+    def test_save_load_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        save_rows(ROWS, path)
+        assert load_rows(path) == ROWS
+
+    def test_save_load_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        save_rows(ROWS, path)
+        assert load_rows(path) == ROWS
+
+    def test_rejects_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_rows(ROWS, tmp_path / "out.txt")
+        with pytest.raises(ValueError):
+            load_rows(tmp_path / "out.txt")
+
+
+class TestWithSweepRecords:
+    def test_sweep_rows_roundtrip(self, tmp_path):
+        from repro.analysis import run_sweep
+        from repro.core import BFDN
+        from repro.trees import generators as gen
+
+        records = run_sweep({"BFDN": BFDN}, [("star", gen.star(20))], (2,))
+        rows = [r.as_row() for r in records]
+        path = tmp_path / "sweep.csv"
+        save_rows(rows, path)
+        restored = load_rows(path)
+        assert restored[0]["rounds"] == rows[0]["rounds"]
+        assert restored[0]["algorithm"] == "BFDN"

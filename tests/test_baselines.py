@@ -1,0 +1,117 @@
+"""Tests for the baseline algorithms: DFS, offline splitter, CTE."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    CTE,
+    OnlineDFS,
+    offline_lower_bound,
+    offline_split_runtime,
+    offline_split_schedule,
+    run_cte,
+)
+from repro.sim import Simulator
+from repro.trees import generators as gen
+
+
+class TestOnlineDFS:
+    def test_exact_cost(self, tree_case):
+        _, tree = tree_case
+        res = Simulator(tree, OnlineDFS(), 1).run()
+        assert res.done
+        assert res.rounds == 2 * (tree.n - 1)
+
+    def test_extra_robots_idle(self):
+        tree = gen.complete_ary(2, 4)
+        res = Simulator(tree, OnlineDFS(), 4).run()
+        assert res.done
+        for i in (1, 2, 3):
+            assert res.metrics.moves_per_robot[i] == 0
+
+
+class TestOfflineLowerBound:
+    def test_formula(self):
+        assert offline_lower_bound(10, 3, 2) == max(math.ceil(18 / 2), 6)
+        assert offline_lower_bound(100, 60, 4) == 120  # depth-dominated
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            offline_lower_bound(0, 3, 2)
+        with pytest.raises(ValueError):
+            offline_lower_bound(5, 3, 0)
+
+    def test_single_robot_equals_dfs(self):
+        tree = gen.random_recursive(60)
+        assert offline_lower_bound(tree.n, tree.depth, 1) >= 2 * (tree.n - 1) - 1
+
+
+class TestOfflineSplit:
+    def test_covers_all_edges(self, tree_case):
+        _, tree = tree_case
+        for k in (1, 2, 4):
+            sched = offline_split_schedule(tree, k)
+            covered = set()
+            for walk in sched.walks:
+                for a, b in zip(walk, walk[1:]):
+                    covered.add((min(a, b), max(a, b)))
+                assert walk[0] == tree.root and walk[-1] == tree.root
+            if tree.n > 1:
+                assert len(covered) == tree.n - 1
+
+    def test_walks_are_legal(self, tree_case):
+        _, tree = tree_case
+        sched = offline_split_schedule(tree, 3)
+        for walk in sched.walks:
+            for a, b in zip(walk, walk[1:]):
+                assert tree.parent(a) == b or tree.parent(b) == a
+
+    def test_two_approximation(self, tree_case):
+        """Runtime is at most 2(n-1)/k + 2D + segment rounding."""
+        _, tree = tree_case
+        for k in (1, 2, 4, 8):
+            runtime = offline_split_runtime(tree, k)
+            lower = offline_lower_bound(tree.n, tree.depth, k)
+            assert runtime >= lower if tree.n > 1 else runtime == 0
+            assert runtime <= math.ceil(2 * (tree.n - 1) / k) + 2 * tree.depth
+
+    def test_k1_is_euler_tour(self):
+        tree = gen.random_recursive(80)
+        assert offline_split_runtime(tree, 1) == 2 * (tree.n - 1)
+
+    def test_more_robots_never_hurt_much(self):
+        tree = gen.complete_ary(2, 6)
+        r2 = offline_split_runtime(tree, 2)
+        r8 = offline_split_runtime(tree, 8)
+        assert r8 <= r2
+
+
+class TestCTE:
+    @pytest.mark.parametrize("k", (1, 2, 4, 8))
+    def test_explores_and_returns(self, tree_case, k):
+        label, tree = tree_case
+        res = run_cte(tree, k)
+        assert res.done, f"{label} k={k}"
+
+    def test_even_splitting(self):
+        """On a spider with as many legs as robots, CTE puts one robot on
+        each leg and finishes in optimal 2L rounds."""
+        k, length = 6, 10
+        tree = gen.spider(k, length)
+        res = run_cte(tree, k)
+        assert res.rounds == 2 * length
+
+    def test_speedup_on_bushy_tree(self):
+        tree = gen.complete_ary(3, 5)
+        r1 = run_cte(tree, 1).rounds
+        r9 = run_cte(tree, 9).rounds
+        assert r9 < r1 / 3
+
+    def test_requires_shared_reveal_model(self):
+        """Two robots may legitimately traverse the same unexplored edge
+        in CTE; the strict model must be relaxed for it."""
+        tree = gen.path(6)
+        res = run_cte(tree, 4)  # all robots walk the path together
+        assert res.done
+        assert res.rounds == 2 * (tree.n - 1)

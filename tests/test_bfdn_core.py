@@ -1,0 +1,180 @@
+"""Tests for BFDN (Algorithm 1): Theorem 1 and Claims 1–4."""
+
+import math
+
+import pytest
+
+from repro.bounds import bfdn_bound, lemma2_bound
+from repro.core import BFDN
+from repro.sim import Simulator, TraceRecorder
+from repro.trees import generators as gen
+from repro.trees.validation import (
+    check_exploration_complete,
+    check_partial_consistent,
+)
+
+TEAM_SIZES = (1, 2, 3, 5, 8)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", TEAM_SIZES)
+    def test_explores_and_returns(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, BFDN(), k).run()
+        assert res.done, f"{label} k={k}"
+        check_partial_consistent(res.ptree, tree)
+        check_exploration_complete(res.ptree, tree, res.positions)
+
+    @pytest.mark.parametrize("k", TEAM_SIZES)
+    def test_every_edge_revealed_once(self, tree_case, k):
+        _, tree = tree_case
+        res = Simulator(tree, BFDN(), k).run()
+        assert res.metrics.reveals == tree.n - 1
+
+    def test_k1_matches_dfs_cost(self):
+        # A single BFDN robot is a DFS robot: 2(n-1) rounds exactly on any
+        # tree whose root has one child (no extra anchor trips needed).
+        tree = gen.broom(10, 5)
+        res = Simulator(tree, BFDN(), 1).run()
+        assert res.rounds == 2 * (tree.n - 1)
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("k", TEAM_SIZES)
+    def test_round_bound(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, BFDN(), k).run()
+        bound = bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+        assert res.rounds <= bound, f"{label} k={k}: {res.rounds} > {bound}"
+
+    def test_bound_without_degree_term(self):
+        tree = gen.caterpillar(15, 4)
+        res = Simulator(tree, BFDN(), 4).run()
+        assert res.rounds <= bfdn_bound(tree.n, tree.depth, 4, delta=None)
+
+
+class TestClaim1:
+    """Rounds where some robot does not move are at most 2D + 1.
+
+    Reproduction note: the paper states ``D + 1``, with the case-1 count
+    justified by "all robots are on their way back".  A robot that is
+    still on its *breadth-first descent* towards an anchor whose subtree
+    other robots have just finished exploring first completes the stale
+    round trip (up to ``2D`` rounds) before returning, so the tight bound
+    for Algorithm 1 as written is ``2D + 1``.  Theorem 1 is unaffected
+    (its ``D^2`` slack absorbs the difference); see EXPERIMENTS.md.
+    """
+
+    @pytest.mark.parametrize("k", (2, 4, 8))
+    def test_idle_rounds(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, BFDN(), k).run()
+        assert res.metrics.idle_rounds <= 2 * tree.depth + 1, label
+
+
+class TestClaim2:
+    """A dangling edge is first traversed by a single robot — enforced by
+    the engine (it raises on duplicates), so a completed run certifies it."""
+
+    def test_no_duplicate_reveal_attempts(self):
+        tree = gen.star(40)  # maximal contention at the root
+        res = Simulator(tree, BFDN(), 10).run()
+        assert res.done
+
+
+class TestClaim3:
+    """An excursion anchored at depth d with T_x moves explores exactly
+    (T_x - 2d)/2 dangling edges."""
+
+    @pytest.mark.parametrize("k", (1, 3, 6))
+    def test_excursion_identity(self, tree_case, k):
+        label, tree = tree_case
+        algo = BFDN(record_excursions=True)
+        Simulator(tree, algo, k).run()
+        if tree.n > 1:
+            assert algo.excursions, f"no excursions on {label}"
+        for ex in algo.excursions:
+            assert ex.moves == 2 * ex.anchor_depth + 2 * ex.explores, ex
+
+    def test_total_explores_match(self, tree_case):
+        _, tree = tree_case
+        algo = BFDN(record_excursions=True)
+        Simulator(tree, algo, 4).run()
+        assert sum(ex.explores for ex in algo.excursions) == tree.n - 1
+
+
+class TestClaim4:
+    """All dangling edges lie under the anchors (Open Node Coverage)."""
+
+    def test_open_nodes_under_anchors(self):
+        from repro.sim import Exploration
+
+        tree = gen.random_recursive(150)
+        k = 4
+        expl = Exploration(tree, k)
+        algo = BFDN()
+        algo.attach(expl)
+        everyone = set(range(k))
+        while True:
+            moves = algo.select_moves(expl, everyone)
+            before = list(expl.positions)
+            events = expl.apply(moves, everyone)
+            algo.observe(expl, events)
+            # Check the invariant after every round.
+            anchors = set(algo.anchors)
+            ptree = expl.ptree
+            for v in list(ptree.explored_nodes()):
+                if not ptree.is_open(v):
+                    continue
+                w = v
+                while w != -1 and w not in anchors:
+                    w = ptree.parent(w)
+                assert w != -1, f"open node {v} not under any anchor"
+            if expl.positions == before:
+                break
+
+
+class TestLemma2:
+    """Re-anchors at each depth d in {1..D-1} number at most
+    k (min(log k, log Delta) + 3)."""
+
+    @pytest.mark.parametrize("k", (2, 4, 8))
+    def test_reanchor_counts(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, BFDN(), k).run()
+        per_depth = res.metrics.reanchors_per_depth()
+        bound = lemma2_bound(k, tree.max_degree)
+        for depth, count in per_depth.items():
+            if 1 <= depth <= tree.depth - 1:
+                assert count <= bound, f"{label} k={k} d={depth}: {count} > {bound}"
+
+    def test_stress_tree(self):
+        from repro.trees.adversarial import reanchor_stress_tree
+
+        k = 6
+        tree = reanchor_stress_tree(k, 8)
+        res = Simulator(tree, BFDN(), k).run()
+        bound = lemma2_bound(k, tree.max_degree)
+        for depth, count in res.metrics.reanchors_per_depth().items():
+            if 1 <= depth <= tree.depth - 1:
+                assert count <= bound
+
+
+class TestLoadBookkeeping:
+    def test_loads_sum_to_k(self):
+        from repro.sim import Exploration
+
+        tree = gen.comb(8, 3)
+        k = 5
+        expl = Exploration(tree, k)
+        algo = BFDN()
+        algo.attach(expl)
+        everyone = set(range(k))
+        for _ in range(50):
+            moves = algo.select_moves(expl, everyone)
+            before = list(expl.positions)
+            events = expl.apply(moves, everyone)
+            algo.observe(expl, events)
+            assert sum(algo.loads.values()) == k
+            if expl.positions == before:
+                break

@@ -1,0 +1,98 @@
+"""Property-based tests: BFDN's guarantees on random trees (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds import bfdn_bound, lemma2_bound
+from repro.core import BFDN
+from repro.sim import Simulator
+from repro.trees import Tree
+from repro.trees.validation import check_exploration_complete
+
+
+def build_tree(n: int, seed: int, depth_bias: float) -> Tree:
+    rng = random.Random(seed)
+    parents = [-1]
+    for v in range(1, n):
+        if rng.random() < depth_bias:
+            parents.append(v - 1)  # extend the current deepest path
+        else:
+            parents.append(rng.randrange(v))
+    return Tree(parents)
+
+
+tree_params = st.tuples(
+    st.integers(2, 120),  # n
+    st.integers(0, 2**31 - 1),  # seed
+    st.sampled_from([0.1, 0.5, 0.9]),  # depth bias: bushy .. path-like
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree_params, st.integers(1, 10))
+def test_theorem1_on_random_trees(params, k):
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    res = Simulator(tree, BFDN(), k).run()
+    assert res.done
+    check_exploration_complete(res.ptree, tree, res.positions)
+    assert res.rounds <= bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree_params, st.integers(2, 8))
+def test_claims_on_random_trees(params, k):
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    algo = BFDN(record_excursions=True)
+    res = Simulator(tree, algo, k).run()
+    # Claim 1 (with the corrected 2D + 1 constant; see test_bfdn_core).
+    assert res.metrics.idle_rounds <= 2 * tree.depth + 1
+    # Claim 3.
+    for ex in algo.excursions:
+        assert ex.moves == 2 * ex.anchor_depth + 2 * ex.explores
+    # Every edge revealed exactly once (Claim 2 corollary).
+    assert res.metrics.reveals == tree.n - 1
+    # Lemma 2.
+    bound = lemma2_bound(k, tree.max_degree)
+    for depth, count in res.metrics.reanchors_per_depth().items():
+        if 1 <= depth <= tree.depth - 1:
+            assert count <= bound
+
+
+@settings(max_examples=20, deadline=None)
+@given(tree_params)
+def test_single_robot_is_dfs_optimal_plus_anchoring(params):
+    """With k=1 the runtime is exactly 2(n-1) when the root has a single
+    child, and never exceeds the DFS cost plus the re-anchoring detours."""
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    res = Simulator(tree, BFDN(), 1).run()
+    assert res.rounds >= 2 * (tree.n - 1) or tree.n == 1
+    assert res.rounds <= bfdn_bound(tree.n, tree.depth, 1, tree.max_degree)
+
+
+@settings(max_examples=15, deadline=None)
+@given(tree_params, st.integers(2, 6), st.integers(2, 6))
+def test_monotone_teams_still_complete(params, k1, k2):
+    """Different team sizes explore the same tree completely (no shared
+    state leaks between runs)."""
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    r1 = Simulator(tree, BFDN(), k1).run()
+    r2 = Simulator(tree, BFDN(), k2).run()
+    assert r1.done and r2.done
+    assert r1.metrics.reveals == r2.metrics.reveals == tree.n - 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(tree_params, st.integers(1, 8))
+def test_determinism(params, k):
+    """The algorithm is fully deterministic: two runs agree exactly."""
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    r1 = Simulator(tree, BFDN(), k).run()
+    r2 = Simulator(tree, BFDN(), k).run()
+    assert r1.rounds == r2.rounds
+    assert r1.metrics.total_moves == r2.metrics.total_moves

@@ -1,0 +1,73 @@
+"""Tests for the shortcut re-anchoring ablation (complete communication)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds import bfdn_bound
+from repro.core import BFDN
+from repro.core.bfdn_shortcut import ShortcutBFDN
+from repro.sim import Simulator
+from repro.trees import Tree
+from repro.trees import generators as gen
+from repro.trees.validation import check_exploration_complete
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", (1, 2, 4, 8))
+    def test_explores_and_returns(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, ShortcutBFDN(), k).run()
+        assert res.done, f"{label} k={k}"
+        check_exploration_complete(res.ptree, tree, res.positions)
+
+    @pytest.mark.parametrize("k", (2, 4, 8))
+    def test_within_theorem1_bound(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, ShortcutBFDN(), k).run()
+        assert res.rounds <= bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+
+
+class TestShortcutImproves:
+    def test_never_much_worse_than_bfdn(self, tree_case):
+        label, tree = tree_case
+        k = 4
+        shortcut = Simulator(tree, ShortcutBFDN(), k).run().rounds
+        standard = Simulator(tree, BFDN(), k).run().rounds
+        assert shortcut <= standard * 1.15 + 4, label
+
+    def test_big_win_on_deep_caterpillar(self):
+        """Root-to-root detours dominate on deep instances with spread
+        work; the shortcut should cut runtime substantially."""
+        tree = gen.caterpillar(25, 4)
+        k = 8
+        shortcut = Simulator(tree, ShortcutBFDN(), k).run().rounds
+        standard = Simulator(tree, BFDN(), k).run().rounds
+        assert shortcut < 0.7 * standard
+
+    def test_no_difference_at_k1(self):
+        """A single robot never returns mid-run anyway: identical cost."""
+        tree = gen.random_recursive(200)
+        shortcut = Simulator(tree, ShortcutBFDN(), 1).run().rounds
+        standard = Simulator(tree, BFDN(), 1).run().rounds
+        assert shortcut == standard
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(2, 70),
+    st.integers(0, 2**31 - 1),
+    st.sampled_from([0.2, 0.5, 0.8]),
+    st.integers(1, 8),
+)
+def test_property_correct_and_bounded(n, seed, bias, k):
+    rng = random.Random(seed)
+    parents = [-1]
+    for v in range(1, n):
+        parents.append(v - 1 if rng.random() < bias else rng.randrange(v))
+    tree = Tree(parents)
+    res = Simulator(tree, ShortcutBFDN(), k).run()
+    assert res.done
+    assert res.metrics.reveals == tree.n - 1
+    assert res.rounds <= bfdn_bound(tree.n, tree.depth, k, tree.max_degree)

@@ -1,0 +1,126 @@
+"""Tests for the write-read / restricted-memory BFDN (Proposition 6)."""
+
+import pytest
+
+from repro.bounds import bfdn_bound
+from repro.core import WriteReadBFDN
+from repro.sim import Simulator
+from repro.trees import generators as gen
+from repro.trees.validation import (
+    check_exploration_complete,
+    check_partial_consistent,
+)
+
+TEAM_SIZES = (1, 2, 4, 8)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", TEAM_SIZES)
+    def test_explores_and_returns(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, WriteReadBFDN(), k).run()
+        assert res.done, f"{label} k={k}"
+        check_partial_consistent(res.ptree, tree)
+        check_exploration_complete(res.ptree, tree, res.positions)
+
+    @pytest.mark.parametrize("k", TEAM_SIZES)
+    def test_every_edge_revealed_once(self, tree_case, k):
+        _, tree = tree_case
+        res = Simulator(tree, WriteReadBFDN(), k).run()
+        assert res.metrics.reveals == tree.n - 1
+
+
+class TestProposition6:
+    """The Theorem 1 bound carries over to the restricted model."""
+
+    @pytest.mark.parametrize("k", TEAM_SIZES)
+    def test_round_bound(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, WriteReadBFDN(), k).run()
+        bound = bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+        assert res.rounds <= bound, f"{label} k={k}: {res.rounds} > {bound}"
+
+
+class TestPlannerBehaviour:
+    def test_working_depth_advances(self):
+        # A spider with more legs than robots: the first returners leave
+        # unfinished root ports behind, so the planner must advance its
+        # working depth and anchor robots at depth >= 1.
+        tree = gen.spider(6, 5)
+        algo = WriteReadBFDN()
+        res = Simulator(tree, algo, 2).run()
+        assert res.done
+        assert algo.planner_depth >= 1
+
+    def test_lone_explorer_keeps_depth_zero(self):
+        # On a path the single root port is finished by the time the lone
+        # explorer returns, so the planner never needs a deeper anchor.
+        tree = gen.path(20)
+        algo = WriteReadBFDN()
+        res = Simulator(tree, algo, 2).run()
+        assert res.done
+        assert algo.planner_finished
+
+    def test_planner_declares_finished(self):
+        tree = gen.complete_ary(2, 4)
+        algo = WriteReadBFDN()
+        res = Simulator(tree, algo, 4).run()
+        assert res.done
+        assert algo.planner_finished
+
+    def test_single_node_tree(self):
+        tree = gen.path(1)
+        algo = WriteReadBFDN()
+        res = Simulator(tree, algo, 3).run()
+        assert res.done
+        assert res.rounds == 0
+
+    def test_assignments_logged_per_depth(self):
+        tree = gen.comb(8, 4)
+        algo = WriteReadBFDN()
+        Simulator(tree, algo, 4).run()
+        per_depth = algo.assignments_per_depth
+        assert per_depth, "planner never assigned an anchor"
+        assert all(d >= 0 for d in per_depth)
+        assert all(count >= 1 for count in per_depth.values())
+
+
+class TestPartitionSemantics:
+    def test_each_downward_port_entered_once(self):
+        """No two robots are ever sent through the same port j >= 1: with
+        the per-port single hand-out, each edge is revealed exactly once
+        and the engine would raise otherwise."""
+        tree = gen.star(25)
+        res = Simulator(tree, WriteReadBFDN(), 10).run()
+        assert res.done
+
+    def test_lone_robot_does_plain_dfs(self):
+        tree = gen.complete_ary(2, 5)
+        res = Simulator(tree, WriteReadBFDN(), 1).run()
+        # A single robot pays the DFS cost plus at most a few anchor trips.
+        assert res.rounds >= 2 * (tree.n - 1)
+        assert res.rounds <= 2 * (tree.n - 1) + 2 * tree.depth + 2
+
+
+class TestMemoryModel:
+    def test_memory_is_bounded(self):
+        """The robot memory stays within Delta + D log2(Delta) bits: the
+        port stack never exceeds D entries and the bitmap the degree."""
+        from repro.sim import Exploration
+
+        tree = gen.random_recursive(120)
+        k = 4
+        expl = Exploration(tree, k)
+        algo = WriteReadBFDN()
+        algo.attach(expl)
+        everyone = set(range(k))
+        while True:
+            moves = algo.select_moves(expl, everyone)
+            before = list(expl.positions)
+            events = expl.apply(moves, everyone)
+            algo.observe(expl, events)
+            for mem in algo._memories:
+                assert len(mem.stack) <= tree.depth
+                assert len(mem.finished_bitmap) <= tree.max_degree
+            if expl.positions == before:
+                break

@@ -1,0 +1,108 @@
+"""Direct unit tests for the write-read central planner (Algorithm 2)."""
+
+import pytest
+
+from repro.core.bfdn_writeread import _Planner, _RobotMemory
+
+
+def make_memory(key, node, degree, finished):
+    mem = _RobotMemory(key, node)
+    mem.anchor_node = node
+    mem.anchor_degree = degree
+    mem.finished_bitmap = set(finished)
+    return mem
+
+
+class TestPlannerState:
+    def test_initial(self):
+        p = _Planner(root=0, k=4)
+        assert p.depth == 0
+        assert p.anchors == [None]
+        assert p.loads[None] == 4
+        assert not p.finished
+
+    def test_assign_balances_loads(self):
+        p = _Planner(0, 4)
+        p.depth = 1
+        p.anchors = [(0, 0), (0, 1)]
+        p.loads = {(0, 0): 0, (0, 1): 0}
+        picks = [p.assign() for _ in range(4)]
+        assert picks.count((0, 0)) == 2
+        assert picks.count((0, 1)) == 2
+
+    def test_assign_skips_returned(self):
+        p = _Planner(0, 4)
+        p.anchors = [(0, 0), (0, 1)]
+        p.returned = {(0, 0)}
+        p.loads = {(0, 0): 0, (0, 1): 5}
+        assert p.assign() == (0, 1)
+
+    def test_assign_none_when_all_returned(self):
+        p = _Planner(0, 2)
+        p.anchors = [(0, 0)]
+        p.returned = {(0, 0)}
+        assert p.assign() == "none"
+
+    def test_assignment_counter(self):
+        p = _Planner(0, 2)
+        p.anchors = [(0, 0)]
+        p.loads = {(0, 0): 0}
+        p.assign()
+        p.assign()
+        assert p.assignments_per_depth == {0: 2}
+
+
+class TestReturnsAndAdvance:
+    def test_process_return_merges_bitmaps(self):
+        p = _Planner(0, 2)
+        p.anchors = [(0, 0)]
+        p.loads = {(0, 0): 2}
+        p.process_return(make_memory((0, 0), node=5, degree=4, finished={1}))
+        p.process_return(make_memory((0, 0), node=5, degree=4, finished={2}))
+        assert p.returned == {(0, 0)}
+        node, degree, bitmap = p.reports[(0, 0)]
+        assert (node, degree) == (5, 4)
+        assert bitmap == {1, 2}
+        assert p.loads[(0, 0)] == 0
+
+    def test_stale_anchor_return_ignored_for_R(self):
+        p = _Planner(0, 2)
+        p.anchors = [(0, 1)]
+        p.process_return(make_memory((9, 9), node=9, degree=3, finished=set()))
+        assert p.returned == set()
+
+    def test_advance_uses_root_whiteboard(self):
+        """At depth 0 the planner reads the root's own whiteboard: ports
+        finished there are not candidates."""
+        p = _Planner(0, 2)
+        p.returned = {None}
+        p.reports[None] = (0, 0, set())
+        p.maybe_advance(root_degree=3, root_finished={0, 2})
+        assert p.depth == 1
+        assert p.anchors == [(0, 1)]
+
+    def test_advance_declares_finished(self):
+        p = _Planner(0, 2)
+        p.returned = {None}
+        p.maybe_advance(root_degree=2, root_finished={0, 1})
+        assert p.finished
+
+    def test_advance_waits_for_all_anchors(self):
+        p = _Planner(0, 2)
+        p.depth = 1
+        p.anchors = [(0, 0), (0, 1)]
+        p.returned = {(0, 0)}
+        p.reports[(0, 0)] = (3, 2, {1})
+        p.maybe_advance(root_degree=2, root_finished=set())
+        assert p.depth == 1  # (0, 1) has not returned yet
+
+    def test_advance_chains_depths(self):
+        """A fully-returned depth with unfinished children advances once;
+        the loop continues if the next level is also all-returned."""
+        p = _Planner(0, 2)
+        p.depth = 1
+        p.anchors = [(5, 1)]
+        p.returned = {(5, 1)}
+        p.reports[(5, 1)] = (7, 3, {1, 2})  # node 7, ports 1,2 finished
+        p.maybe_advance(root_degree=2, root_finished=set())
+        assert p.finished  # no unfinished ports anywhere below

@@ -1,0 +1,159 @@
+"""Tests for guarantee formulas and the Figure 1 region map."""
+
+import math
+
+import pytest
+
+from repro.bounds import (
+    ALGORITHMS,
+    adversarial_bound,
+    best_bfdn_ell_simplified,
+    bfdn_bound,
+    bfdn_ell_bound,
+    bfdn_ell_simplified,
+    bfdn_simplified,
+    compute_region_map,
+    cte_simplified,
+    lemma2_bound,
+    max_ell,
+    offline_lower_bound_value,
+    region_winner,
+    render_ascii,
+    theorem3_bound,
+    to_csv,
+    yostar_simplified,
+)
+from repro.bounds.regions import (
+    bfdn_beats_bfdn_ell,
+    bfdn_beats_cte,
+    bfdn_ell_beats_bfdn,
+    bfdn_ell_beats_cte,
+)
+
+
+class TestFormulas:
+    def test_theorem1(self):
+        # 2n/k + D^2 (min(log Delta, log k) + 3)
+        assert bfdn_bound(100, 5, 4, 16) == pytest.approx(
+            50 + 25 * (math.log(4) + 3)
+        )
+        assert bfdn_bound(100, 5, 16, 4) == pytest.approx(
+            12.5 + 25 * (math.log(4) + 3)
+        )
+
+    def test_theorem1_without_delta(self):
+        assert bfdn_bound(100, 5, 4) == pytest.approx(50 + 25 * (math.log(4) + 3))
+
+    def test_k1_log_term_vanishes(self):
+        assert bfdn_bound(100, 5, 1, 50) == pytest.approx(200 + 25 * 3)
+
+    def test_theorem3(self):
+        assert theorem3_bound(8, 4) == pytest.approx(8 * math.log(4) + 16)
+        assert theorem3_bound(8) == pytest.approx(8 * math.log(8) + 16)
+
+    def test_lemma2(self):
+        assert lemma2_bound(8, 2) == pytest.approx(8 * (math.log(2) + 3))
+
+    def test_adversarial_has_no_delta_term(self):
+        # Section 4.2: only the log(k) variant survives break-downs.
+        assert adversarial_bound(100, 5, 8) == pytest.approx(
+            25 + 25 * (math.log(8) + 3)
+        )
+
+    def test_theorem10_ell1_close_to_theorem1(self):
+        n, depth, k = 10_000, 20, 16
+        assert bfdn_ell_bound(n, depth, k, 1) <= 4 * bfdn_bound(n, depth, k) + 1e-6
+
+    def test_theorem10_rejects_bad_ell(self):
+        with pytest.raises(ValueError):
+            bfdn_ell_bound(10, 2, 4, 0)
+        with pytest.raises(ValueError):
+            bfdn_ell_simplified(10, 2, 4, 0)
+
+    def test_offline_lower_bound_value(self):
+        assert offline_lower_bound_value(100, 10, 4) == 50
+        assert offline_lower_bound_value(100, 40, 4) == 80
+
+    def test_max_ell_matches_caption(self):
+        # ell <= log k / loglog k
+        assert max_ell(2) == 1
+        k = 1 << 20
+        assert max_ell(k) == int(math.log(k) / math.log(math.log(k)))
+
+
+class TestAppendixABoundaries:
+    def test_bfdn_vs_cte(self):
+        k = 64
+        # Deep in the BFDN region the computed winner agrees.
+        assert bfdn_beats_cte(1e12, 100, k)
+        assert not bfdn_beats_cte(1e3, 1e3, k)
+
+    def test_bfdn_vs_bfdn_ell(self):
+        k = 64
+        assert bfdn_beats_bfdn_ell(1e9, 10, k)  # n/k >> D^2
+        assert bfdn_ell_beats_bfdn(1e6, 1e3, k, 2)  # n/k^(1/2) << D^2
+
+    def test_bfdn_ell_vs_cte_requires_large_k(self):
+        # k^{1/ell} must exceed log k: k=16, ell=4 gives 2 < log(16)=2.77.
+        assert not bfdn_ell_beats_cte(1e9, 10, 16, 4)
+        assert bfdn_ell_beats_cte(1e9, 10, 16, 2)
+
+    def test_boundaries_agree_with_winner_on_samples(self):
+        k = 1 << 20
+        # A point well inside BFDN's region by the Appendix A algebra:
+        n, depth = 2.0**60, 2.0**5
+        assert bfdn_beats_cte(n, depth, k)
+        assert bfdn_beats_bfdn_ell(n, depth, k)
+        assert region_winner(n, depth, k) == "BFDN"
+
+
+class TestRegionMap:
+    def test_winner_blank_when_no_tree(self):
+        assert region_winner(4, 10, 64) == ""
+
+    def test_map_contains_all_main_regions(self):
+        m = compute_region_map(1 << 20, resolution=40, log2_n_max=110, log2_d_max=70)
+        counts = m.counts()
+        for name in ("CTE", "BFDN", "BFDN_ell"):
+            assert counts[name] > 0, name
+
+    def test_yostar_region_appears_at_huge_k(self):
+        m = compute_region_map(1 << 40, resolution=30, log2_n_max=260, log2_d_max=200)
+        assert m.counts()["Yo*"] > 0
+
+    def test_qualitative_layout(self):
+        """BFDN wins at large n / shallow D; CTE near the n ~ D diagonal;
+        BFDN_ell between them — the layout of Figure 1."""
+        k = 1 << 20
+        assert region_winner(2.0**60, 2.0**4, k) == "BFDN"
+        assert region_winner(2.0**31, 2.0**28, k) == "CTE"
+        assert region_winner(2.0**60, 2.0**25, k) == "BFDN_ell"
+
+    def test_render_and_csv(self):
+        m = compute_region_map(64, resolution=10, log2_n_max=30, log2_d_max=20)
+        art = render_ascii(m)
+        assert "Figure 1 regions" in art
+        assert art.count("\n") >= 10
+        csv = to_csv(m)
+        assert csv.splitlines()[0] == "log2_n,log2_d,winner"
+        assert len(csv.splitlines()) == 10 * 10 + 1
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            compute_region_map(1)
+
+    def test_winner_at_helper(self):
+        m = compute_region_map(64, resolution=8)
+        assert m.winner_at(2.0**20, 2.0**2) == region_winner(2.0**20, 2.0**2, 64)
+
+
+class TestSimplifiedShapes:
+    def test_monotone_in_n(self):
+        for f in (cte_simplified, bfdn_simplified, yostar_simplified):
+            assert f(10_000, 10, 64) < f(100_000, 10, 64)
+
+    def test_best_ell_at_least_as_good_as_any(self):
+        n, depth, k = 2.0**40, 2.0**18, 1 << 20
+        best = best_bfdn_ell_simplified(n, depth, k)
+        for ell in range(2, max_ell(k) + 1):
+            assert best <= bfdn_ell_simplified(n, depth, k, ell) + 1e-9

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.algorithm == "bfdn"
+        assert args.k == 8
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--algorithm", "nope"])
+
+
+class TestCommands:
+    def test_explore(self, capsys):
+        assert main(["explore", "-n", "60", "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out and "Theorem 1 bound" in out
+
+    @pytest.mark.parametrize("algo", ["bfdn", "bfdn-wr", "bfdn-ell2", "cte", "dfs"])
+    def test_explore_all_algorithms(self, algo, capsys):
+        assert main(["explore", "--algorithm", algo, "-n", "40", "-k", "4"]) == 0
+
+    @pytest.mark.parametrize(
+        "tree", ["random", "path", "star", "caterpillar", "spider", "comb", "deep"]
+    )
+    def test_explore_all_trees(self, tree, capsys):
+        assert main(["explore", "--tree", tree, "-n", "40", "-k", "3"]) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--algorithms", "bfdn", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "bfdn" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--log2-k", "10", "--resolution", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 regions" in out
+
+    def test_game(self, capsys):
+        assert main(["game", "-k", "8", "--delta", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "DP optimum" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "-n", "8", "-k", "2", "--rounds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "round 0" in out
+
+    def test_mission(self, capsys):
+        assert main(["mission", "--tree", "star", "-n", "60", "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "explored" in out and "efficiency" in out
+
+    def test_mission_write_read(self, capsys):
+        assert main(
+            ["mission", "--tree", "star", "-n", "60", "-k", "4", "--write-read"]
+        ) == 0
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "E3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("== E3")

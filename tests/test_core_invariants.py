@@ -1,0 +1,76 @@
+"""Tests for the run-time invariant checker (Claims 2, 4, 5 per round)."""
+
+import pytest
+
+from repro.core import BFDN
+from repro.core.invariants import CheckedBFDN, InvariantViolation
+from repro.sim import Simulator
+from repro.trees import generators as gen
+
+
+class TestCheckedRuns:
+    @pytest.mark.parametrize("k", (1, 2, 4, 8))
+    def test_all_families_pass_checks(self, tree_case, k):
+        """Every round of every run satisfies Claims 4 and 5, working-depth
+        monotonicity and load conservation."""
+        label, tree = tree_case
+        res = Simulator(tree, CheckedBFDN(), k).run()
+        assert res.done, f"{label} k={k}"
+
+    def test_checked_matches_unchecked(self):
+        tree = gen.random_recursive(200)
+        checked = Simulator(tree, CheckedBFDN(), 4).run()
+        plain = Simulator(tree, BFDN(), 4).run()
+        assert checked.rounds == plain.rounds
+
+    def test_wraps_custom_inner(self):
+        inner = BFDN(record_excursions=True)
+        algo = CheckedBFDN(inner)
+        Simulator(gen.comb(6, 3), algo, 3).run()
+        assert algo.excursions  # forwarded from the inner instance
+
+    def test_with_breakdown_adversary(self):
+        from repro.sim import RandomBreakdowns
+
+        tree = gen.caterpillar(12, 3)
+        adv = RandomBreakdowns(0.5, horizon=10_000, seed=3)
+        res = Simulator(
+            tree, CheckedBFDN(), 4, adversary=adv, stop_when_complete=True
+        ).run()
+        assert res.complete
+
+
+class TestViolationDetection:
+    def test_detects_corrupted_loads(self):
+        """Sabotaging the load table trips the conservation check."""
+        tree = gen.complete_ary(2, 4)
+        algo = CheckedBFDN()
+
+        class Saboteur(CheckedBFDN):
+            def select_moves(self, expl, movable):
+                moves = self.inner.select_moves(expl, movable)
+                if expl.round == 3:
+                    self.inner._loads[tree.root] = 99
+                return moves
+
+        with pytest.raises(InvariantViolation):
+            Simulator(tree, Saboteur(), 3).run()
+
+    def test_detects_corrupted_anchor(self):
+        """Teleporting an anchor off the open nodes' ancestor paths trips
+        the coverage check (on trees where coverage then fails)."""
+        tree = gen.spider(4, 6)
+
+        class Saboteur(CheckedBFDN):
+            def select_moves(self, expl, movable):
+                moves = self.inner.select_moves(expl, movable)
+                if expl.round == 2:
+                    # Point every anchor at a single leg node, uncovering
+                    # the other legs' open nodes.
+                    target = expl.positions[0]
+                    self.inner._anchors = [target] * expl.k
+                    self.inner._loads = {target: expl.k}
+                return moves
+
+        with pytest.raises(InvariantViolation):
+            Simulator(tree, Saboteur(), 4).run()

@@ -1,0 +1,114 @@
+"""Engine fuzzing: random (valid and invalid) move streams.
+
+The engine is the trusted base of every claim check, so it gets fuzzed:
+random legal moves must keep the state consistent forever, and random
+illegal moves must always be rejected without corrupting anything.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import STAY, UP, Exploration, MoveError, down, explore
+from repro.trees import Tree
+from repro.trees import generators as gen
+from repro.trees.validation import check_partial_consistent
+
+
+def random_tree(n, seed):
+    rng = random.Random(seed)
+    return Tree([-1] + [rng.randrange(v) for v in range(1, n)])
+
+
+def legal_moves_for(expl, i, taken):
+    """All legal moves of robot i, given dangling ports already taken
+    this round."""
+    u = expl.positions[i]
+    ptree = expl.ptree
+    options = [STAY]
+    if u != expl.tree.root:
+        options.append(UP)
+    for child in ptree.explored_children(u):
+        options.append(down(child))
+    for port in ptree.dangling_ports(u):
+        if (u, port) not in taken:
+            options.append(explore(port))
+    return options
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 50), st.integers(0, 2**31 - 1), st.integers(1, 6))
+def test_random_legal_walks_stay_consistent(n, seed, k):
+    """Arbitrary legal move streams never corrupt the partial view."""
+    tree = random_tree(n, seed)
+    expl = Exploration(tree, k)
+    rng = random.Random(seed ^ 0xBEEF)
+    everyone = set(range(k))
+    for _ in range(4 * n):
+        taken = set()
+        moves = {}
+        for i in range(k):
+            move = rng.choice(legal_moves_for(expl, i, taken))
+            if move[0] == "explore":
+                taken.add((expl.positions[i], move[1]))
+            moves[i] = move
+        expl.apply(moves, everyone)
+    check_partial_consistent(expl.ptree, tree)
+    assert expl.ptree.num_explored <= tree.n
+    assert expl.metrics.reveals == expl.ptree.num_explored - 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+def test_random_illegal_moves_always_rejected(n, seed):
+    """Illegal moves raise MoveError and leave the state untouched."""
+    tree = random_tree(n, seed)
+    expl = Exploration(tree, 2)
+    rng = random.Random(seed ^ 0xF00D)
+    everyone = {0, 1}
+    # Walk robot 0 a bit first.
+    for _ in range(min(5, n - 1)):
+        options = [m for m in legal_moves_for(expl, 0, set()) if m[0] != "stay"]
+        if not options:
+            break
+        expl.apply({0: rng.choice(options)}, everyone)
+
+    bad_moves = [
+        ("explore", 10_000),  # nonexistent port
+        ("down", n + 5),  # nonexistent node
+        ("teleport", 0),  # unknown kind
+    ]
+    u = expl.positions[0]
+    if expl.ptree.explored_children(u):
+        # Down to a node that is NOT a child of u (the root, say), when
+        # u is not its parent.
+        if expl.ptree.parent(u) != tree.root and u != tree.root:
+            bad_moves.append(("down", tree.root))
+    for move in bad_moves:
+        before_positions = list(expl.positions)
+        before_explored = expl.ptree.num_explored
+        with pytest.raises(MoveError):
+            expl.apply({0: move}, everyone)
+        assert expl.positions == before_positions
+        assert expl.ptree.num_explored == before_explored
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(3, 40), st.integers(0, 2**31 - 1))
+def test_blocked_robot_moves_rejected(n, seed):
+    tree = random_tree(n, seed)
+    expl = Exploration(tree, 2)
+    with pytest.raises(MoveError):
+        expl.apply({0: explore(0)}, movable={1})
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 2**31 - 1), st.integers(2, 5))
+def test_duplicate_reveal_rejected_in_strict_model(n, seed, k):
+    tree = random_tree(n, seed)
+    if tree.degree(tree.root) < 1:
+        return
+    expl = Exploration(tree, k)
+    with pytest.raises(MoveError):
+        expl.apply({0: explore(0), 1: explore(0)}, set(range(k)))

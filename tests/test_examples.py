@@ -1,0 +1,73 @@
+"""Execute every example script (small parameters) so they cannot rot.
+
+Each example runs in a subprocess exactly as a user would run it; a
+non-zero exit or traceback fails the suite.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(REPO, "examples")
+
+
+def run_example(script, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "300", "4")
+        assert "BFDN finished" in out
+
+    def test_warehouse_sweep(self):
+        out = run_example("warehouse_sweep.py", "12", "8", "4")
+        assert "swept every aisle" in out
+
+    def test_build_farm_scheduler(self):
+        out = run_example("build_farm_scheduler.py", "12")
+        assert "Theorem 3 bound" in out
+
+    def test_cave_survey(self):
+        out = run_example("cave_survey.py", "2000", "8")
+        assert "winner" in out
+
+    def test_flaky_fleet(self):
+        out = run_example("flaky_fleet.py", "300", "6")
+        assert "Prop.7 bound" in out
+
+    def test_figure1_chart(self):
+        out = run_example("figure1_chart.py", "14")
+        assert "Figure 1 regions" in out
+
+    def test_maze_race(self):
+        out = run_example("maze_race.py", "10", "4")
+        assert "extra passages" in out
+
+    def test_expedition_report(self, tmp_path):
+        out = run_example("expedition_report.py", "200", "4", str(tmp_path))
+        assert "Explored in" in out
+        assert (tmp_path / "expedition_end.svg").exists()
+
+    def test_visual_report(self, tmp_path):
+        out = run_example("visual_report.py", str(tmp_path))
+        assert (tmp_path / "figure1_k20.svg").exists()
+        assert (tmp_path / "final_tree.svg").exists()
+
+    def test_reproduce_all_subset(self):
+        out = run_example("reproduce_all.py", "E3", "E12")
+        assert "== E3" in out and "== E12" in out

@@ -1,0 +1,81 @@
+"""Tests for the resource-allocation interpretation (Section 3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.game import run_allocation
+
+
+class TestSwitchBound:
+    """The least-crowded policy switches at most ``k log k + 2k`` times."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", (2, 4, 8, 16, 32))
+    def test_random_workloads(self, k, seed):
+        rng = random.Random(seed)
+        work = [rng.randrange(1, 200) for _ in range(k)]
+        res = run_allocation(work, policy="least-crowded")
+        assert res.within_bound, f"{res.switches} > {res.bound}"
+
+    def test_adversarial_geometric_workload(self):
+        # Task lengths 1, 2, 4, ...: short tasks finish constantly, forcing
+        # many reassignments — the regime the urn game models.
+        k = 16
+        work = [2**i for i in range(k)]
+        res = run_allocation(work)
+        assert res.within_bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 500), min_size=2, max_size=24))
+    def test_property_random_lengths(self, work):
+        res = run_allocation(work)
+        assert res.within_bound
+        assert res.rounds >= res.ideal_rounds
+
+
+class TestSemantics:
+    def test_all_work_completed(self):
+        work = [10, 20, 30, 40]
+        res = run_allocation(work)
+        # Workers * rounds is at least the total work.
+        assert len(work) * res.rounds >= sum(work)
+
+    def test_zero_length_tasks(self):
+        res = run_allocation([0, 0, 5, 5])
+        assert res.rounds >= 2
+        assert res.switches >= 2  # the two idle workers must move
+
+    def test_equal_tasks_no_switches(self):
+        res = run_allocation([7, 7, 7, 7])
+        assert res.switches == 0
+        assert res.rounds == 7
+
+    def test_switch_counts_per_worker(self):
+        res = run_allocation([1, 100, 100, 100])
+        assert sum(res.switches_per_worker) == res.switches
+        assert res.switches_per_worker[0] >= 1
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            run_allocation([])
+        with pytest.raises(ValueError):
+            run_allocation([3, -1])
+
+
+class TestPolicyAblation:
+    def test_policies_all_complete(self):
+        rng = random.Random(1)
+        work = [rng.randrange(1, 50) for _ in range(12)]
+        for policy in ("least-crowded", "most-crowded", "random", "first-unfinished"):
+            res = run_allocation(work, policy=policy, seed=5)
+            assert res.rounds > 0
+
+    def test_least_crowded_beats_most_crowded_on_makespan(self):
+        # Dogpiling one task leaves others starved: strictly more rounds.
+        work = [64] * 8
+        work[0] = 1
+        least = run_allocation(work, policy="least-crowded")
+        most = run_allocation(work, policy="most-crowded")
+        assert least.rounds <= most.rounds

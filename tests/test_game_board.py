@@ -1,0 +1,103 @@
+"""Tests for the balls-in-urns board (Section 3.1 game mechanics)."""
+
+import pytest
+
+from repro.game import UrnBoard
+
+
+class TestInitialState:
+    def test_default_board(self):
+        b = UrnBoard(4, 3)
+        assert b.loads == [1, 1, 1, 1]
+        assert b.total == 4
+        assert b.unchosen == {0, 1, 2, 3}
+        assert not b.is_over()
+
+    def test_delta_one_is_over_immediately(self):
+        assert UrnBoard(4, 1).is_over()
+
+    def test_custom_loads(self):
+        b = UrnBoard(4, 2, loads=[3, 1, 0, 0], chosen={2, 3})
+        assert b.total == 4
+        assert b.unchosen == {0, 1}
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            UrnBoard(0, 2)
+        with pytest.raises(ValueError):
+            UrnBoard(3, 0)
+        with pytest.raises(ValueError):
+            UrnBoard(3, 2, loads=[1, 1])
+        with pytest.raises(ValueError):
+            UrnBoard(3, 2, loads=[1, 1, -1])
+
+
+class TestStep:
+    def test_ball_moves(self):
+        b = UrnBoard(3, 3)
+        b.step(0, 1)
+        assert b.loads == [0, 2, 1]
+        assert b.chosen == {0}
+        assert b.steps == 1
+
+    def test_conservation(self):
+        b = UrnBoard(5, 4)
+        b.step(0, 1)
+        b.step(1, 2)
+        b.step(1, 3)  # option (a): urn 1 re-chosen, still has balls
+        assert sum(b.loads) == 5
+        assert b.steps == 3
+
+    def test_rejects_empty_source(self):
+        b = UrnBoard(3, 3)
+        b.step(0, 1)
+        with pytest.raises(ValueError):
+            b.step(0, 2)
+
+    def test_rejects_chosen_destination_while_unchosen_exist(self):
+        b = UrnBoard(3, 3)
+        b.step(0, 1)
+        with pytest.raises(ValueError):
+            b.step(1, 0)  # 0 already chosen, urn 2 still unchosen
+
+    def test_allows_any_destination_when_all_chosen(self):
+        b = UrnBoard(2, 5)
+        b.step(0, 1)
+        b.step(1, 0)  # 0 is chosen but no unchosen urn remains
+        assert sum(b.loads) == 2
+
+
+class TestStopRule:
+    def test_stops_when_unchosen_full(self):
+        b = UrnBoard(3, 2)
+        assert not b.is_over()
+        b.step(0, 1)  # loads [0,2,1], U={1,2}
+        assert not b.is_over()  # urn 2 has 1 < 2 balls
+        b.step(2, 1)  # loads [0,3,0], U={1}
+        assert b.is_over()
+
+    def test_stops_when_u_empty(self):
+        b = UrnBoard(2, 10)
+        b.step(0, 1)
+        b.step(1, 0)
+        assert b.unchosen == set()
+        assert b.is_over()
+
+    def test_theorem3_bound_value(self):
+        import math
+
+        b = UrnBoard(8, 4)
+        assert b.theorem3_bound() == pytest.approx(
+            8 * min(math.log(4), math.log(8)) + 16
+        )
+
+
+class TestLegalMoves:
+    def test_adversary_moves_nonempty_only(self):
+        b = UrnBoard(3, 3, loads=[0, 3, 0])
+        assert b.legal_adversary_moves() == [1]
+
+    def test_player_moves_exclude_chosen_and_source(self):
+        b = UrnBoard(4, 3)
+        b.chosen = {0}
+        assert b.legal_player_moves(1) == [2, 3]

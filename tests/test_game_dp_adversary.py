@@ -1,0 +1,44 @@
+"""Tests for the DP-backed optimal adversary (certifies Lemma 4)."""
+
+import pytest
+
+from repro.game import (
+    BalancedPlayer,
+    DPAdversary,
+    GreedyAdversary,
+    UrnBoard,
+    game_value,
+    play_game,
+)
+
+
+class TestDPAdversary:
+    @pytest.mark.parametrize("k,delta", [(2, 2), (4, 4), (8, 8), (8, 3), (16, 16), (16, 5), (24, 24)])
+    def test_achieves_dp_value(self, k, delta):
+        record = play_game(
+            UrnBoard(k, delta), DPAdversary(k, delta), BalancedPlayer()
+        )
+        assert record.steps == game_value(k, delta)
+
+    @pytest.mark.parametrize("k", (4, 8, 16, 32))
+    def test_greedy_matches_dp_adversary(self, k):
+        """Lemma 4's punchline, certified end to end: the simple greedy
+        rule (option (a) first, drain the heaviest fresh urn otherwise)
+        achieves exactly the optimum the full DP lookahead achieves."""
+        dp = play_game(UrnBoard(k, k), DPAdversary(k, k), BalancedPlayer()).steps
+        greedy = play_game(UrnBoard(k, k), GreedyAdversary(), BalancedPlayer()).steps
+        assert dp == greedy
+
+    def test_never_exceeds_theorem3(self):
+        for k in (4, 8, 16):
+            record = play_game(UrnBoard(k, k), DPAdversary(k, k), BalancedPlayer())
+            assert record.within_bound
+
+    def test_handles_modified_initial_condition(self):
+        k, u = 12, 5
+        loads = [k - u] + [1] * u + [0] * (k - u - 1)
+        chosen = {0} | set(range(u + 1, k))
+        board = UrnBoard(k, k, loads=loads, chosen=chosen)
+        record = play_game(board, DPAdversary(k, k), BalancedPlayer())
+        assert record.steps <= record.bound
+        assert sum(record.final_loads) == k

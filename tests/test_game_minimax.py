@@ -1,0 +1,72 @@
+"""Tests for the full minimax solution of the urn game.
+
+The headline check: the paper's balanced player achieves the exact
+minimax value — it is not merely within Theorem 3's bound but *optimal*
+among all player strategies, for every small (k, Delta) we can solve.
+"""
+
+import pytest
+
+from repro.game import game_value
+from repro.game.minimax import balanced_is_optimal, minimax_from, minimax_value
+
+
+class TestBaseCases:
+    def test_k1(self):
+        assert minimax_value(1, 5) == 1
+
+    def test_delta_one_trivial(self):
+        assert minimax_value(5, 1) == 0
+
+    def test_k2(self):
+        # Adversary picks one urn; U = {other}, its load is 1 < 2=Delta...
+        # the player puts the ball there: load 2 >= Delta. One step.
+        assert minimax_value(2, 2) == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            minimax_value(0, 2)
+        with pytest.raises(ValueError):
+            minimax_value(2, 0)
+
+
+class TestBalancedPlayerIsOptimal:
+    @pytest.mark.parametrize("k", (2, 3, 4, 5, 6, 7, 8, 9, 10))
+    def test_matches_r_table_delta_k(self, k):
+        assert balanced_is_optimal(k, k), (
+            f"balanced player suboptimal at k={k}: "
+            f"minimax {minimax_value(k, k)} vs R {game_value(k, k)}"
+        )
+
+    @pytest.mark.parametrize("k,delta", [(6, 2), (6, 3), (8, 4), (10, 5), (9, 20)])
+    def test_matches_r_table_general_delta(self, k, delta):
+        assert minimax_value(k, delta) == game_value(k, delta)
+
+
+class TestMinimaxFrom:
+    def test_terminal_configuration(self):
+        # All unchosen urns already at Delta.
+        assert minimax_from([3, 3], outside=0, delta=3) == 0
+
+    def test_single_urn_needs_filling(self):
+        # One unchosen urn with 1 ball, Delta=3, 2 balls outside: the
+        # adversary feeds from outside (2 steps fill the urn), or burns
+        # the urn immediately (1 step).  Optimal adversary: feed.
+        assert minimax_from([1], outside=2, delta=3) == 2
+
+    def test_monotone_in_delta(self):
+        values = [minimax_from([1, 1, 1, 1], 0, d) for d in (1, 2, 3, 4)]
+        assert values == sorted(values)
+
+
+class TestMinimaxStructure:
+    def test_value_monotone_in_k(self):
+        values = [minimax_value(k, k) for k in range(2, 9)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_within_theorem3(self):
+        from repro.bounds import theorem3_bound
+
+        for k in (4, 6, 8, 10):
+            assert minimax_value(k, k) <= theorem3_bound(k)

@@ -1,0 +1,72 @@
+"""Tests for the exact game value DP (equations (1)-(2) and Lemma 4)."""
+
+import math
+
+import pytest
+
+from repro.game import game_value, game_value_table, verify_lemma4
+
+
+class TestBaseCases:
+    def test_delta_one_game_is_trivial(self):
+        # Every urn already holds >= 1 = Delta balls.
+        assert game_value(5, 1) == 0
+
+    def test_k_one(self):
+        # One urn, one ball: the adversary picks it, U empties, game over.
+        assert game_value(1, 5) == 1
+
+    def test_u_zero_rows_are_zero(self):
+        table = game_value_table(6, 3)
+        assert all(v == 0 for v in table[0])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            game_value_table(0, 3)
+        with pytest.raises(ValueError):
+            game_value_table(3, 0)
+        with pytest.raises(ValueError):
+            game_value(4, 4, balls_in_u=9, u=2)
+
+
+class TestTheorem3Bound:
+    @pytest.mark.parametrize("k", (2, 4, 8, 16, 32, 64))
+    @pytest.mark.parametrize("delta_factor", (0.5, 1.0, 2.0))
+    def test_value_within_bound(self, k, delta_factor):
+        delta = max(1, int(k * delta_factor))
+        bound = k * min(math.log(delta) if delta > 1 else 0, math.log(k)) + 2 * k
+        assert game_value(k, delta) <= bound
+
+    def test_value_grows_superlinearly(self):
+        # The optimal game is Omega(k log k): check the ratio grows.
+        v8 = game_value(8, 8) / 8
+        v64 = game_value(64, 64) / 64
+        assert v64 > v8
+
+
+class TestLemma4:
+    @pytest.mark.parametrize("k,delta", [(4, 4), (8, 3), (10, 20), (16, 16), (25, 7)])
+    def test_monotonicity_and_option_a(self, k, delta):
+        assert verify_lemma4(k, delta)
+
+
+class TestTableStructure:
+    def test_monotone_in_u(self):
+        # More unchosen urns -> the game can last longer.
+        table = game_value_table(12, 12)
+        for u in range(12):
+            assert table[u][u] <= table[u + 1][u + 1]
+
+    def test_value_from_modified_start(self):
+        # The Section 3.2 start (u unchosen singletons) is no longer than
+        # the full game.
+        k = 10
+        full = game_value(k, k)
+        for u in range(k + 1):
+            assert game_value(k, k, balls_in_u=u, u=u) <= full
+
+    def test_delta_caps_value(self):
+        # Larger Delta only lengthens the game.
+        for k in (6, 12):
+            values = [game_value(k, d) for d in (2, 3, 5, k)]
+            assert values == sorted(values)

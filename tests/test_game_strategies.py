@@ -1,0 +1,106 @@
+"""Tests for game strategies: Theorem 3, optimal adversary, ablations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.game import (
+    BalancedPlayer,
+    FixedTargetPlayer,
+    FreshUrnAdversary,
+    GreedyAdversary,
+    GreedyWorstPlayer,
+    MinLoadAdversary,
+    RandomAdversary,
+    RandomPlayer,
+    UrnBoard,
+    game_value,
+    play_game,
+)
+
+ADVERSARIES = [GreedyAdversary, FreshUrnAdversary, RandomAdversary, MinLoadAdversary]
+
+
+class TestTheorem3:
+    """The balanced player ends the game within
+    ``k min(log Delta, log k) + 2k`` against *any* adversary."""
+
+    @pytest.mark.parametrize("adv_cls", ADVERSARIES)
+    @pytest.mark.parametrize("k,delta", [(2, 2), (4, 4), (8, 3), (16, 16), (32, 8)])
+    def test_bound_holds(self, adv_cls, k, delta):
+        adv = adv_cls()
+        record = play_game(UrnBoard(k, delta), adv, BalancedPlayer())
+        assert record.within_bound, (
+            f"{adv.name}: {record.steps} > {record.bound}"
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 40), st.integers(2, 40), st.integers(0, 10**6))
+    def test_bound_random_adversaries(self, k, delta, seed):
+        record = play_game(
+            UrnBoard(k, delta), RandomAdversary(seed), BalancedPlayer()
+        )
+        assert record.steps <= record.bound
+
+
+class TestGreedyAdversaryIsOptimal:
+    """The simulated greedy adversary achieves exactly the DP value
+    ``R(k, k)`` against the balanced player — Lemma 4 in action."""
+
+    @pytest.mark.parametrize("k,delta", [(2, 2), (4, 4), (6, 3), (8, 8), (12, 5), (16, 16), (24, 24)])
+    def test_matches_dp(self, k, delta):
+        record = play_game(UrnBoard(k, delta), GreedyAdversary(), BalancedPlayer())
+        assert record.steps == game_value(k, delta)
+
+    @pytest.mark.parametrize("k", (4, 8, 16))
+    def test_dominates_other_adversaries(self, k):
+        greedy = play_game(UrnBoard(k, k), GreedyAdversary(), BalancedPlayer()).steps
+        for adv_cls in (FreshUrnAdversary, MinLoadAdversary):
+            other = play_game(UrnBoard(k, k), adv_cls(), BalancedPlayer()).steps
+            assert other <= greedy
+
+
+class TestPlayerAblations:
+    def test_bad_players_can_exceed_bound(self):
+        """The fixed-target player starves urns; against the greedy
+        adversary the game lasts far beyond Theorem 3's bound."""
+        k = 12
+        bound = UrnBoard(k, k).theorem3_bound()
+        record = play_game(
+            UrnBoard(k, k), GreedyAdversary(), FixedTargetPlayer()
+        )
+        assert record.steps > bound
+
+    def test_random_player_completes(self):
+        record = play_game(UrnBoard(10, 10), GreedyAdversary(), RandomPlayer(3))
+        assert record.steps > 0
+        assert sum(record.final_loads) == 10
+
+    def test_worst_player_still_terminates(self):
+        record = play_game(
+            UrnBoard(8, 4), GreedyAdversary(), GreedyWorstPlayer(), max_steps=10_000
+        )
+        assert sum(record.final_loads) == 8
+
+
+class TestGameMechanics:
+    def test_history_recorded(self):
+        record = play_game(
+            UrnBoard(4, 4), GreedyAdversary(), BalancedPlayer(), record_history=True
+        )
+        assert len(record.history) == record.steps
+        for a, b in record.history:
+            assert 0 <= a < 4 and 0 <= b < 4
+
+    def test_ball_conservation(self):
+        record = play_game(UrnBoard(9, 5), RandomAdversary(2), BalancedPlayer())
+        assert sum(record.final_loads) == 9
+
+    def test_modified_initial_condition(self):
+        """Section 3.2's reduction starts with one urn of k - u balls and
+        u singleton urns; the game still respects the (k log k + 2k) cap."""
+        k, u = 10, 6
+        loads = [k - u] + [1] * u + [0] * (k - u - 1)
+        chosen = {0} | set(range(u + 1, k))
+        board = UrnBoard(k, k, loads=loads, chosen=chosen)
+        record = play_game(board, GreedyAdversary(), BalancedPlayer())
+        assert record.steps <= record.bound

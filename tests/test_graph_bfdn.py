@@ -1,0 +1,130 @@
+"""Tests for graph BFDN (Proposition 9)."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    GraphExploration,
+    GridGraph,
+    Obstacle,
+    proposition9_bound,
+    random_obstacle_grid,
+    run_graph_bfdn,
+)
+
+
+def graph_cases():
+    cycle = Graph(12, [(i, (i + 1) % 12) for i in range(12)])
+    complete = Graph(6, [(i, j) for i in range(6) for j in range(i + 1, 6)])
+    ladder_edges = []
+    for i in range(5):
+        ladder_edges.append((i, i + 1))
+        ladder_edges.append((i + 6, i + 7))
+    ladder_edges.extend((i, i + 6) for i in range(6))
+    ladder = Graph(12, ladder_edges)
+    return [
+        ("cycle", cycle),
+        ("complete-K6", complete),
+        ("ladder", ladder),
+        ("grid", GridGraph(6, 5)),
+        ("obstacle-grid", GridGraph(6, 6, [Obstacle(2, 2, 3, 3)])),
+        ("random-obstacles", random_obstacle_grid(9, 9, 5, seed=4)),
+    ]
+
+
+@pytest.fixture(params=graph_cases(), ids=lambda c: c[0])
+def graph_case(request):
+    return request.param
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", (1, 2, 4, 8))
+    def test_explores_and_returns(self, graph_case, k):
+        label, g = graph_case
+        res = run_graph_bfdn(g, k)
+        assert res.complete, f"{label} k={k}"
+        assert res.all_home, f"{label} k={k}"
+
+    def test_tree_plus_closed_partition(self, graph_case):
+        """Every edge ends as exactly one of: BFS-tree edge or closed."""
+        label, g = graph_case
+        res = run_graph_bfdn(g, 3)
+        assert res.tree_edges + res.closed_edges == g.num_edges
+
+    def test_tree_edges_span_graph(self, graph_case):
+        label, g = graph_case
+        res = run_graph_bfdn(g, 3)
+        assert res.tree_edges == g.n - 1  # a spanning tree
+
+
+class TestProposition9:
+    @pytest.mark.parametrize("k", (1, 2, 4, 8))
+    def test_round_bound(self, graph_case, k):
+        label, g = graph_case
+        res = run_graph_bfdn(g, k)
+        bound = proposition9_bound(g.num_edges, g.radius, k, g.max_degree)
+        assert res.rounds <= bound, f"{label} k={k}: {res.rounds} > {bound}"
+
+
+class TestBFSTreeProperty:
+    def test_kept_edges_strictly_deepen(self):
+        """Every surviving tree edge goes from distance d to d+1 — the
+        never-closed edges form a breadth-first tree (Prop 9's proof)."""
+        g = GridGraph(6, 6, [Obstacle(1, 1, 2, 2)])
+        expl = GraphExploration(g, 4)
+        from repro.graphs.exploration import GraphBFDN
+
+        algo = GraphBFDN(expl)
+        while True:
+            moves = algo.select_moves()
+            before = list(expl.positions)
+            expl.apply(moves)
+            if expl.positions == before:
+                break
+        for v, p in expl.parent.items():
+            if p != -1:
+                assert g.distance_to_origin(v) == g.distance_to_origin(p) + 1
+
+
+class TestClosingRules:
+    def test_cycle_closes_exactly_one_edge(self):
+        g = Graph(10, [(i, (i + 1) % 10) for i in range(10)])
+        res = run_graph_bfdn(g, 2)
+        assert res.closed_edges == 1
+
+    def test_swap_on_opposite_traversal(self):
+        """Two robots meeting head-on across the same dangling edge swap:
+        the engine closes the edge without moving either robot."""
+        g = Graph(3, [(0, 1), (0, 2), (1, 2)])
+        expl = GraphExploration(g, 2)
+        # Move the robots to nodes 1 and 2 manually.
+        expl.apply({0: ("explore", g.port_of(0, 1)), 1: ("explore", g.port_of(0, 2))})
+        assert sorted([expl.positions[0], expl.positions[1]]) == [1, 2]
+        # Both now take the 1-2 edge simultaneously.
+        p0 = g.port_of(expl.positions[0], expl.positions[1])
+        p1 = g.port_of(expl.positions[1], expl.positions[0])
+        before = list(expl.positions)
+        expl.apply({0: ("explore", p0), 1: ("explore", p1)})
+        assert expl.positions == before  # swap = both stay
+        assert expl.is_complete()
+
+    def test_backtrack_required_after_close(self):
+        g = Graph(3, [(0, 1), (0, 2), (1, 2)])
+        expl = GraphExploration(g, 1)
+        expl.apply({0: ("explore", g.port_of(0, 1))})
+        # Taking the non-deepening 1-2 edge forces a backtrack.
+        expl.apply({0: ("explore", g.port_of(1, 2))})
+        assert expl.pending_backtrack[0] == 1
+        expl.apply({0: ("backtrack",)})
+        assert expl.positions[0] == 1
+        assert expl.pending_backtrack[0] is None
+
+    def test_invalid_moves_rejected(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        expl = GraphExploration(g, 1)
+        with pytest.raises(ValueError):
+            expl.apply({0: ("goto", 1)})  # not yet a tree edge
+        with pytest.raises(ValueError):
+            expl.apply({0: ("backtrack",)})
+        with pytest.raises(ValueError):
+            expl.apply({0: ("explore", 7)})

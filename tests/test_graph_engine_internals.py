@@ -1,0 +1,124 @@
+"""Unit tests for the graph exploration engine's internal state machine."""
+
+import pytest
+
+from repro.graphs import Graph, GraphExploration
+from repro.graphs.exploration import _CLOSED, _TREE, _UNKNOWN
+
+
+def triangle():
+    return Graph(3, [(0, 1), (0, 2), (1, 2)])
+
+
+class TestInitialState:
+    def test_origin_explored(self):
+        g = triangle()
+        expl = GraphExploration(g, 2)
+        assert expl.explored == {0}
+        assert expl.open_ports[0] == {0, 1}
+        assert expl.min_open_depth() == 0
+        assert not expl.is_complete()
+
+    def test_rejects_zero_robots(self):
+        with pytest.raises(ValueError):
+            GraphExploration(triangle(), 0)
+
+
+class TestEdgeStates:
+    def test_tree_edge_on_deepening_first_visit(self):
+        g = triangle()
+        expl = GraphExploration(g, 1)
+        expl.apply({0: ("explore", g.port_of(0, 1))})
+        assert expl.edge_state[g.edge_id(0, 1)] == _TREE
+        assert expl.positions[0] == 1
+        assert expl.parent[1] == 0
+
+    def test_non_deepening_edge_closed_with_backtrack(self):
+        g = triangle()
+        expl = GraphExploration(g, 1)
+        expl.apply({0: ("explore", g.port_of(0, 1))})
+        expl.apply({0: ("explore", g.port_of(1, 2))})  # 2 unexplored, same depth
+        assert expl.edge_state[g.edge_id(1, 2)] == _CLOSED
+        assert 2 not in expl.explored  # rule (2): not considered explored
+        assert expl.pending_backtrack[0] == 1
+
+    def test_closed_edge_removed_from_both_open_sets(self):
+        g = triangle()
+        expl = GraphExploration(g, 2)
+        expl.apply({0: ("explore", g.port_of(0, 1)), 1: ("explore", g.port_of(0, 2))})
+        # Both endpoints explored; edge 1-2 dangling on both sides.
+        assert g.port_of(1, 2) in expl.open_ports[1]
+        assert g.port_of(2, 1) in expl.open_ports[2]
+        expl.apply({0: ("explore", g.port_of(1, 2)), 1: ("stay",)})
+        assert g.port_of(1, 2) not in expl.open_ports[1]
+        assert g.port_of(2, 1) not in expl.open_ports[2]
+
+    def test_completion_counts(self):
+        g = triangle()
+        expl = GraphExploration(g, 1)
+        expl.apply({0: ("explore", g.port_of(0, 1))})
+        expl.apply({0: ("explore", g.port_of(1, 2))})
+        expl.apply({0: ("backtrack",)})
+        expl.apply({0: ("goto", 0)})
+        expl.apply({0: ("explore", g.port_of(0, 2))})
+        assert expl.is_complete()
+        assert expl.tree_edges == 2 and expl.closed_edges == 1
+
+
+class TestMoveValidation:
+    def test_goto_requires_tree_edge(self):
+        g = triangle()
+        expl = GraphExploration(g, 1)
+        with pytest.raises(ValueError):
+            expl.apply({0: ("goto", 1)})
+
+    def test_backtrack_requires_pending(self):
+        expl = GraphExploration(triangle(), 1)
+        with pytest.raises(ValueError):
+            expl.apply({0: ("backtrack",)})
+
+    def test_explore_requires_open_port(self):
+        g = triangle()
+        expl = GraphExploration(g, 1)
+        expl.apply({0: ("explore", g.port_of(0, 1))})
+        with pytest.raises(ValueError):
+            expl.apply({0: ("explore", 99)})
+
+    def test_same_side_double_explore_rejected(self):
+        g = triangle()
+        expl = GraphExploration(g, 2)
+        with pytest.raises(ValueError):
+            expl.apply({0: ("explore", 0), 1: ("explore", 0)})
+
+    def test_unknown_move_kind(self):
+        expl = GraphExploration(triangle(), 1)
+        with pytest.raises(ValueError):
+            expl.apply({0: ("fly", 2)})
+
+
+class TestRoundAccounting:
+    def test_stay_round_not_billed(self):
+        expl = GraphExploration(triangle(), 1)
+        expl.apply({0: ("stay",)})
+        assert expl.round == 0
+
+    def test_swap_round_billed(self):
+        g = triangle()
+        expl = GraphExploration(g, 2)
+        expl.apply({0: ("explore", g.port_of(0, 1)), 1: ("explore", g.port_of(0, 2))})
+        r = expl.round
+        expl.apply({
+            0: ("explore", g.port_of(1, 2)),
+            1: ("explore", g.port_of(2, 1)),
+        })
+        assert expl.round == r + 1  # identity swap costs one round
+        assert expl.is_complete()
+
+    def test_min_open_depth_advances(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        expl = GraphExploration(g, 1)
+        assert expl.min_open_depth() == 0
+        expl.apply({0: ("explore", 0)})
+        assert expl.min_open_depth() == 1
+        expl.apply({0: ("explore", g.port_of(1, 2))})
+        assert expl.min_open_depth() == 2

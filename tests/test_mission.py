@@ -1,0 +1,78 @@
+"""Tests for the mission-planning facade."""
+
+import pytest
+
+from repro.mission import MissionPlan, plan_mission, run_mission
+from repro.trees import generators as gen
+
+
+class TestPlanning:
+    def test_single_robot_gets_dfs(self):
+        plan = plan_mission(1000, 10, 1)
+        assert plan.algorithm_name == "DFS"
+
+    def test_bushy_tree_gets_bfdn(self):
+        # Huge n, tiny D: BFDN's additive-overhead regime.
+        plan = plan_mission(10**7, 8, 64)
+        assert plan.algorithm_name == "BFDN"
+
+    def test_deep_tree_gets_bfdn_ell(self):
+        # Large n AND D^2 >> n/k: the recursive construction's wedge
+        # between CTE (diagonal) and BFDN (shallow).
+        plan = plan_mission(10**9, 10**4, 1024)
+        assert plan.algorithm_name == "BFDN_ell"
+        assert plan.ell is not None and plan.ell >= 2
+
+    def test_depth_dominated_gets_cte(self):
+        # n close to D: CTE hugs the diagonal of Figure 1.
+        plan = plan_mission(300, 260, 64)
+        assert plan.algorithm_name == "CTE"
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            plan_mission(0, 3, 2)
+        with pytest.raises(ValueError):
+            plan_mission(10, 3, 0)
+
+    def test_build_instantiates(self):
+        plan = plan_mission(10**7, 8, 64)
+        from repro.core import BFDN, WriteReadBFDN
+
+        assert isinstance(plan.build(), BFDN)
+        assert isinstance(plan.build(prefer_write_read=True), WriteReadBFDN)
+
+
+class TestRunMission:
+    @pytest.mark.parametrize("k", (1, 4, 9))
+    def test_mission_completes(self, tree_case, k):
+        label, tree = tree_case
+        report = run_mission(tree, k)
+        assert report.result.done, f"{label} k={k}"
+        assert 0 < report.efficiency <= 1.0
+
+    def test_report_summary(self):
+        report = run_mission(gen.star(100), 4)
+        text = report.summary()
+        assert "explored" in text and "rounds" in text
+
+    def test_write_read_variant(self):
+        tree = gen.random_tree_with_depth(5_000, 8)  # clear BFDN regime
+        report = run_mission(tree, 8, prefer_write_read=True)
+        assert report.result.done
+        assert report.plan.algorithm_name == "BFDN"
+
+    def test_auto_choice_is_reasonable(self):
+        """On a bushy tree the auto-choice is within 1.5x of the best of
+        the three candidates."""
+        from repro.baselines import run_cte
+        from repro.core import BFDN
+        from repro.sim import Simulator
+
+        tree = gen.random_tree_with_depth(3000, 10)
+        k = 16
+        auto = run_mission(tree, k).rounds
+        manual = min(
+            Simulator(tree, BFDN(), k).run().rounds,
+            run_cte(tree, k).rounds,
+        )
+        assert auto <= 1.5 * manual

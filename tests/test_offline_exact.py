@@ -1,0 +1,113 @@
+"""Tests for the exact offline optimum (branch-and-bound)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import offline_lower_bound, offline_split_runtime
+from repro.baselines.offline_exact import (
+    exact_offline_optimum,
+    verify_offline_schedule,
+)
+from repro.core import BFDN
+from repro.sim import Simulator
+from repro.trees import Tree
+from repro.trees import generators as gen
+
+
+class TestExactValues:
+    def test_single_node(self):
+        res = exact_offline_optimum(gen.path(1), 3)
+        assert res.optimum == 0
+
+    def test_path_is_depth_bound(self):
+        # On a path, one robot must walk to the bottom: OPT = 2(n-1).
+        tree = gen.path(8)
+        for k in (1, 2, 4):
+            assert exact_offline_optimum(tree, k).optimum == 14
+
+    def test_star_splits_perfectly(self):
+        tree = gen.star(9)  # 8 leaves
+        assert exact_offline_optimum(tree, 1).optimum == 16
+        assert exact_offline_optimum(tree, 2).optimum == 8
+        assert exact_offline_optimum(tree, 4).optimum == 4
+        assert exact_offline_optimum(tree, 8).optimum == 2
+
+    def test_spider_one_robot_per_leg(self):
+        tree = gen.spider(3, 4)
+        assert exact_offline_optimum(tree, 3).optimum == 8  # 2 * leg length
+
+    def test_k1_equals_euler_tour(self, tree_case):
+        label, tree = tree_case
+        if tree.n > 16:
+            pytest.skip("exact search only for small trees")
+        assert exact_offline_optimum(tree, 1).optimum == 2 * (tree.n - 1)
+
+    def test_k_geq_leaves_saturates(self):
+        # With a robot per leaf, OPT = 2D.
+        tree = gen.spider(4, 3)
+        assert exact_offline_optimum(tree, 4).optimum == 6
+        assert exact_offline_optimum(tree, 8).optimum == 6
+
+
+class TestSandwich:
+    @pytest.mark.parametrize("k", (1, 2, 3, 4))
+    def test_between_lower_bound_and_split(self, k):
+        rng = random.Random(3)
+        for _ in range(5):
+            tree = gen.random_recursive(12, rng)
+            res = exact_offline_optimum(tree, k)
+            assert verify_offline_schedule(tree, res, k)
+            assert offline_lower_bound(tree.n, tree.depth, k) <= res.optimum
+            assert res.optimum <= offline_split_runtime(tree, k)
+
+    def test_split_is_2_approx_certified(self):
+        """The split schedule is within 2x of the *exact* optimum, plus
+        the 2D travel term — certified against OPT, not just the lower
+        bound."""
+        rng = random.Random(9)
+        for _ in range(5):
+            tree = gen.random_recursive(13, rng)
+            for k in (2, 3):
+                opt = exact_offline_optimum(tree, k).optimum
+                split = offline_split_runtime(tree, k)
+                assert split <= opt + 2 * tree.depth + 2
+
+    def test_online_never_beats_exact_opt(self):
+        rng = random.Random(4)
+        for _ in range(4):
+            tree = gen.random_recursive(12, rng)
+            for k in (2, 4):
+                opt = exact_offline_optimum(tree, k).optimum
+                online = Simulator(tree, BFDN(), k).run().rounds
+                assert online >= opt
+
+
+class TestGuards:
+    def test_node_limit(self):
+        with pytest.raises(ValueError):
+            exact_offline_optimum(gen.path(40), 2)
+
+    def test_limit_override(self):
+        res = exact_offline_optimum(gen.path(24), 2, node_limit=24)
+        assert res.optimum == 46
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            exact_offline_optimum(gen.path(5), 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 12), st.integers(0, 2**31 - 1), st.integers(1, 4))
+def test_property_sandwich(n, seed, k):
+    rng = random.Random(seed)
+    parents = [-1] + [rng.randrange(v) for v in range(1, n)]
+    tree = Tree(parents)
+    res = exact_offline_optimum(tree, k)
+    assert verify_offline_schedule(tree, res, k)
+    assert offline_lower_bound(tree.n, tree.depth, k) <= res.optimum
+    assert res.optimum <= offline_split_runtime(tree, k)
+    # Monotone in k.
+    if k > 1:
+        assert res.optimum <= exact_offline_optimum(tree, k - 1).optimum

@@ -1,0 +1,64 @@
+"""Tests for executing offline schedules through the engine."""
+
+import pytest
+
+from repro.baselines.offline import offline_split_schedule
+from repro.baselines.offline_exec import (
+    ScheduledWalks,
+    execute_offline_split,
+    execute_schedule,
+)
+from repro.trees import generators as gen
+
+
+class TestExecution:
+    @pytest.mark.parametrize("k", (1, 2, 4, 8))
+    def test_simulated_rounds_match_computed(self, tree_case, k):
+        """The engine-run schedule costs exactly the analytically computed
+        runtime and explores every edge."""
+        label, tree = tree_case
+        schedule = offline_split_schedule(tree, k)
+        result = execute_schedule(tree, schedule)
+        assert result.complete, f"{label} k={k}"
+        assert result.all_home
+        assert result.rounds == schedule.runtime, f"{label} k={k}"
+
+    def test_convenience_wrapper(self):
+        tree = gen.random_recursive(200)
+        result = execute_offline_split(tree, 4)
+        assert result.complete
+        assert result.metrics.reveals == tree.n - 1
+
+    def test_shared_traversals_happen(self):
+        """On a path with several robots, segments overlap travel: robots
+        legitimately cross the same fresh edge together."""
+        tree = gen.path(12)
+        result = execute_offline_split(tree, 3)
+        assert result.complete
+
+
+class TestValidation:
+    def test_walk_count_must_match_k(self):
+        from repro.sim import Simulator
+
+        tree = gen.star(5)
+        algo = ScheduledWalks([[0, 1, 0]])
+        with pytest.raises(ValueError):
+            Simulator(tree, algo, 2, allow_shared_reveal=True).run()
+
+    def test_walk_must_start_at_root(self):
+        from repro.sim import Simulator
+
+        tree = gen.star(5)
+        algo = ScheduledWalks([[1, 0]])
+        with pytest.raises(ValueError):
+            Simulator(tree, algo, 1, allow_shared_reveal=True).run()
+
+    def test_illegal_walk_rejected_by_engine(self):
+        from repro.sim import MoveError, Simulator
+
+        tree = gen.path(5)
+        # Teleporting walk: 0 -> 3 is not an edge.
+        algo = ScheduledWalks([[0, 3, 0]])
+        with pytest.raises((MoveError, KeyError)):
+            Simulator(tree, algo, 1, allow_shared_reveal=True).run()

@@ -1,0 +1,80 @@
+"""Package-wide quality gates: imports, __all__ consistency, docstrings.
+
+These tests walk the whole ``repro`` package, so adding a module without
+docs or with a broken export list fails CI immediately.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def walk_modules():
+    yield "repro", repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        yield info.name, importlib.import_module(info.name)
+
+
+MODULES = dict(walk_modules())
+
+
+@pytest.mark.parametrize("name", sorted(MODULES))
+def test_module_importable_and_documented(name):
+    module = MODULES[name]
+    assert module.__doc__ and module.__doc__.strip(), f"{name} has no docstring"
+
+
+@pytest.mark.parametrize("name", sorted(MODULES))
+def test_all_exports_exist(name):
+    module = MODULES[name]
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", sorted(MODULES))
+def test_public_classes_documented(name):
+    module = MODULES[name]
+    for attr_name, obj in vars(module).items():
+        if attr_name.startswith("_"):
+            continue
+        if inspect.isclass(obj) and obj.__module__ == module.__name__:
+            assert inspect.getdoc(obj), f"{name}.{attr_name} has no docstring"
+
+
+@pytest.mark.parametrize("name", sorted(MODULES))
+def test_public_functions_documented(name):
+    module = MODULES[name]
+    for attr_name, obj in vars(module).items():
+        if attr_name.startswith("_"):
+            continue
+        if inspect.isfunction(obj) and obj.__module__ == module.__name__:
+            assert inspect.getdoc(obj), f"{name}.{attr_name} has no docstring"
+
+
+def test_package_has_expected_subpackages():
+    expected = {
+        "repro.core", "repro.trees", "repro.graphs", "repro.sim",
+        "repro.game", "repro.baselines", "repro.bounds", "repro.analysis",
+        "repro.viz",
+    }
+    assert expected <= set(MODULES)
+
+
+def test_version_is_exported():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_py_typed_marker_present():
+    import os
+
+    pkg_dir = os.path.dirname(repro.__file__)
+    assert os.path.exists(os.path.join(pkg_dir, "py.typed"))

@@ -1,0 +1,115 @@
+"""Extended property-based tests: every algorithm on random instances.
+
+Complements test_bfdn_properties.py by drawing random trees (and graphs)
+through hypothesis and checking each variant's guarantee simultaneously.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import run_cte
+from repro.bounds import bfdn_bound
+from repro.core import BFDN, WriteReadBFDN
+from repro.graphs import Graph, proposition9_bound, run_graph_bfdn
+from repro.sim import RandomBreakdowns, Simulator
+from repro.trees import Tree
+
+
+def build_tree(n: int, seed: int, bias: float) -> Tree:
+    rng = random.Random(seed)
+    parents = [-1]
+    for v in range(1, n):
+        parents.append(v - 1 if rng.random() < bias else rng.randrange(v))
+    return Tree(parents)
+
+
+tree_params = st.tuples(
+    st.integers(2, 90),
+    st.integers(0, 2**31 - 1),
+    st.sampled_from([0.15, 0.5, 0.85]),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree_params, st.integers(1, 8))
+def test_writeread_theorem1_bound(params, k):
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    res = Simulator(tree, WriteReadBFDN(), k).run()
+    assert res.done
+    assert res.metrics.reveals == tree.n - 1
+    assert res.rounds <= bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+
+
+@settings(max_examples=20, deadline=None)
+@given(tree_params, st.integers(2, 8))
+def test_cte_explores_everything(params, k):
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    res = run_cte(tree, k)
+    assert res.done
+    assert res.metrics.reveals == tree.n - 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(tree_params, st.integers(2, 6), st.integers(0, 10**6))
+def test_breakdowns_never_prevent_completion(params, k, adv_seed):
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    adv = RandomBreakdowns(0.5, horizon=60 * n, seed=adv_seed)
+    res = Simulator(
+        tree, BFDN(), k, adversary=adv, stop_when_complete=True
+    ).run()
+    assert res.complete
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int) -> Graph:
+    """A random tree plus random chords — always connected, no parallels."""
+    rng = random.Random(seed)
+    edges = set()
+    for v in range(1, n):
+        u = rng.randrange(v)
+        edges.add((u, v))
+    attempts = 0
+    while len(edges) < n - 1 + extra_edges and attempts < 20 * extra_edges + 20:
+        attempts += 1
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a == b:
+            continue
+        edges.add((min(a, b), max(a, b)))
+    return Graph(n, sorted(edges))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(3, 60),
+    st.integers(0, 30),
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 8),
+)
+def test_graph_bfdn_proposition9_on_random_graphs(n, extra, seed, k):
+    g = random_connected_graph(n, extra, seed)
+    res = run_graph_bfdn(g, k)
+    assert res.complete and res.all_home
+    assert res.tree_edges == g.n - 1
+    assert res.tree_edges + res.closed_edges == g.num_edges
+    assert res.rounds <= proposition9_bound(
+        g.num_edges, g.radius, k, g.max_degree
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(tree_params, st.integers(2, 8))
+def test_all_tree_algorithms_agree_on_coverage(params, k):
+    """BFDN, write-read BFDN and CTE reveal exactly the same edge set."""
+    n, seed, bias = params
+    tree = build_tree(n, seed, bias)
+    for res in (
+        Simulator(tree, BFDN(), k).run(),
+        Simulator(tree, WriteReadBFDN(), k).run(),
+        run_cte(tree, k),
+    ):
+        assert res.complete
+        assert res.ptree.num_explored == tree.n

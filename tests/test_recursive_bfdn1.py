@@ -1,0 +1,178 @@
+"""Tests for the depth-limited BFDN_1 building block (Section 5)."""
+
+import pytest
+
+from repro.bounds import bfdn_bound
+from repro.core.recursive import DepthLimitedBFDN
+from repro.core.recursive.anchor_based import check_open_node_coverage
+from repro.sim import Exploration, Simulator
+from repro.trees import generators as gen
+from repro.trees.validation import check_exploration_complete
+
+
+class TestFullLimitMatchesBFDN:
+    @pytest.mark.parametrize("k", (1, 2, 4, 8))
+    def test_explores_and_returns(self, tree_case, k):
+        label, tree = tree_case
+        res = Simulator(tree, DepthLimitedBFDN(tree.depth), k).run()
+        assert res.done, f"{label} k={k}"
+        check_exploration_complete(res.ptree, tree, res.positions)
+
+    @pytest.mark.parametrize("k", (2, 4))
+    def test_round_bound(self, tree_case, k):
+        _, tree = tree_case
+        res = Simulator(tree, DepthLimitedBFDN(tree.depth), k).run()
+        assert res.rounds <= bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+
+
+class TestDepthLimit:
+    @pytest.mark.parametrize("limit", (0, 1, 2, 5))
+    def test_small_limit_still_completes(self, limit):
+        tree = gen.complete_ary(2, 6)
+        res = Simulator(tree, DepthLimitedBFDN(limit), 4).run()
+        assert res.complete
+        assert res.metrics.reveals == tree.n - 1
+
+    def test_anchors_respect_limit(self):
+        """No Reanchor assignment targets a node deeper than the limit."""
+        tree = gen.comb(10, 6)
+        limit = 3
+        res = Simulator(tree, DepthLimitedBFDN(limit), 4).run()
+        assert res.complete
+        for rec in res.metrics.reanchors:
+            assert rec.depth <= limit
+
+    def test_parked_robots_stay_at_root(self):
+        tree = gen.broom(8, 6)  # all work below depth 8
+        algo = DepthLimitedBFDN(2)
+        res = Simulator(tree, algo, 5).run()
+        assert res.complete
+        inst = algo.instance
+        # Parked robots ended at the instance root.
+        parked = [i for i in range(5) if inst._modes[i] == "parked"]
+        assert parked
+        for i in parked:
+            assert res.positions[i] == tree.root
+
+
+class TestShallowEfficiency:
+    """Proposition 11's premise: BFDN_1(k, k, d) is c1(k) d^2-shallow
+    efficient — during its shallow phase of T rounds it triggers at least
+    k (T - c1(k) d^2) edge events (first down- or first up-traversals)."""
+
+    @pytest.mark.parametrize(
+        "tree,limit,k",
+        [
+            (gen.caterpillar(14, 4), 5, 4),
+            (gen.comb(10, 5), 4, 4),
+            (gen.random_tree_with_depth(300, 24), 8, 6),
+            (gen.complete_ary(2, 7), 4, 8),
+        ],
+        ids=["caterpillar", "comb", "random", "binary"],
+    )
+    def test_edge_events_lower_bound(self, tree, limit, k):
+        import math
+
+        expl = Exploration(tree, k)
+        algo = DepthLimitedBFDN(limit)
+        algo.attach(expl)
+        inst = algo.instance
+        everyone = set(range(k))
+        down_seen, up_seen = set(), set()
+        events = 0
+        shallow_rounds = 0
+        while True:
+            shallow = not inst.is_running_deep()
+            moves = algo.select_moves(expl, everyone)
+            before = list(expl.positions)
+            applied = expl.apply(moves, everyone)
+            algo.observe(expl, applied)
+            if expl.positions == before:
+                break
+            round_events = 0
+            for i in range(k):
+                if expl.positions[i] == before[i]:
+                    continue
+                a, b = before[i], expl.positions[i]
+                if expl.ptree.parent(b) == a:  # moved down edge (a, b)
+                    if b not in down_seen:
+                        down_seen.add(b)
+                        round_events += 1
+                else:  # moved up edge (b, a)... child is a
+                    if a not in up_seen:
+                        up_seen.add(a)
+                        round_events += 1
+            if shallow:
+                shallow_rounds += 1
+                events += round_events
+        c1 = min(math.log(max(tree.max_degree, 2)), math.log(k)) + 2
+        required = k * (shallow_rounds - c1 * limit * limit)
+        assert events >= required, (
+            f"shallow efficiency violated: {events} events in "
+            f"{shallow_rounds} shallow rounds, needed {required:.0f}"
+        )
+
+
+class TestActivityAndClaims:
+    def test_running_deep_detection(self):
+        tree = gen.broom(8, 6)
+        expl = Exploration(tree, 3)
+        algo = DepthLimitedBFDN(2)
+        algo.attach(expl)
+        inst = algo.instance
+        everyone = {0, 1, 2}
+        deep_seen = False
+        while True:
+            moves = algo.select_moves(expl, everyone)
+            before = list(expl.positions)
+            events = expl.apply(moves, everyone)
+            algo.observe(expl, events)
+            if inst.is_running_deep() and not expl.ptree.is_complete():
+                deep_seen = True
+                # Deep phase: claims cover all open nodes.
+                claims = inst.anchor_claims(expl)
+                check_open_node_coverage(expl, tree.root, claims)
+                for c in claims:
+                    assert expl.ptree.node_depth(c) == 2
+            if expl.positions == before:
+                break
+        assert deep_seen
+
+    def test_active_count_decreases_in_deep_phase(self):
+        tree = gen.broom(10, 4)
+        expl = Exploration(tree, 6)
+        algo = DepthLimitedBFDN(1)
+        algo.attach(expl)
+        inst = algo.instance
+        everyone = set(range(6))
+        min_active = 6
+        while True:
+            moves = algo.select_moves(expl, everyone)
+            before = list(expl.positions)
+            events = expl.apply(moves, everyone)
+            algo.observe(expl, events)
+            min_active = min(min_active, inst.active_count)
+            if expl.positions == before:
+                break
+        # Eventually only the lone deep explorer (plus nobody) is active.
+        assert min_active <= 1
+
+    def test_shallow_activity_invariant(self):
+        """While dangling edges remain at depth <= limit, every robot is
+        active (the Shallow Activity invariant of Appendix B)."""
+        tree = gen.caterpillar(12, 3)
+        k = 4
+        expl = Exploration(tree, k)
+        algo = DepthLimitedBFDN(4)
+        algo.attach(expl)
+        inst = algo.instance
+        everyone = set(range(k))
+        while True:
+            moves = algo.select_moves(expl, everyone)
+            before = list(expl.positions)
+            events = expl.apply(moves, everyone)
+            algo.observe(expl, events)
+            if not inst.is_running_deep():
+                assert inst.active_count == k
+            if expl.positions == before:
+                break

@@ -1,0 +1,106 @@
+"""Tests for BFDN_ell (Theorem 10) and the divide-depth functor."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bounds import bfdn_ell_bound
+from repro.core.recursive import BFDNEll
+from repro.sim import Simulator
+from repro.trees import Tree
+from repro.trees import generators as gen
+from repro.trees.validation import check_exploration_complete
+
+ELLS = (1, 2, 3)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("ell", ELLS)
+    @pytest.mark.parametrize("k", (4, 8, 9))
+    def test_explores_and_returns(self, tree_case, ell, k):
+        label, tree = tree_case
+        res = Simulator(tree, BFDNEll(ell), k).run()
+        assert res.done, f"{label} ell={ell} k={k}"
+        check_exploration_complete(res.ptree, tree, res.positions)
+
+    def test_surplus_robots_idle(self):
+        # k=10, ell=2: K = 3^2 = 9 robots work, robot 9 never moves.
+        tree = gen.complete_ary(2, 5)
+        res = Simulator(tree, BFDNEll(2), 10).run()
+        assert res.done
+        assert res.metrics.moves_per_robot[9] == 0
+
+    def test_rejects_bad_ell(self):
+        with pytest.raises(ValueError):
+            BFDNEll(0)
+
+
+class TestTheorem10:
+    @pytest.mark.parametrize("ell", ELLS)
+    @pytest.mark.parametrize("k", (4, 8, 16))
+    def test_round_bound(self, tree_case, ell, k):
+        label, tree = tree_case
+        res = Simulator(tree, BFDNEll(ell), k).run()
+        bound = bfdn_ell_bound(tree.n, max(tree.depth, 1), k, ell, tree.max_degree)
+        assert res.rounds <= bound, f"{label} ell={ell} k={k}: {res.rounds} > {bound}"
+
+    def test_deep_tree_ell2_beats_ell1_bound(self):
+        """Theorem 10's point: for deep trees the ell=2 guarantee is
+        smaller than the ell=1 (Theorem 1-like) guarantee."""
+        n, depth, k = 10_000, 2_000, 64
+        assert bfdn_ell_bound(n, depth, k, 2) < bfdn_ell_bound(n, depth, k, 1)
+
+
+class TestHighEll:
+    def test_ell4_on_deep_tree(self):
+        tree = gen.random_tree_with_depth(800, 200)
+        res = Simulator(tree, BFDNEll(4), 16).run()
+        assert res.done
+        assert res.rounds <= bfdn_ell_bound(
+            tree.n, tree.depth, 16, 4, tree.max_degree
+        )
+
+    def test_ell_larger_than_log_k_degenerates_gracefully(self):
+        # k=4, ell=5: k_star = 1, K = 1 — a single robot does everything.
+        tree = gen.comb(6, 3)
+        res = Simulator(tree, BFDNEll(5), 4).run()
+        assert res.done
+        assert res.metrics.moves_per_robot[1] == 0  # surplus robots idle
+
+
+class TestStaging:
+    def test_depth_schedule_advances(self):
+        tree = gen.path(80)  # depth 79 forces several 2^(j*ell) stages
+        algo = BFDNEll(2)
+        res = Simulator(tree, algo, 4).run()
+        assert res.done
+        assert algo.stage >= 2
+
+    def test_shallow_tree_single_stage(self):
+        tree = gen.star(30)
+        algo = BFDNEll(2)
+        res = Simulator(tree, algo, 4).run()
+        assert res.done
+        assert algo.stage == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(2, 70),
+    st.integers(0, 2**31 - 1),
+    st.sampled_from([0.2, 0.6, 0.9]),
+    st.sampled_from([(1, 4), (2, 4), (2, 9), (3, 8)]),
+)
+def test_random_trees_property(n, seed, bias, ell_k):
+    ell, k = ell_k
+    rng = random.Random(seed)
+    parents = [-1]
+    for v in range(1, n):
+        parents.append(v - 1 if rng.random() < bias else rng.randrange(v))
+    tree = Tree(parents)
+    res = Simulator(tree, BFDNEll(ell), k).run()
+    assert res.done
+    assert res.metrics.reveals == tree.n - 1
+    bound = bfdn_ell_bound(tree.n, max(tree.depth, 1), k, ell, tree.max_degree)
+    assert res.rounds <= bound

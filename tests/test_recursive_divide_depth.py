@@ -1,0 +1,160 @@
+"""Unit tests for the divide-depth functor (Algorithm 3) in isolation.
+
+The integration behaviour is covered by test_recursive_bfdn_ell; here the
+functor's own mechanics — team formation, walking, interruption,
+iteration advance, deep continuation — are exercised directly with
+``BFDN1Instance`` children on hand-built scenarios.
+"""
+
+import pytest
+
+from repro.core.recursive.bfdn_depth_limited import BFDN1Instance
+from repro.core.recursive.divide_depth import DivideDepthInstance, _route
+from repro.sim import Exploration
+from repro.trees import generators as gen
+
+
+def drive(expl, instance, max_rounds=10_000):
+    """Run a bare instance to quiescence."""
+    everyone = set(range(expl.k))
+    rounds = 0
+    while True:
+        moves = {}
+        instance.select(expl, moves, everyone)
+        before = list(expl.positions)
+        events = expl.apply(moves, everyone)
+        instance.route_events(expl, events)
+        if expl.positions == before:
+            return rounds
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("functor did not quiesce")
+
+
+def make_functor(expl, n_iter, child_budget, k_star=2, n_team=2):
+    def child_builder(e, r, team):
+        limit = e.ptree.node_depth(r) + child_budget
+        return BFDN1Instance(e, r, team, k_star, limit)
+
+    return DivideDepthInstance(
+        expl,
+        expl.tree.root,
+        list(range(expl.k)),
+        k_star=k_star,
+        n_team=n_team,
+        n_iter=n_iter,
+        child_depth_budget=child_budget,
+        child_builder=child_builder,
+    )
+
+
+class TestRouting:
+    def test_route_to_self_is_empty(self):
+        expl = Exploration(gen.path(5), 1)
+        assert _route(expl.ptree, 0, 0) == []
+
+    def test_route_down_explored_path(self):
+        tree = gen.path(5)
+        expl = Exploration(tree, 1)
+        for v in range(4):
+            expl.apply({0: ("explore", 0 if v == 0 else 1)}, {0})
+        assert _route(expl.ptree, 0, 3) == [1, 2, 3]
+        assert _route(expl.ptree, 3, 0) == [2, 1, 0]
+
+    def test_route_through_lca(self):
+        tree = gen.spider(2, 3)
+        expl = Exploration(tree, 2)
+        # Explore both legs fully.
+        expl.apply({0: ("explore", 0), 1: ("explore", 1)}, {0, 1})
+        for _ in range(2):
+            moves = {
+                i: ("explore", min(expl.ptree.dangling_ports(expl.positions[i])))
+                for i in (0, 1)
+            }
+            expl.apply(moves, {0, 1})
+        a, b = expl.positions
+        route = _route(expl.ptree, a, b)
+        assert route[-1] == b
+        assert len(route) == 6  # up 3 to the root, down 3
+
+
+class TestFunctorLifecycle:
+    def test_completes_exploration(self):
+        tree = gen.complete_ary(2, 4)
+        expl = Exploration(tree, 4)
+        functor = make_functor(expl, n_iter=2, child_budget=2)
+        drive(expl, functor)
+        assert expl.ptree.is_complete()
+
+    def test_iterations_advance(self):
+        # The comb staggers subtree completions, so an interruption fires
+        # while work remains and the functor opens a second iteration.
+        tree = gen.comb(12, 6)
+        expl = Exploration(tree, 4)
+        functor = make_functor(expl, n_iter=4, child_budget=3)
+        drive(expl, functor)
+        assert functor.iteration >= 2
+        assert expl.ptree.is_complete()
+
+    def test_completes_within_first_iteration_when_possible(self):
+        """Lone deep explorers may finish everything below the limit
+        before any interruption: the functor then quiesces at iteration 1
+        with the tree complete (its parent detects completion, not the
+        iteration counter)."""
+        tree = gen.complete_ary(2, 6)
+        expl = Exploration(tree, 4)
+        functor = make_functor(expl, n_iter=3, child_budget=2)
+        drive(expl, functor)
+        assert expl.ptree.is_complete()
+
+    def test_active_count_respects_k_star_while_shallow(self):
+        """Until the last iteration finishes, the functor never *reports*
+        fewer than k* active robots (the Shallow Activity contract its
+        parent relies on)."""
+        tree = gen.complete_ary(2, 6)
+        expl = Exploration(tree, 4)
+        functor = make_functor(expl, n_iter=3, child_budget=2, k_star=2)
+        everyone = set(range(4))
+        while True:
+            functor.refresh(expl)
+            if not functor.iterations_done:
+                assert functor.active_count >= 2
+            moves = {}
+            functor.select(expl, moves, everyone)
+            before = list(expl.positions)
+            events = expl.apply(moves, everyone)
+            functor.route_events(expl, events)
+            if expl.positions == before:
+                break
+        assert expl.ptree.is_complete()
+
+    def test_claims_empty_after_full_exploration(self):
+        tree = gen.complete_ary(2, 4)
+        expl = Exploration(tree, 4)
+        functor = make_functor(expl, n_iter=2, child_budget=2)
+        drive(expl, functor)
+        assert functor.anchor_claims(expl) == []
+
+    def test_single_iteration_functor(self):
+        tree = gen.caterpillar(8, 2)
+        expl = Exploration(tree, 4)
+        functor = make_functor(expl, n_iter=1, child_budget=tree.depth)
+        drive(expl, functor)
+        assert expl.ptree.is_complete()
+
+    def test_teams_are_disjoint(self):
+        tree = gen.spider(4, 6)
+        expl = Exploration(tree, 4)
+        functor = make_functor(expl, n_iter=2, child_budget=3)
+        everyone = set(range(4))
+        for _ in range(200):
+            moves = {}
+            functor.select(expl, moves, everyone)
+            if functor._teams:
+                all_members = [i for team in functor._teams.values() for i in team]
+                assert len(all_members) == len(set(all_members))
+            before = list(expl.positions)
+            events = expl.apply(moves, everyone)
+            functor.route_events(expl, events)
+            if expl.positions == before:
+                break

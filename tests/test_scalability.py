@@ -1,0 +1,54 @@
+"""Scalability smoke tests: the implementation handles laptop-scale
+instances in seconds (per-round work is O(k + reveals) amortised)."""
+
+import time
+
+import pytest
+
+from repro.bounds import bfdn_bound
+from repro.core import BFDN
+from repro.graphs import GridGraph, run_graph_bfdn
+from repro.sim import Simulator
+from repro.trees import generators as gen
+
+
+class TestLargeTrees:
+    def test_50k_nodes(self):
+        tree = gen.random_tree_with_depth(50_000, 100)
+        start = time.time()
+        res = Simulator(tree, BFDN(), 64).run()
+        elapsed = time.time() - start
+        assert res.done
+        assert res.rounds <= bfdn_bound(tree.n, tree.depth, 64, tree.max_degree)
+        assert elapsed < 30, f"50k-node run took {elapsed:.1f}s"
+
+    def test_wide_star_contention(self):
+        # Maximal per-round contention at a single node.
+        tree = gen.star(20_000)
+        start = time.time()
+        res = Simulator(tree, BFDN(), 32).run()
+        elapsed = time.time() - start
+        assert res.done
+        assert res.rounds == pytest.approx(2 * (tree.n - 1) / 32, rel=0.1)
+        assert elapsed < 30
+
+    def test_deep_path(self):
+        tree = gen.path(20_000)
+        res = Simulator(tree, BFDN(), 4).run()
+        assert res.done
+
+    def test_many_robots(self):
+        tree = gen.random_recursive(5_000)
+        res = Simulator(tree, BFDN(), 256).run()
+        assert res.done
+        assert res.metrics.reveals == tree.n - 1
+
+
+class TestLargeGrids:
+    def test_50x50_grid(self):
+        g = GridGraph(50, 50)
+        start = time.time()
+        res = run_graph_bfdn(g, 16)
+        elapsed = time.time() - start
+        assert res.complete and res.all_home
+        assert elapsed < 30

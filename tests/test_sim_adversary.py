@@ -1,0 +1,89 @@
+"""Unit tests for break-down adversaries (Section 4.2 schedules)."""
+
+import pytest
+
+from repro.sim.adversary import (
+    NoBreakdowns,
+    RandomBreakdowns,
+    RoundRobinBreakdowns,
+    ScheduleAdversary,
+    TargetedBreakdowns,
+)
+
+
+class TestNoBreakdowns:
+    def test_everyone_always(self):
+        adv = NoBreakdowns()
+        for t in (0, 5, 1000):
+            assert adv.allowed(t, 4) == {0, 1, 2, 3}
+
+    def test_average(self):
+        assert NoBreakdowns().average_allowed(10, 4) == 10.0
+
+
+class TestSchedule:
+    def test_explicit_rounds(self):
+        adv = ScheduleAdversary([[0], [1, 2], []])
+        assert adv.allowed(0, 3) == {0}
+        assert adv.allowed(1, 3) == {1, 2}
+        assert adv.allowed(2, 3) == set()
+
+    def test_beyond_horizon_all_allowed(self):
+        adv = ScheduleAdversary([[0]])
+        assert adv.allowed(5, 3) == {0, 1, 2}
+        assert adv.horizon == 1
+
+    def test_out_of_range_robots_filtered(self):
+        adv = ScheduleAdversary([[0, 9]])
+        assert adv.allowed(0, 2) == {0}
+
+
+class TestRandom:
+    def test_deterministic_given_seed(self):
+        a = RandomBreakdowns(0.5, horizon=20, seed=3)
+        b = RandomBreakdowns(0.5, horizon=20, seed=3)
+        assert [a.allowed(t, 8) for t in range(20)] == [
+            b.allowed(t, 8) for t in range(20)
+        ]
+
+    def test_p_zero_blocks_all(self):
+        adv = RandomBreakdowns(0.0, horizon=5)
+        assert all(adv.allowed(t, 4) == set() for t in range(5))
+        assert adv.allowed(5, 4) == {0, 1, 2, 3}
+
+    def test_p_one_allows_all(self):
+        adv = RandomBreakdowns(1.0, horizon=5)
+        assert all(adv.allowed(t, 4) == {0, 1, 2, 3} for t in range(5))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            RandomBreakdowns(1.5, horizon=5)
+
+    def test_average_counts_blocked(self):
+        adv = RandomBreakdowns(0.0, horizon=10)
+        assert adv.average_allowed(10, 4) == 0.0
+
+
+class TestRoundRobin:
+    def test_blocks_window(self):
+        adv = RoundRobinBreakdowns(2, horizon=100)
+        allowed = adv.allowed(0, 5)
+        assert len(allowed) == 3
+        assert allowed == {2, 3, 4}
+
+    def test_window_rotates(self):
+        adv = RoundRobinBreakdowns(1, horizon=100)
+        blocked = [next(iter({0, 1, 2} - adv.allowed(t, 3))) for t in range(6)]
+        assert blocked == [0, 1, 2, 0, 1, 2]
+
+    def test_blocking_everyone(self):
+        adv = RoundRobinBreakdowns(10, horizon=3)
+        assert adv.allowed(0, 4) == set()
+        assert adv.allowed(3, 4) == {0, 1, 2, 3}
+
+
+class TestTargeted:
+    def test_fixed_subset(self):
+        adv = TargetedBreakdowns([0, 2], horizon=10)
+        assert adv.allowed(0, 4) == {1, 3}
+        assert adv.allowed(10, 4) == {0, 1, 2, 3}

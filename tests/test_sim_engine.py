@@ -1,0 +1,148 @@
+"""Unit tests for the synchronous round engine."""
+
+import pytest
+
+from repro.sim import (
+    STAY,
+    UP,
+    Exploration,
+    ExplorationAlgorithm,
+    MoveError,
+    Simulator,
+    down,
+    explore,
+)
+from repro.trees import generators as gen
+
+
+class Scripted(ExplorationAlgorithm):
+    """Plays back a fixed list of per-round move dicts."""
+
+    name = "scripted"
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.cursor = 0
+
+    def select_moves(self, expl, movable):
+        if self.cursor >= len(self.script):
+            return {}
+        moves = self.script[self.cursor]
+        self.cursor += 1
+        return moves
+
+
+class TestMoveValidation:
+    def make(self, k=2):
+        return Exploration(gen.complete_ary(2, 2), k)
+
+    def test_explore_reveals(self):
+        e = self.make()
+        events = e.apply({0: explore(0)}, {0, 1})
+        assert len(events) == 1
+        assert e.positions[0] != 0
+        assert e.ptree.is_explored(e.positions[0])
+        assert e.round == 1
+
+    def test_duplicate_explore_rejected(self):
+        e = self.make()
+        with pytest.raises(MoveError):
+            e.apply({0: explore(0), 1: explore(0)}, {0, 1})
+
+    def test_duplicate_explore_allowed_in_shared_model(self):
+        e = Exploration(gen.complete_ary(2, 2), 2, allow_shared_reveal=True)
+        events = e.apply({0: explore(0), 1: explore(0)}, {0, 1})
+        assert len(events) == 1
+        assert e.positions[0] == e.positions[1]
+
+    def test_up_at_root_is_stay(self):
+        e = self.make()
+        e.apply({0: UP}, {0, 1})
+        assert e.positions[0] == 0
+        assert e.round == 0  # nothing moved, round not billed
+
+    def test_down_requires_explored_edge(self):
+        e = self.make()
+        with pytest.raises(MoveError):
+            e.apply({0: down(1)}, {0, 1})
+
+    def test_down_after_reveal(self):
+        e = self.make()
+        e.apply({0: explore(0)}, {0, 1})
+        child = e.positions[0]
+        e.apply({1: down(child)}, {0, 1})
+        assert e.positions[1] == child
+
+    def test_explore_non_dangling_rejected(self):
+        e = self.make()
+        e.apply({0: explore(0)}, {0, 1})
+        with pytest.raises(MoveError):
+            e.apply({1: explore(0)}, {0, 1})
+
+    def test_blocked_robot_rejected(self):
+        e = self.make()
+        with pytest.raises(MoveError):
+            e.apply({0: explore(0)}, {1})
+
+    def test_unknown_robot_rejected(self):
+        e = self.make()
+        with pytest.raises(MoveError):
+            e.apply({5: STAY}, {0, 1})
+
+    def test_unknown_move_rejected(self):
+        e = self.make()
+        with pytest.raises(MoveError):
+            e.apply({0: ("teleport", 3)}, {0, 1})
+
+
+class TestMetricsAccounting:
+    def test_idle_round_counted(self):
+        e = Exploration(gen.star(4), 2)
+        e.apply({0: explore(0), 1: STAY}, {0, 1})
+        assert e.metrics.idle_rounds == 1
+        assert e.metrics.idle_per_robot[1] == 1
+        assert e.metrics.moves_per_robot[0] == 1
+
+    def test_all_stay_round_not_billed(self):
+        e = Exploration(gen.star(4), 2)
+        e.apply({0: STAY, 1: STAY}, {0, 1})
+        assert e.round == 0
+        assert e.metrics.idle_rounds == 0
+
+    def test_reveals_counted(self):
+        e = Exploration(gen.star(4), 3)
+        e.apply({0: explore(0), 1: explore(1), 2: explore(2)}, {0, 1, 2})
+        assert e.metrics.reveals == 3
+        assert e.metrics.total_moves == 3
+
+
+class TestSimulatorLoop:
+    def test_terminates_on_all_stay(self):
+        sim = Simulator(gen.star(3), Scripted([{0: explore(0)}, {0: UP}, {}]), 1)
+        res = sim.run()
+        assert res.rounds == 2
+        assert not res.complete  # port 1 of the root never explored
+
+    def test_max_rounds_guard(self):
+        class Bouncer(ExplorationAlgorithm):
+            name = "bouncer"
+
+            def select_moves(self, expl, movable):
+                if expl.positions[0] == 0:
+                    if 0 in expl.ptree.dangling_ports(0):
+                        return {0: explore(0)}
+                    return {0: down(expl.ptree.child_via(0, 0))}
+                return {0: UP}
+
+        with pytest.raises(RuntimeError):
+            Simulator(gen.star(3), Bouncer(), 1, max_rounds=10).run()
+
+    def test_result_fields(self):
+        from repro.core import BFDN
+
+        tree = gen.complete_ary(2, 3)
+        res = Simulator(tree, BFDN(), 2).run()
+        assert res.done and res.complete and res.all_home
+        assert res.wall_rounds == res.rounds
+        assert res.metrics.reveals == tree.n - 1
+        assert len(res.positions) == 2

@@ -1,0 +1,47 @@
+"""Direct unit tests for the metrics containers."""
+
+from repro.sim.metrics import ExplorationMetrics, ReanchorRecord
+
+
+class TestExplorationMetrics:
+    def test_defaults(self):
+        m = ExplorationMetrics()
+        assert m.rounds == 0
+        assert m.idle_rounds == 0
+        assert m.reanchors == []
+        assert m.reanchors_per_depth() == {}
+
+    def test_log_reanchor(self):
+        m = ExplorationMetrics()
+        m.log_reanchor(3, 1, 7, 2)
+        m.log_reanchor(4, 2, 9, 2)
+        m.log_reanchor(5, 1, 12, 3)
+        assert m.reanchors_per_depth() == {2: 2, 3: 1}
+        rec = m.reanchors[0]
+        assert (rec.round, rec.robot, rec.anchor, rec.depth) == (3, 1, 7, 2)
+
+    def test_summary_flat(self):
+        m = ExplorationMetrics()
+        m.rounds = 10
+        m.total_moves = 25
+        m.reveals = 9
+        m.log_reanchor(1, 0, 1, 1)
+        s = m.summary()
+        assert s["rounds"] == 10
+        assert s["total_moves"] == 25
+        assert s["reveals"] == 9
+        assert s["reanchor_calls"] == 1
+
+    def test_counters_are_independent(self):
+        a, b = ExplorationMetrics(), ExplorationMetrics()
+        a.moves_per_robot[0] += 5
+        assert b.moves_per_robot[0] == 0
+        a.log_reanchor(1, 0, 1, 1)
+        assert b.reanchors == []
+
+
+class TestReanchorRecord:
+    def test_fields(self):
+        rec = ReanchorRecord(round=2, robot=3, anchor=14, depth=4)
+        assert rec.depth == 4
+        assert rec.anchor == 14

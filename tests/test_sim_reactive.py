@@ -1,0 +1,102 @@
+"""Tests for the reactive (Remark 8) adversary model."""
+
+import pytest
+
+from repro.core import BFDN
+from repro.sim import (
+    BlockDeepest,
+    BlockExplorers,
+    RandomReactive,
+    run_reactive,
+)
+from repro.trees import generators as gen
+
+
+class TestAdversaries:
+    def test_block_explorers_targets_explores(self):
+        tree = gen.star(10)
+        adv = BlockExplorers(budget_per_round=1, horizon=100)
+        out = run_reactive(tree, BFDN(), 4, adv)
+        assert out.result.complete
+        assert out.blocked_moves > 0
+
+    def test_block_deepest(self):
+        tree = gen.comb(8, 4)
+        adv = BlockDeepest(budget_per_round=1, horizon=200)
+        out = run_reactive(tree, BFDN(), 4, adv)
+        assert out.result.complete
+
+    def test_random_reactive_seeded(self):
+        tree = gen.random_recursive(150)
+        a = run_reactive(tree, BFDN(), 4, RandomReactive(0.3, 500, seed=2))
+        b = run_reactive(tree, BFDN(), 4, RandomReactive(0.3, 500, seed=2))
+        assert a.result.wall_rounds == b.result.wall_rounds
+        assert a.blocked_moves == b.blocked_moves
+
+    def test_zero_budget_is_standard_model(self):
+        from repro.sim import Simulator
+
+        tree = gen.caterpillar(10, 3)
+        out = run_reactive(tree, BFDN(), 4, BlockExplorers(0, horizon=10**6))
+        baseline = Simulator(tree, BFDN(), 4, stop_when_complete=True).run()
+        assert out.result.complete
+        assert out.blocked_moves == 0
+        assert out.result.rounds == baseline.rounds
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BlockExplorers(-1, 10)
+        with pytest.raises(ValueError):
+            RandomReactive(1.0, 10)
+
+
+class TestStateRollback:
+    """Blocking must leave BFDN's internal state consistent."""
+
+    @pytest.mark.parametrize("budget", (1, 2, 3))
+    def test_exploration_completes_despite_blocking(self, tree_case, budget):
+        label, tree = tree_case
+        adv = RandomReactive(0.4, horizon=200 * tree.n, seed=7)
+        out = run_reactive(tree, BFDN(), 4, adv)
+        assert out.result.complete, label
+        assert out.result.metrics.reveals == tree.n - 1
+
+    def test_blocked_bf_move_is_retried(self):
+        """A cancelled breadth-first move must be replayed from the same
+        stack entry, not skipped (the rollback in handle_blocked)."""
+        tree = gen.broom(6, 4)  # anchors sit deep: long BF descents
+
+        class BlockFirstDown(BlockDeepest):
+            def __init__(self):
+                super().__init__(1, horizon=10**6)
+                self.fired = 0
+
+            def block(self, round_, expl, moves):
+                downs = [i for i, m in moves.items() if m[0] == "down"]
+                if downs and self.fired < 5:
+                    self.fired += 1
+                    return {downs[0]}
+                return set()
+
+        out = run_reactive(tree, BFDN(), 3, BlockFirstDown())
+        assert out.result.complete
+
+    def test_interference_fraction(self):
+        tree = gen.random_recursive(100)
+        out = run_reactive(tree, BFDN(), 4, RandomReactive(0.5, 10**6, seed=3))
+        assert 0.0 < out.interference < 1.0
+
+
+class TestRemark8Finding:
+    def test_full_denial_with_small_budget(self):
+        """The reactive adversary is strictly stronger than Prop 7's
+        oblivious one: blocking just the explorers (budget << k) stalls
+        discovery while the other robots burn allowed moves."""
+        tree = gen.path(30)
+        # On a path there is only ever one explorer: budget 1 = denial.
+        adv = BlockExplorers(budget_per_round=1, horizon=100)
+        out = run_reactive(tree, BFDN(), 4, adv)
+        assert out.result.complete  # after the horizon
+        # During the horizon no reveal happened: completion needed more
+        # wall-clock rounds than the horizon.
+        assert out.result.wall_rounds > 100

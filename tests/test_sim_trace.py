@@ -1,0 +1,65 @@
+"""Unit tests for trace recording and replay."""
+
+import pytest
+
+from repro.core import BFDN
+from repro.sim import Simulator, Trace, TraceRecorder, replay
+from repro.trees import generators as gen
+
+
+class TestRecordAndReplay:
+    def test_replay_reproduces_run(self, tree_case):
+        label, tree = tree_case
+        recorder = TraceRecorder(BFDN())
+        res = Simulator(tree, recorder, 3).run()
+        rounds, ptree = replay(recorder.trace, tree)
+        assert rounds == res.rounds
+        assert ptree.is_complete() == res.complete
+
+    def test_replay_rejects_wrong_tree(self):
+        tree = gen.complete_ary(2, 3)
+        recorder = TraceRecorder(BFDN())
+        Simulator(tree, recorder, 2).run()
+        other = gen.path(tree.n)
+        with pytest.raises(Exception):
+            replay(recorder.trace, other)
+
+    def test_replay_detects_tampering(self):
+        tree = gen.complete_ary(2, 3)
+        recorder = TraceRecorder(BFDN())
+        Simulator(tree, recorder, 2).run()
+        trace = recorder.trace
+        # Corrupt a recorded position.
+        trace.rounds[1].positions_before[0] += 1
+        with pytest.raises(ValueError):
+            replay(trace, tree)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        tree = gen.spider(3, 4)
+        recorder = TraceRecorder(BFDN())
+        Simulator(tree, recorder, 2).run()
+        data = recorder.trace.to_dict()
+        rebuilt = Trace.from_dict(data)
+        rounds, ptree = replay(rebuilt, tree)
+        assert ptree.is_complete()
+
+    def test_json_roundtrip(self):
+        import json
+
+        tree = gen.star(6)
+        recorder = TraceRecorder(BFDN())
+        Simulator(tree, recorder, 2).run()
+        blob = json.dumps(recorder.trace.to_dict())
+        rebuilt = Trace.from_dict(json.loads(blob))
+        rounds, ptree = replay(rebuilt, tree)
+        assert ptree.is_complete()
+
+    def test_trace_metadata(self):
+        tree = gen.path(5)
+        recorder = TraceRecorder(BFDN())
+        Simulator(tree, recorder, 2).run()
+        assert recorder.trace.k == 2
+        assert recorder.name == "traced(BFDN)"
+        assert recorder.trace.rounds[0].positions_before == [0, 0]

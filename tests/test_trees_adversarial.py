@@ -1,0 +1,58 @@
+"""Unit tests for the adversarial tree constructions."""
+
+import pytest
+
+from repro.trees.adversarial import cte_trap_tree, reanchor_stress_tree
+from repro.trees.validation import check_tree_invariants
+
+
+class TestTrapTree:
+    def test_shape(self):
+        k, gadgets, trap = 4, 3, 5
+        t = cte_trap_tree(k, gadgets, trap)
+        check_tree_invariants(t)
+        assert t.n == gadgets * ((k - 1) * trap + 1) + 1
+        # The spine has `gadgets` continuing edges, traps add `trap` depth.
+        assert t.depth == gadgets + trap - 1
+
+    def test_spine_branching(self):
+        t = cte_trap_tree(5, 2, 3)
+        # The root carries k-1 traps plus the continuing edge.
+        assert len(t.children(0)) == 5
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            cte_trap_tree(1, 3, 3)
+        with pytest.raises(ValueError):
+            cte_trap_tree(4, 0, 3)
+        with pytest.raises(ValueError):
+            cte_trap_tree(4, 3, 0)
+
+    def test_scales_like_k_times_depth(self):
+        # n ~ k * D * (gadgets / depth) is the regime of [11]'s
+        # lower-bound instance: with trap ~ gadgets, n is within a small
+        # factor of k * D.
+        k, gadgets, trap = 8, 10, 10
+        t = cte_trap_tree(k, gadgets, trap)
+        assert 0.2 * k * t.depth <= t.n <= 8 * k * t.depth
+
+
+class TestReanchorStress:
+    def test_valid_and_wide(self):
+        t = reanchor_stress_tree(4, 6)
+        check_tree_invariants(t)
+        assert t.depth >= 6
+
+    def test_every_level_has_branching(self):
+        t = reanchor_stress_tree(3, 5)
+        by_depth = {}
+        for v in range(t.n):
+            by_depth.setdefault(t.node_depth(v), []).append(v)
+        for d in range(1, 5):
+            assert len(by_depth[d]) >= 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            reanchor_stress_tree(0, 3)
+        with pytest.raises(ValueError):
+            reanchor_stress_tree(3, 0)

@@ -1,0 +1,116 @@
+"""Tests for AHU canonical forms and rooted-tree isomorphism."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import Tree
+from repro.trees import generators as gen
+from repro.trees.canonical import (
+    are_isomorphic,
+    canonical_code,
+    canonical_form,
+    dedupe_isomorphic,
+)
+from repro.trees.validation import check_tree_invariants
+
+
+def shuffled_copy(tree: Tree, seed: int) -> Tree:
+    """An isomorphic copy: children orders and node ids permuted."""
+    rng = random.Random(seed)
+    parents = [-1]
+    relabel = {tree.root: 0}
+    stack = [tree.root]
+    while stack:
+        v = stack.pop()
+        kids = list(tree.children(v))
+        rng.shuffle(kids)
+        for c in kids:
+            relabel[c] = len(parents)
+            parents.append(relabel[v])
+            stack.append(c)
+    return Tree(parents)
+
+
+class TestCanonicalCode:
+    def test_single_node(self):
+        assert canonical_code(gen.path(1)) == "()"
+
+    def test_path_vs_star_differ(self):
+        assert canonical_code(gen.path(4)) != canonical_code(gen.star(4))
+
+    def test_child_order_irrelevant(self):
+        # Root with subtrees (path2, leaf) in both orders.
+        a = Tree([-1, 0, 1, 0])  # children: path then leaf
+        b = Tree([-1, 0, 0, 2])  # children: leaf then path
+        assert canonical_code(a) == canonical_code(b)
+
+    def test_balanced_parentheses(self):
+        code = canonical_code(gen.complete_ary(2, 4))
+        assert code.count("(") == code.count(")")
+        depth = 0
+        for ch in code:
+            depth += 1 if ch == "(" else -1
+            assert depth >= 0
+        assert depth == 0
+
+
+class TestIsomorphism:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shuffles_are_isomorphic(self, tree_case, seed):
+        _, tree = tree_case
+        assert are_isomorphic(tree, shuffled_copy(tree, seed))
+
+    def test_different_shapes_not_isomorphic(self):
+        assert not are_isomorphic(gen.spider(2, 3), gen.path(7))
+        assert not are_isomorphic(gen.comb(3, 1), gen.star(6))
+
+    def test_size_shortcut(self):
+        assert not are_isomorphic(gen.path(3), gen.path(4))
+
+
+class TestCanonicalForm:
+    def test_is_valid_tree(self, tree_case):
+        _, tree = tree_case
+        form = canonical_form(tree)
+        check_tree_invariants(form)
+        assert are_isomorphic(tree, form)
+
+    def test_normal_form_equality(self, tree_case):
+        _, tree = tree_case
+        a = canonical_form(shuffled_copy(tree, 1))
+        b = canonical_form(shuffled_copy(tree, 2))
+        assert a == b
+
+    def test_idempotent(self):
+        tree = gen.random_recursive(60)
+        once = canonical_form(tree)
+        assert canonical_form(once) == once
+
+
+class TestDedupe:
+    def test_keeps_one_per_class(self):
+        tree = gen.comb(4, 2)
+        copies = [shuffled_copy(tree, s) for s in range(5)]
+        assert len(dedupe_isomorphic(copies)) == 1
+
+    def test_preserves_distinct(self):
+        trees = [gen.path(5), gen.star(5), gen.spider(2, 2)]
+        assert len(dedupe_isomorphic(trees)) == 3
+
+    def test_order_preserved(self):
+        trees = [gen.star(5), gen.path(5)]
+        out = dedupe_isomorphic(trees + trees)
+        assert out[0].max_degree == 4  # the star came first
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+def test_property_shuffle_invariance(n, tree_seed, shuffle_seed):
+    rng = random.Random(tree_seed)
+    parents = [-1] + [rng.randrange(v) for v in range(1, n)]
+    tree = Tree(parents)
+    copy = shuffled_copy(tree, shuffle_seed)
+    assert canonical_code(tree) == canonical_code(copy)
+    assert canonical_form(tree) == canonical_form(copy)

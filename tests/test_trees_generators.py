@@ -1,0 +1,117 @@
+"""Unit tests for the tree generators (shapes and parameter contracts)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trees import generators as gen
+from repro.trees.validation import check_tree_invariants
+
+
+class TestPathStar:
+    def test_path(self):
+        t = gen.path(10)
+        assert (t.n, t.depth, t.max_degree) == (10, 9, 2)
+
+    def test_star(self):
+        t = gen.star(10)
+        assert (t.n, t.depth, t.max_degree) == (10, 1, 9)
+
+    @pytest.mark.parametrize("f", [gen.path, gen.star])
+    def test_rejects_zero(self, f):
+        with pytest.raises(ValueError):
+            f(0)
+
+
+class TestAry:
+    @pytest.mark.parametrize("b,d", [(2, 4), (3, 3), (5, 2), (1, 6)])
+    def test_size_and_depth(self, b, d):
+        t = gen.complete_ary(b, d)
+        expected = sum(b**i for i in range(d + 1))
+        assert t.n == expected
+        assert t.depth == d
+        check_tree_invariants(t)
+
+    def test_degree(self):
+        t = gen.complete_ary(3, 3)
+        assert t.max_degree == 4  # internal: parent + 3 children
+
+
+class TestCaterpillarSpiderBroomComb:
+    def test_caterpillar(self):
+        t = gen.caterpillar(5, 3)
+        assert t.n == 5 + 5 * 3
+        assert t.depth == 5  # spine depth 4, legs add 1
+        check_tree_invariants(t)
+
+    def test_spider(self):
+        t = gen.spider(4, 6)
+        assert t.n == 1 + 4 * 6
+        assert t.depth == 6
+        assert len(t.children(0)) == 4
+
+    def test_spider_degenerate(self):
+        assert gen.spider(0, 5).n == 1
+        assert gen.spider(5, 0).n == 1
+
+    def test_broom(self):
+        t = gen.broom(7, 9)
+        assert t.n == 1 + 7 + 9
+        assert t.depth == 8
+        # All bristles hang at the handle's end.
+        deepest = [v for v in range(t.n) if t.node_depth(v) == 8]
+        assert len(deepest) == 9
+
+    def test_comb(self):
+        t = gen.comb(6, 4)
+        assert t.n == 6 + 6 * 4
+        assert t.depth == (6 - 1) + 4
+        check_tree_invariants(t)
+
+
+class TestRandomFamilies:
+    def test_random_recursive_reproducible(self):
+        a = gen.random_recursive(50, random.Random(3))
+        b = gen.random_recursive(50, random.Random(3))
+        assert a == b
+
+    def test_random_bounded_degree_respects_cap(self):
+        for cap in (1, 2, 3, 5):
+            t = gen.random_bounded_degree(80, cap, random.Random(1))
+            assert all(len(t.children(v)) <= cap for v in range(t.n))
+            check_tree_invariants(t)
+
+    def test_random_bounded_degree_cap_one_is_path(self):
+        t = gen.random_bounded_degree(20, 1, random.Random(0))
+        assert t.depth == 19
+
+    @given(st.integers(1, 40), st.integers(0, 2**31 - 1))
+    def test_random_tree_with_depth_exact(self, depth, seed):
+        n = depth + 1 + (seed % 30)
+        t = gen.random_tree_with_depth(n, depth, random.Random(seed))
+        assert t.n == n
+        assert t.depth == depth
+        check_tree_invariants(t)
+
+    def test_random_tree_with_depth_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            gen.random_tree_with_depth(3, 5)
+
+
+class TestLopsidedAndFamilies:
+    def test_lopsided(self):
+        t = gen.lopsided(4, 6)
+        check_tree_invariants(t)
+        assert len(t.children(0)) == 4
+        assert t.depth == 6
+
+    def test_standard_families_all_valid(self):
+        for label, tree in gen.standard_families(k=4, size="small"):
+            check_tree_invariants(tree)
+            assert tree.n >= 1, label
+
+    def test_standard_families_sizes_scale(self):
+        small = dict(gen.standard_families(4, "small"))
+        medium = dict(gen.standard_families(4, "medium"))
+        assert medium["path"].n > small["path"].n

@@ -1,0 +1,108 @@
+"""Tests for the extended tree generators (binomial, Galton-Watson,
+dumbbell) and their behaviour under the exploration algorithms."""
+
+import random
+
+import pytest
+
+from repro.bounds import bfdn_bound
+from repro.core import BFDN
+from repro.sim import Simulator
+from repro.trees import generators as gen
+from repro.trees.validation import check_tree_invariants
+
+
+class TestBinomial:
+    @pytest.mark.parametrize("order", range(0, 8))
+    def test_size_and_depth(self, order):
+        t = gen.binomial_tree(order)
+        assert t.n == 2**order
+        assert t.depth == order
+        check_tree_invariants(t)
+
+    def test_root_degree(self):
+        t = gen.binomial_tree(5)
+        assert len(t.children(0)) == 5
+
+    def test_subtree_sizes_are_powers_of_two(self):
+        t = gen.binomial_tree(4)
+        sizes = sorted(t.subtree_size(c) for c in t.children(0))
+        assert sizes == [1, 2, 4, 8]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gen.binomial_tree(-1)
+
+
+class TestGaltonWatson:
+    def test_exact_size(self):
+        for n in (1, 2, 17, 100):
+            t = gen.galton_watson(n, [1, 2, 1], random.Random(3))
+            assert t.n == n
+            check_tree_invariants(t)
+
+    def test_reproducible(self):
+        a = gen.galton_watson(60, [1, 3], random.Random(5))
+        b = gen.galton_watson(60, [1, 3], random.Random(5))
+        assert a == b
+
+    def test_subcritical_revives(self):
+        # Weights heavily favour 0 children: the process dies repeatedly
+        # and must be revived; the size contract still holds.
+        t = gen.galton_watson(40, [10, 1], random.Random(1))
+        assert t.n == 40
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            gen.galton_watson(10, [])
+        with pytest.raises(ValueError):
+            gen.galton_watson(10, [0, 0])
+        with pytest.raises(ValueError):
+            gen.galton_watson(0, [1, 1])
+
+
+class TestDumbbell:
+    def test_shape(self):
+        t = gen.dumbbell(head=5, handle=10, tail=7)
+        assert t.n == 1 + 5 + 10 + 7
+        assert t.depth == 11  # handle + one tail level
+        assert len(t.children(0)) == 6  # head leaves + handle start
+        check_tree_invariants(t)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            gen.dumbbell(3, 0, 3)
+        with pytest.raises(ValueError):
+            gen.dumbbell(-1, 2, 3)
+
+
+class TestExplorationOnNewFamilies:
+    @pytest.mark.parametrize(
+        "tree",
+        [
+            gen.binomial_tree(6),
+            gen.galton_watson(120, [1, 2, 1], random.Random(2)),
+            gen.dumbbell(16, 20, 16),
+        ],
+        ids=["binomial", "galton-watson", "dumbbell"],
+    )
+    @pytest.mark.parametrize("k", (2, 6))
+    def test_bfdn_bound_holds(self, tree, k):
+        res = Simulator(tree, BFDN(), k).run()
+        assert res.done
+        assert res.rounds <= bfdn_bound(tree.n, tree.depth, k, tree.max_degree)
+
+    def test_binomial_policies_within_noise(self):
+        """Sibling subtrees of geometric sizes: on a *fixed* binomial tree
+        the policies land within a few percent of each other (the worst
+        case separating them is adversarial, cf. E12); both stay correct
+        and within Theorem 1."""
+        from repro.bounds import bfdn_bound
+        from repro.core import make_policy
+
+        t = gen.binomial_tree(9)
+        k = 8
+        balanced = Simulator(t, BFDN(policy=make_policy("least-loaded")), k).run()
+        dogpile = Simulator(t, BFDN(policy=make_policy("most-loaded")), k).run()
+        assert balanced.rounds <= 1.1 * dogpile.rounds
+        assert balanced.rounds <= bfdn_bound(t.n, t.depth, k, t.max_degree)

@@ -1,0 +1,112 @@
+"""Tests for adaptive (lazily materialised) trees."""
+
+import pytest
+
+from repro.baselines import CTE, run_cte
+from repro.core import BFDN
+from repro.sim import Simulator
+from repro.trees.lazy import (
+    AdversaryPolicy,
+    LazyTree,
+    TrapTheMajorityPolicy,
+    run_adaptive,
+)
+from repro.trees.validation import check_tree_invariants
+
+
+class ConstantPolicy(AdversaryPolicy):
+    """Every node gets the same number of children until the budget ends."""
+
+    def __init__(self, children: int):
+        self.children = children
+
+    def decide_children(self, tree, node, parent, depth, arriving):
+        return self.children
+
+
+class TestLazyTree:
+    def test_path_policy_builds_path(self):
+        tree = LazyTree(1, ConstantPolicy(1), max_nodes=6)
+        for parent in range(5):
+            tree.decide_degree(parent, 0 if parent == 0 else 1, 1)
+            assert tree.port_to(parent, 0 if parent == 0 else 1) == parent + 1
+        frozen = tree.freeze()
+        check_tree_invariants(frozen)
+        assert frozen.n == 6
+        assert frozen.depth == 5
+
+    def test_budget_caps_growth(self):
+        tree = LazyTree(2, ConstantPolicy(5), max_nodes=4)
+        tree.decide_degree(0, 0, 1)
+        tree.decide_degree(0, 1, 1)
+        # Node budget of 4 reached: further children counts are clipped.
+        assert tree.materialized_nodes <= 4 + 1
+
+    def test_degree_before_reveal_raises(self):
+        tree = LazyTree(1, ConstantPolicy(1), max_nodes=5)
+        with pytest.raises(RuntimeError):
+            tree.degree(3)
+
+    def test_port_without_decide_raises(self):
+        tree = LazyTree(1, ConstantPolicy(1), max_nodes=5)
+        with pytest.raises(RuntimeError):
+            tree.port_to(0, 0)
+
+    def test_decide_is_idempotent(self):
+        tree = LazyTree(1, ConstantPolicy(2), max_nodes=10)
+        tree.decide_degree(0, 0, 1)
+        child = tree.port_to(0, 0)
+        tree.decide_degree(0, 0, 3)
+        assert tree.port_to(0, 0) == child
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LazyTree(-1, ConstantPolicy(1), 5)
+        with pytest.raises(ValueError):
+            LazyTree(1, ConstantPolicy(1), 0)
+        with pytest.raises(ValueError):
+            TrapTheMajorityPolicy(0)
+
+
+class TestAdaptiveRuns:
+    def test_cte_run_terminates_and_freezes(self):
+        policy = TrapTheMajorityPolicy(trap_length=8, depth_limit=40)
+        res, frozen = run_adaptive(CTE, 8, policy, root_children=2, max_nodes=200)
+        assert res.complete
+        check_tree_invariants(frozen)
+        assert frozen.n <= 201
+
+    def test_frozen_replay_is_identical(self):
+        """CTE is deterministic: re-running it on the frozen tree must
+        cost exactly as many rounds as the adaptive run."""
+        policy = TrapTheMajorityPolicy(trap_length=10, depth_limit=50)
+        res, frozen = run_adaptive(CTE, 16, policy, root_children=2, max_nodes=400)
+        replay = run_cte(frozen, 16)
+        assert replay.rounds == res.rounds
+
+    def test_other_algorithms_run_on_frozen_instance(self):
+        policy = TrapTheMajorityPolicy(trap_length=10, depth_limit=50)
+        _, frozen = run_adaptive(CTE, 8, policy, root_children=2, max_nodes=300)
+        res = Simulator(frozen, BFDN(), 8).run()
+        assert res.done
+
+    def test_adaptive_against_bfdn(self):
+        """The adversary also works against strict-model algorithms."""
+        policy = TrapTheMajorityPolicy(trap_length=6, depth_limit=30)
+        res, frozen = run_adaptive(
+            BFDN, 4, policy, root_children=2, max_nodes=150,
+            allow_shared_reveal=False,
+        )
+        assert res.complete
+        check_tree_invariants(frozen)
+
+    def test_majority_side_gets_trapped(self):
+        """With CTE splitting k robots evenly at the root's two children,
+        one side must become a trap (path), the other a split."""
+        k = 8
+        policy = TrapTheMajorityPolicy(trap_length=12, depth_limit=60)
+        _, frozen = run_adaptive(CTE, k, policy, root_children=2, max_nodes=500)
+        roots = frozen.children(0)
+        assert len(roots) == 2
+        child_degrees = sorted(len(frozen.children(c)) for c in roots)
+        assert child_degrees in ([1, 1], [1, 2])  # at least one path side

@@ -1,0 +1,177 @@
+"""Unit tests for the partially explored tree (online view)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trees import PartialTree, Tree
+from repro.trees import generators as gen
+from repro.trees.validation import check_partial_consistent
+
+
+def reveal_all_dfs(tree: Tree) -> PartialTree:
+    """Reveal the whole tree in DFS order, checking consistency on the way."""
+    ptree = PartialTree(tree.root, tree.degree(tree.root))
+    stack = [tree.root]
+    while stack:
+        u = stack[-1]
+        ports = sorted(ptree.dangling_ports(u))
+        if not ports:
+            stack.pop()
+            continue
+        port = ports[0]
+        child = tree.port_to(u, port)
+        ptree.reveal(u, port, child, tree.degree(child))
+        stack.append(child)
+    return ptree
+
+
+class TestInitialState:
+    def test_root_only(self):
+        ptree = PartialTree(0, 3)
+        assert ptree.is_explored(0)
+        assert ptree.num_explored == 1
+        assert ptree.dangling_ports(0) == {0, 1, 2}
+        assert ptree.num_dangling == 3
+        assert not ptree.is_complete()
+        assert ptree.min_open_depth == 0
+
+    def test_leaf_root_complete(self):
+        ptree = PartialTree(0, 0)
+        assert ptree.is_complete()
+        assert ptree.min_open_depth is None
+        assert ptree.is_finished(0)
+
+
+class TestReveal:
+    def test_single_reveal(self):
+        ptree = PartialTree(0, 2)
+        ev = ptree.reveal(0, 0, 1, 3)
+        assert ev.child == 1 and ev.port == 0
+        assert not ev.node_closed  # port 1 still dangling
+        assert ev.child_open  # child has 2 dangling ports
+        assert ptree.node_depth(1) == 1
+        assert ptree.parent(1) == 0
+        assert ptree.child_via(0, 0) == 1
+        assert ptree.port_of_child(0, 1) == 0
+        assert ptree.dangling_ports(1) == {1, 2}
+
+    def test_reveal_leaf_closes(self):
+        ptree = PartialTree(0, 1)
+        ev = ptree.reveal(0, 0, 1, 1)
+        assert ev.node_closed and not ev.child_open
+        assert ptree.is_complete()
+        assert ptree.is_finished(0)
+
+    def test_double_reveal_rejected(self):
+        ptree = PartialTree(0, 1)
+        ptree.reveal(0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            ptree.reveal(0, 0, 2, 1)
+
+    def test_reveal_unknown_port_rejected(self):
+        ptree = PartialTree(0, 1)
+        with pytest.raises(ValueError):
+            ptree.reveal(0, 5, 1, 1)
+
+    def test_by_robot_recorded(self):
+        ptree = PartialTree(0, 1)
+        ev = ptree.reveal(0, 0, 1, 1, by_robot=7)
+        assert ev.by_robot == 7
+
+
+class TestFullExploration:
+    def test_dfs_reveal_matches_tree(self, tree_case):
+        _, tree = tree_case
+        ptree = reveal_all_dfs(tree)
+        assert ptree.is_complete()
+        assert ptree.num_explored == tree.n
+        assert ptree.num_dangling == 0
+        check_partial_consistent(ptree, tree)
+        assert ptree.is_finished(tree.root)
+
+    def test_paths_match_tree(self, tree_case):
+        _, tree = tree_case
+        ptree = reveal_all_dfs(tree)
+        for v in range(0, tree.n, max(1, tree.n // 10)):
+            assert ptree.path_from_root(v) == tree.path_from_root(v)
+
+
+class TestOpenTracking:
+    def test_min_open_depth_progression(self):
+        tree = gen.path(6)
+        ptree = PartialTree(0, 1)
+        depths = [ptree.min_open_depth]
+        u = 0
+        for v in range(1, 6):
+            ptree.reveal(u, min(ptree.dangling_ports(u)), v, tree.degree(v))
+            u = v
+            depths.append(ptree.min_open_depth)
+        # On a path, the open frontier moves down one level per reveal.
+        assert depths == [0, 1, 2, 3, 4, None]
+
+    def test_min_open_depth_non_decreasing_random(self):
+        rng = random.Random(5)
+        tree = gen.random_recursive(150, rng)
+        ptree = PartialTree(0, tree.degree(0))
+        last = 0
+        # Reveal in BFS-ish random order: always pick the shallowest open node.
+        while not ptree.is_complete():
+            d = ptree.min_open_depth
+            assert d is not None and d >= last
+            last = d
+            u = min(ptree.open_nodes_at(d))
+            port = min(ptree.dangling_ports(u))
+            child = tree.port_to(u, port)
+            ptree.reveal(u, port, child, tree.degree(child))
+
+    def test_open_nodes_at_depth(self):
+        tree = gen.star(5)
+        ptree = PartialTree(0, 4)
+        assert ptree.open_nodes_at(0) == {0}
+        assert ptree.open_nodes_at(3) == frozenset()
+
+
+class TestFinishedSubtrees:
+    def test_finished_propagates_up(self):
+        tree = gen.path(4)
+        ptree = PartialTree(0, 1)
+        for v in range(1, 4):
+            assert not ptree.is_finished(0)
+            ptree.reveal(v - 1, min(ptree.dangling_ports(v - 1)), v, tree.degree(v))
+        assert all(ptree.is_finished(v) for v in range(4))
+
+    def test_partial_subtree_not_finished(self):
+        tree = gen.complete_ary(2, 2)
+        ptree = PartialTree(0, 2)
+        c = tree.children(0)[0]
+        ptree.reveal(0, 0, c, tree.degree(c))
+        assert not ptree.is_finished(0)
+        assert not ptree.is_finished(c)
+        # Finish c's two leaves -> c finished, root still has a dangling port.
+        for port in sorted(ptree.dangling_ports(c)):
+            leaf = tree.port_to(c, port)
+            ptree.reveal(c, port, leaf, tree.degree(leaf))
+        assert ptree.is_finished(c)
+        assert not ptree.is_finished(0)
+
+
+@settings(max_examples=40)
+@given(st.integers(2, 50), st.integers(0, 2**31 - 1))
+def test_random_reveal_order_consistency(n, seed):
+    """Property: revealing in any order yields a consistent complete view."""
+    rng = random.Random(seed)
+    parents = [-1] + [rng.randrange(v) for v in range(1, n)]
+    tree = Tree(parents)
+    ptree = PartialTree(0, tree.degree(0))
+    frontier = [(0, p) for p in ptree.dangling_ports(0)]
+    while frontier:
+        idx = rng.randrange(len(frontier))
+        u, port = frontier.pop(idx)
+        child = tree.port_to(u, port)
+        ev = ptree.reveal(u, port, child, tree.degree(child))
+        frontier.extend((child, p) for p in ptree.dangling_ports(child))
+        assert ev.child == child
+    assert ptree.is_complete()
+    check_partial_consistent(ptree, tree)

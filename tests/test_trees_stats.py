@@ -1,0 +1,53 @@
+"""Tests for tree shape statistics."""
+
+import pytest
+
+from repro.trees import generators as gen, tree_stats
+from repro.trees.stats import figure1_placement
+
+
+class TestStats:
+    def test_path(self):
+        s = tree_stats(gen.path(10))
+        assert s.n == 10 and s.depth == 9
+        assert s.num_leaves == 1
+        assert s.is_path_like and not s.is_star_like
+        assert s.width_profile == [1] * 10
+        assert s.branching_histogram == {1: 9}
+
+    def test_star(self):
+        s = tree_stats(gen.star(10))
+        assert s.num_leaves == 9
+        assert s.is_star_like and not s.is_path_like
+        assert s.max_width == 9
+        assert s.avg_branching == 9.0
+
+    def test_binary(self):
+        s = tree_stats(gen.complete_ary(2, 3))
+        assert s.num_leaves == 8
+        assert s.width_profile == [1, 2, 4, 8]
+        assert s.branching_histogram == {2: 7}
+        assert s.avg_branching == pytest.approx(2.0)
+
+    def test_single_node(self):
+        s = tree_stats(gen.path(1))
+        assert s.num_leaves == 1
+        assert s.avg_branching == 0.0
+        assert s.width_profile == [1]
+
+    def test_widths_sum_to_n(self, tree_case):
+        _, tree = tree_case
+        s = tree_stats(tree)
+        assert sum(s.width_profile) == tree.n
+        assert sum(s.branching_histogram.values()) + s.num_leaves == tree.n
+
+
+class TestFigure1Placement:
+    def test_bushy_tree_is_bfdn_territory(self):
+        # Huge, shallow: BFDN's region for moderate k.
+        tree = gen.star(5000)
+        assert figure1_placement(tree, 64) in ("BFDN", "BFDN_ell")
+
+    def test_path_is_cte_territory(self):
+        tree = gen.path(256)
+        assert figure1_placement(tree, 64) == "CTE"

@@ -1,0 +1,74 @@
+"""Build a single-file HTML report of the whole reproduction.
+
+Gathers the experiment registry's reports (E1..E13), the Figure 1 SVGs
+and the headline summary into one self-contained ``report.html`` — the
+artifact to send to someone who asks "did it reproduce?".
+
+    python tools/gen_html_report.py [outfile]
+"""
+
+from __future__ import annotations
+
+import html
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import EXPERIMENTS, run_experiment
+from repro.bounds import compute_region_map
+from repro.viz import region_map_svg
+
+STYLE = """
+body { font-family: Georgia, serif; max-width: 960px; margin: 2em auto;
+       color: #222; line-height: 1.45; padding: 0 1em; }
+h1, h2 { font-family: Helvetica, Arial, sans-serif; }
+pre { background: #f6f6f4; border: 1px solid #ddd; padding: 0.8em;
+      overflow-x: auto; font-size: 12px; line-height: 1.3; }
+.experiment { margin-bottom: 2.2em; }
+.meta { color: #666; font-size: 0.9em; }
+svg { max-width: 100%; height: auto; border: 1px solid #eee; }
+"""
+
+INTRO = """
+<p>Reproduction of <em>"Efficient Collaborative Tree Exploration with
+Breadth-First Depth-Next"</em> (Cosson, Massouli&eacute;, Viennot &mdash;
+PODC 2023, arXiv:2301.13307). Each section below is one experiment of the
+reproduction's index (DESIGN.md); the asserting versions run under
+<code>pytest benchmarks/</code>. See EXPERIMENTS.md for the
+measured-vs-paper discussion and the reproduction findings.</p>
+"""
+
+
+def main(outfile: str = "report.html") -> None:
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>BFDN reproduction report</title>",
+        f"<style>{STYLE}</style></head><body>",
+        "<h1>BFDN reproduction report</h1>",
+        f"<p class='meta'>generated {time.strftime('%Y-%m-%d %H:%M')}</p>",
+        INTRO,
+        "<h2>Figure 1 (k = 2<sup>40</sup>)</h2>",
+    ]
+    region_map = compute_region_map(
+        1 << 40, resolution=40, log2_n_max=260, log2_d_max=200
+    )
+    parts.append(region_map_svg(region_map))
+
+    for exp_id in sorted(EXPERIMENTS, key=lambda s: int(s[1:])):
+        report = run_experiment(exp_id)
+        header, _, body = report.partition("\n")
+        parts.append("<div class='experiment'>")
+        parts.append(f"<h2>{html.escape(header.strip('= '))}</h2>")
+        parts.append(f"<pre>{html.escape(body)}</pre>")
+        parts.append("</div>")
+
+    parts.append("</body></html>")
+    with open(outfile, "w") as f:
+        f.write("\n".join(parts))
+    print(f"wrote {outfile} ({os.path.getsize(outfile)} bytes)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "report.html")

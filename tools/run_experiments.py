@@ -1,0 +1,63 @@
+"""Run the full experiment registry and archive the results.
+
+Writes, under ``results/`` (or argv[1]):
+
+* one ``E<i>.txt`` per experiment report,
+* ``summary.csv`` with a one-row status per experiment,
+* ``figure1_k20.svg`` and ``figure1_k40.svg``.
+
+    python tools/run_experiments.py [outdir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import EXPERIMENTS, run_experiment, save_rows
+from repro.bounds import compute_region_map
+from repro.viz import region_map_svg
+
+
+def main(outdir: str = "results") -> int:
+    os.makedirs(outdir, exist_ok=True)
+    rows = []
+    failures = 0
+    for exp_id in sorted(EXPERIMENTS, key=lambda s: int(s[1:])):
+        start = time.time()
+        try:
+            report = run_experiment(exp_id)
+            status = "ok"
+        except Exception as exc:  # pragma: no cover - archival tool
+            report = f"FAILED: {exc!r}"
+            status = "failed"
+            failures += 1
+        elapsed = time.time() - start
+        path = os.path.join(outdir, f"{exp_id}.txt")
+        with open(path, "w") as f:
+            f.write(report + "\n")
+        rows.append(
+            {"experiment": exp_id, "status": status, "seconds": round(elapsed, 2)}
+        )
+        print(f"{exp_id}: {status} ({elapsed:.1f}s) -> {path}")
+
+    save_rows(rows, os.path.join(outdir, "summary.csv"))
+    for log2_k in (20, 40):
+        region_map = compute_region_map(
+            1 << log2_k,
+            resolution=40,
+            log2_n_max=6.5 * log2_k,
+            log2_d_max=5.0 * log2_k,
+        )
+        path = os.path.join(outdir, f"figure1_k{log2_k}.svg")
+        with open(path, "w") as f:
+            f.write(region_map_svg(region_map))
+        print(f"wrote {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "results"))
