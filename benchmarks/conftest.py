@@ -4,11 +4,41 @@ Each benchmark module reproduces one experiment of DESIGN.md's index
 (E1..E12): it prints the table/series the paper's claim is about (run
 with ``-s`` to see them) and asserts the claim's *shape*, so the bench
 suite doubles as an end-to-end verification of the reproduction.
+
+Benchmarks that sweep through the orchestrator can request the
+``orchestrator_store`` fixture: by default it is a throwaway per-session
+cache, but passing ``--repro-cache-dir`` (or setting
+``REPRO_BENCH_CACHE_DIR``) points it at a persistent directory so
+repeated benchmark runs skip already-simulated jobs.
 """
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-cache-dir",
+        action="store",
+        default=None,
+        help="persistent orchestrator result cache for sweep benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def orchestrator_store(request, tmp_path_factory):
+    """A content-addressed result store for orchestrated benchmarks."""
+    from repro.orchestrator import ResultStore
+
+    cache_dir = request.config.getoption("--repro-cache-dir") or os.environ.get(
+        "REPRO_BENCH_CACHE_DIR"
+    )
+    if cache_dir is None:
+        cache_dir = tmp_path_factory.mktemp("orchestrator-cache")
+    return ResultStore(cache_dir)

@@ -1,0 +1,33 @@
+"""E2E bench: orchestrated sweeps are cached, resumable and fault-free.
+
+Runs a small ``(family × n × k)`` grid through the orchestrator twice
+against the shared ``orchestrator_store``: the second pass must be pure
+cache hits (zero re-simulation), mirroring the CI smoke test that runs
+``python -m repro sweep`` twice with a shared ``--cache-dir``.
+"""
+
+from repro.analysis import run_sweep_cached
+from repro.orchestrator import TreeSpec
+
+GRID = [
+    ("random-n200", TreeSpec.named("random", 200)),
+    ("comb-n180", TreeSpec.named("comb", 180)),
+]
+
+
+def test_second_pass_is_pure_cache_hits(orchestrator_store):
+    first = run_sweep_cached(
+        ["bfdn", "cte"], GRID, (4, 16), store=orchestrator_store
+    )
+    assert not first.failures
+    assert len(first.records) == 8
+
+    second = run_sweep_cached(
+        ["bfdn", "cte"], GRID, (4, 16), store=orchestrator_store
+    )
+    assert not second.failures
+    assert second.tracker.counts["done"] == 0, "warm cache must not simulate"
+    assert second.tracker.hit_rate() == 1.0
+    assert [r.rounds for r in second.records] == [r.rounds for r in first.records]
+    print()
+    print(second.tracker.summary())

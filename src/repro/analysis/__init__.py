@@ -8,11 +8,13 @@ from .stats import PairedComparison, Replication, compare_paired, replicate
 from .results_io import load_rows, rows_from_csv, rows_to_csv, save_rows
 from .montecarlo import Distribution, SlackStudy, game_length_distribution, overhead_distribution
 from .parallel import Job, JobResult, make_job, run_jobs
-from .sweep import AlgorithmFactory, SweepRecord, run_sweep
+from .sweep import AlgorithmFactory, SweepRecord, SweepRun, run_sweep, run_sweep_cached
 
 __all__ = [
     "run_sweep",
+    "run_sweep_cached",
     "SweepRecord",
+    "SweepRun",
     "AlgorithmFactory",
     "render_table",
     "summarize_by",

@@ -1,34 +1,30 @@
-"""Multiprocess sweep runner.
+"""Multiprocess sweep runner (orchestrator-backed).
 
 Large sweeps (many families × team sizes × seeds) are embarrassingly
 parallel; this module fans :func:`repro.analysis.sweep.run_sweep`-style
-jobs over a process pool.  Jobs are described by picklable specs (factory
-*names*, not closures) so the pool can ship them to workers.
+jobs over the resilient worker pool in :mod:`repro.orchestrator`.  Jobs
+are described by picklable specs (algorithm *names* resolved through
+:mod:`repro.registry`, not closures) so workers can rebuild them.
+
+:func:`run_jobs` keeps its historical raise-on-failure contract; pass a
+:class:`~repro.orchestrator.store.ResultStore` to make runs cacheable
+and resumable, or use :func:`repro.orchestrator.run_jobspecs` directly
+for per-job outcomes that never raise.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..baselines import CTE, OnlineDFS
-from ..core import BFDN, BFDNEll, ShortcutBFDN, WriteReadBFDN
-from ..sim.engine import Simulator
+from ..orchestrator import JobSpec, TreeSpec, run_jobspecs
+from ..orchestrator.events import ProgressTracker
+from ..orchestrator.store import ResultStore
+from ..registry import ALGORITHMS, SHARED_REVEAL
 from ..trees.tree import Tree
 
-#: Algorithms addressable by name in job specs (picklable indirection).
-ALGORITHMS = {
-    "bfdn": BFDN,
-    "bfdn-wr": WriteReadBFDN,
-    "bfdn-shortcut": ShortcutBFDN,
-    "bfdn-ell2": lambda: BFDNEll(2),
-    "bfdn-ell3": lambda: BFDNEll(3),
-    "cte": CTE,
-    "dfs": OnlineDFS,
-}
-
-_SHARED_REVEAL = {"cte"}
+#: Backwards-compatible alias (the registry is the source of truth now).
+_SHARED_REVEAL = SHARED_REVEAL
 
 
 @dataclass(frozen=True)
@@ -39,6 +35,15 @@ class Job:
     label: str
     parents: Tuple[int, ...]
     k: int
+
+    def to_spec(self) -> JobSpec:
+        """The orchestrator spec equivalent to this job."""
+        return JobSpec(
+            algorithm=self.algorithm,
+            tree=TreeSpec(parents=self.parents),
+            k=self.k,
+            label=self.label,
+        )
 
 
 @dataclass(frozen=True)
@@ -63,36 +68,52 @@ def make_job(algorithm: str, label: str, tree: Tree, k: int) -> Job:
     return Job(algorithm=algorithm, label=label, parents=parents, k=k)
 
 
-def _run_job(job: Job) -> JobResult:
-    tree = Tree([-1] + list(job.parents[1:]))
-    algo = ALGORITHMS[job.algorithm]()
-    result = Simulator(
-        tree,
-        algo,
-        job.k,
-        allow_shared_reveal=job.algorithm in _SHARED_REVEAL,
-    ).run()
-    return JobResult(
-        algorithm=job.algorithm,
-        label=job.label,
-        n=tree.n,
-        depth=tree.depth,
-        k=job.k,
-        rounds=result.rounds,
-        complete=result.complete,
-        all_home=result.all_home,
-    )
-
-
 def run_jobs(
-    jobs: Sequence[Job], max_workers: Optional[int] = None
+    jobs: Sequence[Job],
+    max_workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    tracker: Optional[ProgressTracker] = None,
 ) -> List[JobResult]:
-    """Run jobs over a process pool, preserving input order.
+    """Run jobs over the resilient pool, preserving input order.
 
     ``max_workers=0`` (or 1) runs inline — handy for tests and platforms
-    without fork support.
+    without fork support.  With a ``store``, previously computed jobs are
+    cache hits and skip simulation entirely.  A job that still fails
+    after its retries raises ``RuntimeError`` (matching the historical
+    pool semantics); use :func:`repro.orchestrator.run_jobspecs` when a
+    sweep must survive individual job failures.
     """
-    if max_workers is not None and max_workers <= 1:
-        return [_run_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_run_job, jobs))
+    outcomes = run_jobspecs(
+        [job.to_spec() for job in jobs],
+        store=store,
+        max_workers=max_workers,
+        timeout=timeout,
+        retries=retries,
+        tracker=tracker,
+    )
+    results: List[JobResult] = []
+    for job, outcome in zip(jobs, outcomes):
+        if not outcome.ok:
+            raise RuntimeError(
+                f"job {job.label!r} ({job.algorithm}, k={job.k}) failed "
+                f"after {outcome.attempts} attempt(s): {outcome.error}"
+            )
+        row = outcome.row
+        results.append(
+            JobResult(
+                algorithm=job.algorithm,
+                label=job.label,
+                n=int(row["n"]),
+                depth=int(row["depth"]),
+                k=job.k,
+                rounds=int(row["rounds"]),
+                complete=bool(row["complete"]),
+                all_home=bool(row["all_home"]),
+            )
+        )
+    return results
+
+
+__all__ = ["ALGORITHMS", "Job", "JobResult", "make_job", "run_jobs"]

@@ -17,11 +17,24 @@ Row = Dict[str, object]
 
 
 def rows_to_csv(rows: Sequence[Row]) -> str:
-    """Serialise dict-rows to CSV text (columns from the first row)."""
+    """Serialise dict-rows to CSV text.
+
+    Columns are the union of keys across *all* rows in first-seen order,
+    so heterogeneous rows (e.g. merged sweeps where some algorithms emit
+    extra metric columns) serialise instead of raising; missing cells
+    are left empty.
+    """
     if not rows:
         return ""
+    fieldnames: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                fieldnames.append(key)
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
     writer.writeheader()
     for row in rows:
         writer.writerow(row)

@@ -4,16 +4,28 @@ A sweep runs a set of algorithms over a set of (tree, k) workloads and
 collects one :class:`SweepRecord` per run, carrying the measured rounds
 together with the theoretical quantities (Theorem 1 bound, offline lower
 bound, competitive overhead/ratio) the paper's claims are about.
+
+Two entry points:
+
+* :func:`run_sweep` — the historical inline loop over arbitrary
+  algorithm factories (used by the experiment registry);
+* :func:`run_sweep_cached` — the orchestrated path: algorithms by
+  *name*, jobs fanned over the resilient worker pool with a
+  content-addressed result cache, so identical re-runs are pure cache
+  hits and one crashing job never aborts the sweep.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..baselines.offline import offline_lower_bound, offline_split_runtime
 from ..bounds.guarantees import bfdn_bound, competitive_overhead, competitive_ratio
+from ..orchestrator import JobOutcome, JobSpec, TreeSpec, run_jobspecs
+from ..orchestrator.events import ProgressTracker
+from ..orchestrator.store import ResultStore
 from ..sim.engine import ExplorationAlgorithm, Simulator
 from ..trees.tree import Tree
 
@@ -105,3 +117,90 @@ def run_sweep(
                     )
                 )
     return records
+
+
+@dataclass
+class SweepRun:
+    """Outcome of an orchestrated sweep: records plus per-job outcomes.
+
+    ``records`` holds one :class:`SweepRecord` per *successful* job (in
+    job order); ``outcomes`` covers every job including failures, and
+    ``tracker`` carries the aggregated progress counters.
+    """
+
+    records: List[SweepRecord]
+    outcomes: List[JobOutcome]
+    tracker: ProgressTracker
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        """Jobs that produced no result even after retries."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+
+def _record_from_row(row: Dict[str, object]) -> SweepRecord:
+    return SweepRecord(
+        algorithm=str(row["algorithm"]),
+        tree_label=str(row["label"]),
+        n=int(row["n"]),
+        depth=int(row["depth"]),
+        max_degree=int(row["max_degree"]),
+        k=int(row["k"]),
+        rounds=int(row["rounds"]),
+        complete=bool(row["complete"]),
+        all_home=bool(row["all_home"]),
+        bfdn_bound=float(row["bfdn_bound"]),
+        lower_bound=int(row["lower_bound"]),
+        offline_split=int(row["offline_split"]),
+    )
+
+
+def run_sweep_cached(
+    algorithms: Sequence[str],
+    workloads: Iterable[Tuple[str, Union[Tree, TreeSpec]]],
+    team_sizes: Sequence[int],
+    *,
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = 0,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    max_rounds: Optional[int] = None,
+    tracker: Optional[ProgressTracker] = None,
+) -> SweepRun:
+    """Run every named algorithm on every (tree, k) pair, orchestrated.
+
+    Workloads are ``(label, tree_or_spec)`` pairs; passing
+    :class:`~repro.orchestrator.TreeSpec` values (named families) keeps
+    cache fingerprints compact, while concrete trees are cached via
+    their parent arrays.  The worker also computes the Theorem 1 bound
+    and the offline baselines, so a cache hit recomputes *nothing*.
+    ``max_workers=0`` (the default) runs inline.
+    """
+    specs: List[JobSpec] = []
+    for label, tree in workloads:
+        tree_spec = tree if isinstance(tree, TreeSpec) else TreeSpec.from_tree(tree)
+        for k in team_sizes:
+            for name in algorithms:
+                specs.append(
+                    JobSpec(
+                        algorithm=name,
+                        tree=tree_spec,
+                        k=k,
+                        label=label,
+                        max_rounds=max_rounds,
+                        compute_bounds=True,
+                    )
+                )
+    tracker = tracker if tracker is not None else ProgressTracker()
+    outcomes = run_jobspecs(
+        specs,
+        store=store,
+        max_workers=max_workers,
+        timeout=timeout,
+        retries=retries,
+        tracker=tracker,
+    )
+    records = [
+        _record_from_row(outcome.row) for outcome in outcomes if outcome.ok
+    ]
+    return SweepRun(records=records, outcomes=outcomes, tracker=tracker)

@@ -4,6 +4,7 @@ Commands
 --------
 ``explore``   run an exploration algorithm on a generated tree
 ``compare``   sweep several algorithms over the standard tree families
+``sweep``     orchestrated (cached, fault-tolerant, resumable) grid sweep
 ``figure1``   draw the Figure 1 region chart
 ``game``      play the balls-in-urns game and report Theorem 3's numbers
 ``demo``      animate BFDN on a small tree, frame by frame
@@ -13,36 +14,25 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Optional, Sequence
 
-from .analysis import EXPERIMENTS, render_table, run_experiment, run_sweep
-from .baselines import CTE, OnlineDFS
+from .analysis import (
+    EXPERIMENTS,
+    render_table,
+    run_experiment,
+    run_sweep,
+    run_sweep_cached,
+    save_rows,
+)
 from .bounds import bfdn_bound, compute_region_map, render_ascii, theorem3_bound
-from .core import BFDN, BFDNEll, WriteReadBFDN
+from .core import BFDN
 from .game import BalancedPlayer, GreedyAdversary, UrnBoard, game_value, play_game
 from .mission import run_mission
+from .orchestrator import ResultStore, TreeSpec
+from .registry import ALGORITHMS, TREES
 from .sim import Simulator, TraceRecorder
 from .sim.render import animate
-from .trees import Tree, generators as gen
-
-ALGORITHMS: Dict[str, Callable[[], object]] = {
-    "bfdn": BFDN,
-    "bfdn-wr": WriteReadBFDN,
-    "bfdn-ell2": lambda: BFDNEll(2),
-    "bfdn-ell3": lambda: BFDNEll(3),
-    "cte": CTE,
-    "dfs": OnlineDFS,
-}
-
-TREES: Dict[str, Callable[[int], Tree]] = {
-    "random": lambda n: gen.random_recursive(n),
-    "path": gen.path,
-    "star": gen.star,
-    "caterpillar": lambda n: gen.caterpillar(max(2, n // 5), 4),
-    "spider": lambda n: gen.spider(8, max(1, n // 8)),
-    "comb": lambda n: gen.comb(max(2, n // 6), 5),
-    "deep": lambda n: gen.random_tree_with_depth(n, max(2, n // 4)),
-}
+from .trees import generators as gen
 
 
 def cmd_explore(args) -> int:
@@ -72,6 +62,68 @@ def cmd_compare(args) -> int:
     )
     print(render_table([r.as_row() for r in records]))
     return 0
+
+
+def cmd_sweep(args) -> int:
+    """Run an orchestrated ``(family × n × k × seed)`` grid sweep.
+
+    Routes through the orchestrator: results are cached by content in
+    ``--cache-dir`` (re-running an identical sweep is pure cache hits,
+    an interrupted sweep resumes where it stopped), each job runs under
+    a per-job ``--timeout`` with bounded ``--retries``, and one crashing
+    or hanging job never aborts the others.
+    """
+    store = None
+    if args.cache_dir and not args.no_cache:
+        store = ResultStore(args.cache_dir)
+        if args.resume and store.manifest() is None and len(store) == 0:
+            print(
+                f"--resume: no cache manifest under {args.cache_dir!r}; "
+                "nothing to resume (run once without --resume first)"
+            )
+            return 2
+    elif args.resume:
+        print("--resume requires --cache-dir (and not --no-cache)")
+        return 2
+
+    workloads = []
+    for family in args.trees:
+        for n in args.n:
+            for seed in args.seeds:
+                label = f"{family}-n{n}" + (f"-s{seed}" if len(args.seeds) > 1 else "")
+                workloads.append((label, TreeSpec.named(family, n, seed)))
+
+    run = run_sweep_cached(
+        args.algorithms,
+        workloads,
+        team_sizes=args.k,
+        store=store,
+        max_workers=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    rows = [record.as_row() for record in run.records]
+    if rows:
+        print(render_table(rows))
+    for outcome in run.failures:
+        print(
+            f"FAILED {outcome.spec.label} ({outcome.spec.algorithm}, "
+            f"k={outcome.spec.k}) after {outcome.attempts} attempt(s): "
+            f"{outcome.error}"
+        )
+    tracker = run.tracker
+    print(tracker.bar())
+    print(tracker.summary())
+    if args.out:
+        save_rows(rows, args.out)
+        print(f"wrote {args.out}")
+    if args.min_hit_rate is not None and tracker.hit_rate() < args.min_hit_rate:
+        print(
+            f"cache hit rate {tracker.hit_rate():.1%} below required "
+            f"{args.min_hit_rate:.1%}"
+        )
+        return 1
+    return 1 if run.failures else 0
 
 
 def cmd_figure1(args) -> int:
@@ -148,6 +200,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, nargs="+", default=[4, 16])
     p.add_argument("--size", choices=["small", "medium", "large"], default="small")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "sweep", help="orchestrated grid sweep (cached, fault-tolerant, resumable)"
+    )
+    p.add_argument(
+        "--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+        default=["bfdn", "cte"],
+    )
+    p.add_argument(
+        "--trees", nargs="+", choices=sorted(TREES), default=["random", "comb"]
+    )
+    p.add_argument("-n", type=int, nargs="+", default=[200], help="tree sizes")
+    p.add_argument("-k", type=int, nargs="+", default=[4, 16], help="team sizes")
+    p.add_argument("--seeds", type=int, nargs="+", default=[0], help="tree seeds")
+    p.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0/1 = inline, no pool)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, dest="cache_dir",
+        help="content-addressed result cache directory (e.g. results/cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", dest="no_cache",
+        help="bypass the result cache entirely",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job timeout in seconds (needs --jobs >= 2)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="additional attempts for a failed/timed-out job",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from --cache-dir (must exist)",
+    )
+    p.add_argument("--out", default=None, help="write rows to .csv/.json")
+    p.add_argument(
+        "--min-hit-rate", type=float, default=None, dest="min_hit_rate",
+        help="exit non-zero if the cache hit rate falls below this fraction",
+    )
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("figure1", help="draw the Figure 1 region chart")
     p.add_argument("--log2-k", type=int, default=40, dest="log2_k")

@@ -1,0 +1,38 @@
+"""Resumable experiment orchestration.
+
+The orchestrator turns the repo's embarrassingly-parallel sweep workloads
+(``(family × n × k × seed)`` grids) into fault-tolerant, resumable runs:
+
+* :mod:`~repro.orchestrator.jobspec` — canonical, deterministic job
+  fingerprints (algorithm, tree spec, k, seed, engine options → sha256);
+* :mod:`~repro.orchestrator.store` — an on-disk content-addressed result
+  cache (JSON-lines + manifest) so identical jobs are never re-simulated
+  and interrupted sweeps resume where they stopped;
+* :mod:`~repro.orchestrator.executor` — a resilient process-pool executor
+  with per-job timeouts, bounded retries with backoff and crash isolation;
+* :mod:`~repro.orchestrator.events` — a structured progress/event stream
+  with queued/started/cache-hit/retry/done counters.
+
+``analysis.parallel.run_jobs``, ``analysis.sweep.run_sweep_cached``, the
+``python -m repro sweep`` CLI command and ``tools/run_experiments.py``
+all route through this package.
+"""
+
+from .events import ProgressTracker, SweepEvent
+from .executor import JobOutcome, TaskOutcome, run_jobspecs, run_tasks
+from .jobspec import SCHEMA_VERSION, JobSpec, TreeSpec, run_jobspec
+from .store import ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JobSpec",
+    "TreeSpec",
+    "run_jobspec",
+    "ResultStore",
+    "ProgressTracker",
+    "SweepEvent",
+    "JobOutcome",
+    "TaskOutcome",
+    "run_jobspecs",
+    "run_tasks",
+]

@@ -1,0 +1,129 @@
+"""Structured progress/event stream for orchestrated sweeps.
+
+The executor emits one :class:`SweepEvent` per state transition
+(queued → started → done / cache-hit / retry / timeout / failed) into a
+:class:`ProgressTracker`, which aggregates counters plus wall-time and
+rounds-simulated totals.  The tracker renders through the repo's existing
+ascii tooling: :meth:`ProgressTracker.as_rows` feeds
+``repro.analysis.report.render_table`` and :meth:`ProgressTracker.bar`
+draws a plain-text progress bar.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Event kinds, in rough lifecycle order.
+EVENT_KINDS = (
+    "queued",
+    "started",
+    "cache-hit",
+    "retry",
+    "timeout",
+    "done",
+    "failed",
+)
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One state transition of one job."""
+
+    kind: str
+    label: str = ""
+    fingerprint: str = ""
+    attempt: int = 0
+    elapsed: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+@dataclass
+class ProgressTracker:
+    """Aggregates sweep events into counters and totals.
+
+    An optional ``sink`` callback receives every event as it happens —
+    the CLI uses it for live per-job lines, tests use it to assert the
+    exact event sequence.
+    """
+
+    sink: Optional[Callable[[SweepEvent], None]] = None
+    counts: Counter = field(default_factory=Counter)
+    events: List[SweepEvent] = field(default_factory=list)
+    rounds_total: int = 0
+    sim_seconds: float = 0.0
+    started_at: float = field(default_factory=time.perf_counter)
+
+    def emit(self, event: SweepEvent) -> None:
+        """Record one event (and forward it to the sink, if any)."""
+        self.counts[event.kind] += 1
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
+
+    def add_rounds(self, rounds: int, sim_seconds: float = 0.0) -> None:
+        """Accumulate simulated-rounds and simulation-time totals."""
+        self.rounds_total += rounds
+        self.sim_seconds += sim_seconds
+
+    # -- derived -------------------------------------------------------
+    @property
+    def finished(self) -> int:
+        """Jobs that reached a terminal state."""
+        return (
+            self.counts["done"] + self.counts["cache-hit"] + self.counts["failed"]
+        )
+
+    @property
+    def total(self) -> int:
+        """Jobs ever queued."""
+        return self.counts["queued"]
+
+    def hit_rate(self) -> float:
+        """Cache hits over finished jobs (0.0 when nothing finished)."""
+        return self.counts["cache-hit"] / self.finished if self.finished else 0.0
+
+    def wall_time(self) -> float:
+        """Seconds since the tracker was created."""
+        return time.perf_counter() - self.started_at
+
+    # -- rendering -----------------------------------------------------
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Counter rows for ``analysis.report.render_table``."""
+        return [
+            {"event": kind, "count": self.counts[kind]}
+            for kind in EVENT_KINDS
+            if self.counts[kind]
+        ]
+
+    def bar(self, width: int = 30) -> str:
+        """A plain-text progress bar, e.g. ``[#####.....] 12/24``."""
+        total = max(self.total, 1)
+        filled = round(width * min(self.finished, total) / total)
+        return f"[{'#' * filled}{'.' * (width - filled)}] {self.finished}/{self.total}"
+
+    def summary(self) -> str:
+        """One-line human summary of the sweep so far."""
+        parts = [
+            f"{self.finished}/{self.total} jobs",
+            f"{self.counts['cache-hit']} cache hits",
+            f"{self.counts['done']} simulated",
+        ]
+        if self.counts["retry"]:
+            parts.append(f"{self.counts['retry']} retries")
+        if self.counts["timeout"]:
+            parts.append(f"{self.counts['timeout']} timeouts")
+        if self.counts["failed"]:
+            parts.append(f"{self.counts['failed']} failed")
+        parts.append(f"{self.rounds_total} rounds simulated")
+        parts.append(f"wall {self.wall_time():.2f}s")
+        return " | ".join(parts)
+
+
+__all__ = ["EVENT_KINDS", "ProgressTracker", "SweepEvent"]

@@ -1,0 +1,521 @@
+"""Fault-tolerant execution of sweep jobs.
+
+Two layers:
+
+* :func:`run_tasks` — a generic resilient pool.  Each task runs in its
+  own worker process (one ``multiprocessing.Process`` per attempt) so a
+  hanging job can be *killed* on timeout and a crashing job (segfault,
+  ``os._exit``, OOM-kill) takes down only its own process — never the
+  sweep.  Failed attempts are retried with exponential backoff up to a
+  bounded retry budget.  ``max_workers <= 1`` runs inline (no processes,
+  no timeout enforcement) for tests and fork-less platforms.
+* :func:`run_jobspecs` — the content-addressed layer on top: consults a
+  :class:`~repro.orchestrator.store.ResultStore` before running anything,
+  deduplicates identical fingerprints within one sweep, and records every
+  fresh result back into the store, which is what makes interrupted
+  sweeps resumable.
+
+Every state transition is reported to a
+:class:`~repro.orchestrator.events.ProgressTracker`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .events import ProgressTracker, SweepEvent
+from .jobspec import JobSpec, run_jobspec
+from .store import ResultStore
+
+#: Upper bound on the default pool size (per-job processes are cheap but
+#: sweeps gain little beyond this on the benchmark machines).
+_MAX_DEFAULT_WORKERS = 8
+
+
+def _default_workers() -> int:
+    import os
+
+    return max(1, min(os.cpu_count() or 1, _MAX_DEFAULT_WORKERS))
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits runtime-registered algorithms)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _child_main(conn, worker: Callable[[Any], Any], payload: Any) -> None:
+    """Worker-process entry point: run one task, ship back the outcome."""
+    try:
+        result = worker(payload)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one task submitted to :func:`run_tasks`."""
+
+    index: int
+    label: str
+    status: str  # "done" | "failed"
+    attempts: int
+    elapsed: float
+    result: Optional[Any] = None
+    error: str = ""
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task produced a result."""
+        return self.status == "done"
+
+
+@dataclass
+class _Pending:
+    index: int
+    payload: Any
+    label: str
+    attempt: int  # next attempt number, 1-based
+    ready_at: float  # monotonic time before which it must not start
+
+
+@dataclass
+class _Running:
+    item: _Pending
+    process: Any
+    conn: Any
+    started: float
+
+
+def _emit(tracker: Optional[ProgressTracker], **kwargs) -> None:
+    if tracker is not None:
+        tracker.emit(SweepEvent(**kwargs))
+
+
+def run_tasks(
+    payloads: Sequence[Any],
+    worker: Callable[[Any], Any],
+    *,
+    labels: Optional[Sequence[str]] = None,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.1,
+    tracker: Optional[ProgressTracker] = None,
+    emit_queued: bool = True,
+    on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+) -> List[TaskOutcome]:
+    """Run ``worker(payload)`` for every payload, resiliently.
+
+    Parameters
+    ----------
+    payloads:
+        Task inputs; ``worker`` and each payload must be picklable when
+        ``max_workers > 1`` (workers run in separate processes).
+    max_workers:
+        Process slots.  ``<= 1`` runs inline in this process — fast for
+        tiny jobs, but without timeout enforcement or crash isolation.
+        ``None`` picks ``min(cpu_count, 8)``.
+    timeout:
+        Per-*attempt* wall-clock budget in seconds; an attempt past it is
+        killed and counts as a failure (then retried, if budget remains).
+    retries:
+        Additional attempts allowed after the first (``1`` → at most two
+        attempts per task).
+    backoff:
+        Base delay before attempt ``i+1``: ``backoff * 2**(i-1)`` seconds.
+    on_outcome:
+        Called with each terminal :class:`TaskOutcome` *as it settles*
+        (completion order, not input order) — the cache layer uses this
+        to persist results immediately, so an interrupted run keeps
+        every job that finished before the interrupt.
+
+    Returns outcomes in input order; never raises for task failures.
+    """
+    labels = list(labels) if labels is not None else [
+        f"task-{i}" for i in range(len(payloads))
+    ]
+    if len(labels) != len(payloads):
+        raise ValueError("labels and payloads must have the same length")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    tracker_obj = tracker
+    if emit_queued:
+        for label in labels:
+            _emit(tracker_obj, kind="queued", label=label)
+
+    if max_workers is None:
+        max_workers = _default_workers()
+    if max_workers <= 1:
+        return _run_inline(
+            payloads, worker, labels, retries, backoff, tracker_obj, on_outcome
+        )
+    return _run_pooled(
+        payloads, worker, labels, max_workers, timeout, retries, backoff,
+        tracker_obj, on_outcome,
+    )
+
+
+def _run_inline(
+    payloads: Sequence[Any],
+    worker: Callable[[Any], Any],
+    labels: Sequence[str],
+    retries: int,
+    backoff: float,
+    tracker: Optional[ProgressTracker],
+    on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+) -> List[TaskOutcome]:
+    outcomes: List[TaskOutcome] = []
+    for index, payload in enumerate(payloads):
+        label = labels[index]
+        error = ""
+        outcome = None
+        for attempt in range(1, retries + 2):
+            _emit(tracker, kind="started", label=label, attempt=attempt)
+            start = time.perf_counter()
+            try:
+                result = worker(payload)
+            except Exception as exc:  # crash isolation, inline flavour
+                error = f"{type(exc).__name__}: {exc}"
+                elapsed = time.perf_counter() - start
+                if attempt <= retries:
+                    _emit(
+                        tracker, kind="retry", label=label,
+                        attempt=attempt, detail=error,
+                    )
+                    time.sleep(backoff * (2 ** (attempt - 1)))
+                    continue
+                outcome = TaskOutcome(
+                    index=index, label=label, status="failed",
+                    attempts=attempt, elapsed=elapsed, error=error,
+                )
+                _emit(
+                    tracker, kind="failed", label=label,
+                    attempt=attempt, elapsed=elapsed, detail=error,
+                )
+                break
+            elapsed = time.perf_counter() - start
+            outcome = TaskOutcome(
+                index=index, label=label, status="done",
+                attempts=attempt, elapsed=elapsed, result=result,
+            )
+            _emit(
+                tracker, kind="done", label=label,
+                attempt=attempt, elapsed=elapsed,
+            )
+            break
+        assert outcome is not None
+        if on_outcome is not None:
+            on_outcome(outcome)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def _run_pooled(
+    payloads: Sequence[Any],
+    worker: Callable[[Any], Any],
+    labels: Sequence[str],
+    max_workers: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    tracker: Optional[ProgressTracker],
+    on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+) -> List[TaskOutcome]:
+    ctx = _mp_context()
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(payloads)
+    now = time.monotonic()
+    pending = deque(
+        _Pending(index=i, payload=p, label=labels[i], attempt=1, ready_at=now)
+        for i, p in enumerate(payloads)
+    )
+    delayed: List[_Pending] = []
+    running: List[_Running] = []
+
+    def start(item: _Pending) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main, args=(child_conn, worker, item.payload), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        running.append(
+            _Running(item=item, process=process, conn=parent_conn,
+                     started=time.monotonic())
+        )
+        _emit(tracker, kind="started", label=item.label, attempt=item.attempt)
+
+    def reap(slot: _Running) -> None:
+        try:
+            slot.conn.close()
+        except Exception:
+            pass
+        slot.process.join(timeout=5)
+        if slot.process.is_alive():  # pragma: no cover - last resort
+            slot.process.terminate()
+            slot.process.join(timeout=5)
+
+    def settle(slot: _Running, status: str, result: Any, error: str,
+               timed_out: bool = False) -> None:
+        """Record a finished attempt: success, retry, or final failure."""
+        running.remove(slot)
+        elapsed = time.monotonic() - slot.started
+        item = slot.item
+        if status == "done":
+            outcome = TaskOutcome(
+                index=item.index, label=item.label, status="done",
+                attempts=item.attempt, elapsed=elapsed, result=result,
+            )
+            outcomes[item.index] = outcome
+            _emit(tracker, kind="done", label=item.label,
+                  attempt=item.attempt, elapsed=elapsed)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            return
+        if timed_out:
+            _emit(tracker, kind="timeout", label=item.label,
+                  attempt=item.attempt, elapsed=elapsed, detail=error)
+        if item.attempt <= retries:
+            _emit(tracker, kind="retry", label=item.label,
+                  attempt=item.attempt, detail=error)
+            delayed.append(
+                _Pending(
+                    index=item.index, payload=item.payload, label=item.label,
+                    attempt=item.attempt + 1,
+                    ready_at=time.monotonic() + backoff * (2 ** (item.attempt - 1)),
+                )
+            )
+            return
+        outcome = TaskOutcome(
+            index=item.index, label=item.label, status="failed",
+            attempts=item.attempt, elapsed=elapsed, error=error,
+            timed_out=timed_out,
+        )
+        outcomes[item.index] = outcome
+        _emit(tracker, kind="failed", label=item.label,
+              attempt=item.attempt, elapsed=elapsed, detail=error)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
+    try:
+        while pending or delayed or running:
+            now = time.monotonic()
+            if delayed:
+                still: List[_Pending] = []
+                for item in delayed:
+                    (pending if item.ready_at <= now else still).append(item)
+                delayed[:] = still
+            while pending and len(running) < max_workers:
+                start(pending.popleft())
+            if not running:
+                if delayed:
+                    time.sleep(
+                        max(0.0, min(i.ready_at for i in delayed) - time.monotonic())
+                    )
+                continue
+
+            poll = 0.1
+            if timeout is not None:
+                nearest = min(s.started + timeout for s in running)
+                poll = max(0.0, min(poll, nearest - time.monotonic()))
+            ready = _conn_wait([s.conn for s in running], timeout=poll)
+            ready_set = set(ready)
+
+            for slot in list(running):
+                if slot.conn in ready_set:
+                    try:
+                        kind, payload = slot.conn.recv()
+                    except (EOFError, OSError):
+                        # Child died without reporting: crash isolation.
+                        reap(slot)
+                        code = slot.process.exitcode
+                        settle(slot, "crashed", None,
+                               f"worker process died (exitcode {code})")
+                        continue
+                    reap(slot)
+                    if kind == "ok":
+                        settle(slot, "done", payload, "")
+                    else:
+                        settle(slot, "error", None, payload)
+                elif timeout is not None and (
+                    time.monotonic() - slot.started
+                ) > timeout:
+                    slot.process.terminate()
+                    reap(slot)
+                    settle(slot, "timeout", None,
+                           f"timed out after {timeout:.1f}s", timed_out=True)
+    finally:
+        for slot in running:  # pragma: no cover - interrupt cleanup
+            try:
+                slot.process.terminate()
+            except Exception:
+                pass
+            reap(slot)
+
+    assert all(outcome is not None for outcome in outcomes)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+# ---------------------------------------------------------------------
+# Content-addressed layer
+# ---------------------------------------------------------------------
+
+@dataclass
+class JobOutcome:
+    """Terminal state of one :class:`JobSpec` in an orchestrated sweep."""
+
+    spec: JobSpec
+    fingerprint: str
+    status: str  # "done" | "cache-hit" | "failed"
+    attempts: int
+    elapsed: float
+    row: Optional[Dict[str, object]] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether a result row is available (fresh or cached)."""
+        return self.row is not None
+
+
+def run_jobspecs(
+    specs: Sequence[JobSpec],
+    *,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    backoff: float = 0.1,
+    tracker: Optional[ProgressTracker] = None,
+) -> List[JobOutcome]:
+    """Run a sweep of job specs through the cache and the resilient pool.
+
+    For every spec: consult the store (a hit returns the cached row with
+    the spec's display label patched in, simulating nothing); group the
+    misses by fingerprint so duplicate jobs in one sweep run once; fan
+    the unique misses over :func:`run_tasks`; insert fresh rows back into
+    the store.  Outcomes come back in input order and job failures are
+    *reported*, never raised — one pathological job cannot abort a sweep.
+    """
+    tracker = tracker if tracker is not None else ProgressTracker()
+    fingerprints = [spec.fingerprint() for spec in specs]
+    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+    for spec, fingerprint in zip(specs, fingerprints):
+        tracker.emit(SweepEvent(kind="queued", label=spec.label or spec.algorithm,
+                                fingerprint=fingerprint))
+
+    # Cache lookups.
+    misses: List[int] = []
+    for i, (spec, fingerprint) in enumerate(zip(specs, fingerprints)):
+        row = store.get(fingerprint) if (store is not None and use_cache) else None
+        if row is not None:
+            row["label"] = spec.label
+            outcomes[i] = JobOutcome(
+                spec=spec, fingerprint=fingerprint, status="cache-hit",
+                attempts=0, elapsed=0.0, row=row,
+            )
+            tracker.emit(SweepEvent(kind="cache-hit",
+                                    label=spec.label or spec.algorithm,
+                                    fingerprint=fingerprint))
+        else:
+            misses.append(i)
+
+    # Deduplicate identical jobs within the sweep.
+    runners: List[int] = []  # indices that actually execute
+    followers: Dict[str, List[int]] = {}
+    first_for: Dict[str, int] = {}
+    for i in misses:
+        fingerprint = fingerprints[i]
+        if fingerprint in first_for:
+            followers.setdefault(fingerprint, []).append(i)
+        else:
+            first_for[fingerprint] = i
+            runners.append(i)
+
+    def persist(task: TaskOutcome) -> None:
+        """Write each fresh result to the store *as it settles*, so a
+        sweep interrupted mid-run keeps every job finished so far."""
+        if not task.ok:
+            return
+        fingerprint = fingerprints[runners[task.index]]
+        row = dict(task.result)
+        if store is not None:
+            store.put(fingerprint, row)
+        tracker.add_rounds(int(row.get("rounds", 0)),
+                           float(row.get("elapsed", 0.0)))
+
+    task_outcomes = run_tasks(
+        [specs[i] for i in runners],
+        run_jobspec,
+        labels=[specs[i].label or specs[i].algorithm for i in runners],
+        max_workers=max_workers,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        tracker=tracker,
+        emit_queued=False,
+        on_outcome=persist,
+    )
+
+    for spec_index, task in zip(runners, task_outcomes):
+        spec = specs[spec_index]
+        fingerprint = fingerprints[spec_index]
+        if task.ok:
+            row = dict(task.result)
+            outcomes[spec_index] = JobOutcome(
+                spec=spec, fingerprint=fingerprint, status="done",
+                attempts=task.attempts, elapsed=task.elapsed, row=row,
+            )
+        else:
+            outcomes[spec_index] = JobOutcome(
+                spec=spec, fingerprint=fingerprint, status="failed",
+                attempts=task.attempts, elapsed=task.elapsed, error=task.error,
+            )
+        # Propagate to duplicates of this fingerprint.
+        for dup_index in followers.get(fingerprint, []):
+            dup_spec = specs[dup_index]
+            base = outcomes[spec_index]
+            dup_row = dict(base.row) if base.row is not None else None
+            if dup_row is not None:
+                dup_row["label"] = dup_spec.label
+                tracker.emit(SweepEvent(
+                    kind="cache-hit", label=dup_spec.label or dup_spec.algorithm,
+                    fingerprint=fingerprint, detail="deduplicated within sweep",
+                ))
+                outcomes[dup_index] = JobOutcome(
+                    spec=dup_spec, fingerprint=fingerprint, status="cache-hit",
+                    attempts=0, elapsed=0.0, row=dup_row,
+                )
+            else:
+                tracker.emit(SweepEvent(
+                    kind="failed", label=dup_spec.label or dup_spec.algorithm,
+                    fingerprint=fingerprint, detail=base.error,
+                ))
+                outcomes[dup_index] = JobOutcome(
+                    spec=dup_spec, fingerprint=fingerprint, status="failed",
+                    attempts=base.attempts, elapsed=0.0, error=base.error,
+                )
+
+    assert all(outcome is not None for outcome in outcomes)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+__all__ = ["JobOutcome", "TaskOutcome", "run_jobspecs", "run_tasks"]

@@ -1,0 +1,183 @@
+"""Canonical job specifications and deterministic fingerprints.
+
+A :class:`JobSpec` pins everything that determines a simulation's outcome
+— the algorithm name, the tree (either a named generator family with its
+``(n, seed)`` or an explicit parent array), the team size ``k``, the run
+seed and the engine options — and hashes a canonical JSON encoding of it
+to a stable sha256 fingerprint.  The fingerprint is the key of the
+content-addressed result store: two sweeps that describe the same job in
+different orders, or with defaulted vs. explicit option values, map to
+the same cache entry.
+
+Presentation-only fields (the display ``label``) are deliberately *not*
+fingerprinted, so relabelling a workload does not invalidate its cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .. import registry
+from ..trees.tree import Tree
+
+#: Bump when the result row schema or the canonical encoding changes;
+#: the store ignores rows written under a different tag.
+SCHEMA_VERSION = "repro-orchestrator-v1"
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """A reproducible description of a rooted tree.
+
+    Either a named family (``family``, ``n``, ``seed`` — resolved through
+    :func:`repro.registry.make_tree`) or an explicit ``parents`` array.
+    Named specs keep fingerprints and cache entries small; parent arrays
+    make any concrete tree cacheable.
+    """
+
+    family: Optional[str] = None
+    n: int = 0
+    seed: int = 0
+    parents: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if (self.family is None) == (self.parents is None):
+            raise ValueError("specify exactly one of family= or parents=")
+        if self.family is not None and self.n < 1:
+            raise ValueError("named tree specs need n >= 1")
+
+    @classmethod
+    def from_tree(cls, tree: Tree) -> "TreeSpec":
+        """Spec for a concrete tree, via its parent array."""
+        parents = tuple(
+            -1 if v == 0 else tree.parent(v) for v in range(tree.n)
+        )
+        return cls(parents=parents)
+
+    @classmethod
+    def named(cls, family: str, n: int, seed: int = 0) -> "TreeSpec":
+        """Spec for a registry family; validates the name eagerly."""
+        if family not in registry.TREES:
+            raise ValueError(
+                f"unknown tree family {family!r} "
+                f"(known: {', '.join(sorted(registry.TREES))})"
+            )
+        return cls(family=family, n=n, seed=seed)
+
+    def materialize(self) -> Tree:
+        """Build the concrete :class:`~repro.trees.tree.Tree`."""
+        if self.parents is not None:
+            return Tree([-1] + list(self.parents[1:]))
+        assert self.family is not None
+        return registry.make_tree(self.family, self.n, self.seed)
+
+    def canonical(self) -> Dict[str, object]:
+        """Order-stable dict feeding the fingerprint."""
+        if self.parents is not None:
+            return {"parents": list(self.parents)}
+        return {"family": self.family, "n": self.n, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation to run, fully pinned and fingerprintable."""
+
+    algorithm: str
+    tree: TreeSpec
+    k: int
+    seed: int = 0
+    #: Display label carried into result rows; NOT fingerprinted.
+    label: str = ""
+    max_rounds: Optional[int] = None
+    #: ``None`` resolves to the registry default for the algorithm.
+    allow_shared_reveal: Optional[bool] = None
+    #: Also compute the Theorem 1 bound and the offline lower bounds in
+    #: the worker, so a cache hit skips *all* recomputation.
+    compute_bounds: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in registry.ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r} "
+                f"(known: {', '.join(sorted(registry.ALGORITHMS))})"
+            )
+        if self.k < 1:
+            raise ValueError("team size k must be >= 1")
+
+    def shared_reveal(self) -> bool:
+        """The resolved shared-reveal flag (explicit or registry default)."""
+        if self.allow_shared_reveal is not None:
+            return self.allow_shared_reveal
+        return registry.shared_reveal_default(self.algorithm)
+
+    def canonical(self) -> Dict[str, object]:
+        """Canonical encoding: resolved defaults, no presentation fields."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "algorithm": self.algorithm,
+            "tree": self.tree.canonical(),
+            "k": self.k,
+            "seed": self.seed,
+            "max_rounds": self.max_rounds,
+            "allow_shared_reveal": self.shared_reveal(),
+            "compute_bounds": self.compute_bounds,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable sha256 hex digest of the canonical encoding."""
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_jobspec(spec: JobSpec) -> Dict[str, object]:
+    """Execute one job spec and return its flat result row.
+
+    This is the pure worker function the executor ships to worker
+    processes; everything it needs travels inside ``spec``.
+    """
+    from ..sim.engine import Simulator  # local: keep module import light
+
+    tree = spec.tree.materialize()
+    algorithm = registry.make_algorithm(spec.algorithm)
+    start = time.perf_counter()
+    result = Simulator(
+        tree,
+        algorithm,
+        spec.k,
+        allow_shared_reveal=spec.shared_reveal(),
+        max_rounds=spec.max_rounds,
+    ).run()
+    elapsed = time.perf_counter() - start
+    row: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "fingerprint": spec.fingerprint(),
+        "algorithm": spec.algorithm,
+        "label": spec.label,
+        "n": tree.n,
+        "depth": tree.depth,
+        "max_degree": tree.max_degree,
+        "k": spec.k,
+        "seed": spec.seed,
+        "rounds": result.rounds,
+        "wall_rounds": result.wall_rounds,
+        "complete": result.complete,
+        "all_home": result.all_home,
+        "elapsed": round(elapsed, 6),
+    }
+    if spec.compute_bounds:
+        from ..baselines.offline import offline_lower_bound, offline_split_runtime
+        from ..bounds.guarantees import bfdn_bound
+
+        row["bfdn_bound"] = bfdn_bound(tree.n, tree.depth, spec.k, tree.max_degree)
+        row["lower_bound"] = offline_lower_bound(tree.n, tree.depth, spec.k)
+        row["offline_split"] = offline_split_runtime(tree, spec.k)
+    return row
+
+
+__all__ = ["SCHEMA_VERSION", "JobSpec", "TreeSpec", "run_jobspec"]

@@ -1,0 +1,181 @@
+"""On-disk content-addressed result store.
+
+Results live as JSON-lines in ``<cache_dir>/results.jsonl``, keyed by the
+job fingerprint (see :mod:`~repro.orchestrator.jobspec`) and tagged with
+the schema version; a small ``manifest.json`` records the schema and
+entry count so tooling can inspect a cache without scanning it.
+
+Design constraints:
+
+* **append-only writes** — a ``put`` appends one line and fsyncs, so a
+  sweep killed mid-run loses at most the line being written;
+* **tolerant reads** — corrupt/truncated lines (the tail of an
+  interrupted write) and rows under a foreign schema tag are skipped on
+  load, which is exactly what makes ``--resume`` safe;
+* **last-write-wins** — re-inserting a fingerprint appends a newer row
+  that shadows the old one at load time; :meth:`ResultStore.compact`
+  rewrites the log to drop shadowed and evicted rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from .jobspec import SCHEMA_VERSION
+
+Row = Dict[str, object]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join("results", "cache")
+
+
+class ResultStore:
+    """Content-addressed cache of job result rows.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding ``results.jsonl`` and ``manifest.json``;
+        created if missing.
+    schema:
+        Schema tag accepted/written; rows under other tags are ignored.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path] = DEFAULT_CACHE_DIR,
+        schema: str = SCHEMA_VERSION,
+    ):
+        self.cache_dir = Path(cache_dir)
+        self.schema = schema
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.results_path = self.cache_dir / "results.jsonl"
+        self.manifest_path = self.cache_dir / "manifest.json"
+        self._index: Dict[str, Row] = {}
+        self._skipped_lines = 0
+        self._load()
+
+    # -- loading -------------------------------------------------------
+    def _load(self) -> None:
+        self._index.clear()
+        self._skipped_lines = 0
+        if not self.results_path.exists():
+            return
+        with self.results_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except (ValueError, TypeError):
+                    self._skipped_lines += 1  # truncated tail of a crash
+                    continue
+                if not isinstance(row, dict) or row.get("schema") != self.schema:
+                    self._skipped_lines += 1
+                    continue
+                fingerprint = row.get("fingerprint")
+                if not isinstance(fingerprint, str):
+                    self._skipped_lines += 1
+                    continue
+                self._index[fingerprint] = row
+
+    # -- queries -------------------------------------------------------
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, fingerprint: str) -> Optional[Row]:
+        """The cached row for ``fingerprint``, or ``None`` on a miss."""
+        row = self._index.get(fingerprint)
+        return dict(row) if row is not None else None
+
+    def fingerprints(self) -> Iterator[str]:
+        """Iterate over every cached fingerprint."""
+        return iter(list(self._index))
+
+    @property
+    def skipped_lines(self) -> int:
+        """Corrupt or foreign-schema lines ignored at load time."""
+        return self._skipped_lines
+
+    # -- mutation ------------------------------------------------------
+    def put(self, fingerprint: str, row: Row) -> None:
+        """Insert (or overwrite) the row stored under ``fingerprint``."""
+        stored = dict(row)
+        stored["fingerprint"] = fingerprint
+        stored["schema"] = self.schema
+        line = json.dumps(stored, sort_keys=True, default=str)
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._index[fingerprint] = stored
+        self._write_manifest()
+
+    def evict(self, fingerprint: str) -> bool:
+        """Remove one entry; returns whether it existed."""
+        if fingerprint not in self._index:
+            return False
+        del self._index[fingerprint]
+        self.compact()
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry and truncate the log."""
+        self._index.clear()
+        self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the log atomically, keeping only live entries."""
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.cache_dir), prefix="results.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for row in self._index.values():
+                    handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+            os.replace(tmp_name, self.results_path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self._skipped_lines = 0
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "schema": self.schema,
+            "entries": len(self._index),
+            "results_file": self.results_path.name,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.cache_dir), prefix="manifest.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=1, sort_keys=True)
+            os.replace(tmp_name, self.manifest_path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+
+    # -- introspection -------------------------------------------------
+    def manifest(self) -> Optional[Row]:
+        """The parsed manifest, or ``None`` if never written."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            return json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (ValueError, TypeError):
+            return None
+
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultStore"]

@@ -1,0 +1,107 @@
+"""Single registry of exploration algorithms and tree families.
+
+Historically ``cli.py`` and ``analysis/parallel.py`` each kept their own
+``ALGORITHMS`` dict; they drifted (the CLI was missing ``bfdn-shortcut``)
+and the orchestrator needs one canonical name space so that job
+fingerprints resolve identically everywhere.  This module is that single
+source of truth: algorithm factories addressable by name, the set of
+algorithms that run under the shared-reveal model, and the named tree
+families used by the CLI and by orchestrated sweeps.
+
+Names are part of the on-disk cache fingerprint (see
+``repro.orchestrator.jobspec``), so renaming an entry invalidates cached
+results for it — prefer adding aliases over renaming.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from .baselines import CTE, OnlineDFS
+from .core import BFDN, BFDNEll, ShortcutBFDN, WriteReadBFDN
+from .trees import generators as gen
+from .trees.tree import Tree
+
+#: Algorithms addressable by name (picklable indirection: job specs and
+#: CLI flags carry the *name*, workers build a fresh instance per run).
+ALGORITHMS: Dict[str, Callable[[], object]] = {
+    "bfdn": BFDN,
+    "bfdn-wr": WriteReadBFDN,
+    "bfdn-shortcut": ShortcutBFDN,
+    "bfdn-ell2": lambda: BFDNEll(2),
+    "bfdn-ell3": lambda: BFDNEll(3),
+    "cte": CTE,
+    "dfs": OnlineDFS,
+}
+
+#: Algorithms whose model permits two robots to traverse the same
+#: dangling edge in one round (CTE's model; forbidden for BFDN).
+SHARED_REVEAL = frozenset({"cte"})
+
+
+def make_algorithm(name: str):
+    """Build a fresh algorithm instance for ``name``.
+
+    Raises ``ValueError`` for unknown names so callers surface typos
+    instead of silently caching results under a bogus key.
+    """
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r} (known: {', '.join(sorted(ALGORITHMS))})"
+        ) from None
+    return factory()
+
+
+def shared_reveal_default(name: str) -> bool:
+    """Whether ``name`` runs under the shared-reveal model by default."""
+    return name in SHARED_REVEAL
+
+
+#: Tree families by name.  Each builder takes ``(n, rng)`` — deterministic
+#: families ignore the rng, random ones draw from it, so a ``(family, n,
+#: seed)`` triple pins the tree exactly (the orchestrator fingerprints it).
+_TREE_BUILDERS: Dict[str, Callable[[int, random.Random], Tree]] = {
+    "random": lambda n, rng: gen.random_recursive(n, rng),
+    "path": lambda n, rng: gen.path(n),
+    "star": lambda n, rng: gen.star(n),
+    "caterpillar": lambda n, rng: gen.caterpillar(max(2, n // 5), 4),
+    "spider": lambda n, rng: gen.spider(8, max(1, n // 8)),
+    "comb": lambda n, rng: gen.comb(max(2, n // 6), 5),
+    "deep": lambda n, rng: gen.random_tree_with_depth(n, max(2, n // 4), rng),
+}
+
+
+def make_tree(family: str, n: int, seed: int = 0) -> Tree:
+    """Materialise the named tree family at size ``n`` with ``seed``."""
+    try:
+        builder = _TREE_BUILDERS[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown tree family {family!r} (known: {', '.join(sorted(_TREE_BUILDERS))})"
+        ) from None
+    return builder(n, random.Random(seed))
+
+
+def tree_families() -> Dict[str, Callable[[int], Tree]]:
+    """CLI-compatible view: family name → ``n``-only builder (seed 0)."""
+    return {
+        name: (lambda n, _f=name: make_tree(_f, n, seed=0))
+        for name in _TREE_BUILDERS
+    }
+
+
+#: Backwards-compatible alias used by ``cli.py``.
+TREES: Dict[str, Callable[[int], Tree]] = tree_families()
+
+__all__ = [
+    "ALGORITHMS",
+    "SHARED_REVEAL",
+    "TREES",
+    "make_algorithm",
+    "make_tree",
+    "shared_reveal_default",
+    "tree_families",
+]

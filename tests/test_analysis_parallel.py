@@ -48,6 +48,40 @@ class TestInlineExecution:
         assert [r.label for r in results] == ["j0", "j1", "j2"]
 
 
+class TestOrchestratorBacked:
+    def test_store_makes_reruns_cache_hits(self, tmp_path):
+        from repro.orchestrator import ResultStore
+        from repro.orchestrator.events import ProgressTracker
+
+        store = ResultStore(tmp_path)
+        jobs = [make_job("bfdn", "p", gen.path(30), k) for k in (2, 3)]
+        first = run_jobs(jobs, max_workers=1, store=store)
+        tracker = ProgressTracker()
+        second = run_jobs(jobs, max_workers=1, store=store, tracker=tracker)
+        assert [r.rounds for r in first] == [r.rounds for r in second]
+        assert tracker.counts["cache-hit"] == 2
+        assert tracker.counts["done"] == 0
+
+    def test_failed_job_raises_runtime_error(self):
+        from repro import registry
+
+        class Broken:
+            """Raises before the first round."""
+
+            name = "broken"
+
+            def attach(self, expl):
+                raise RuntimeError("kaboom")
+
+        registry.ALGORITHMS["broken-test"] = Broken
+        try:
+            jobs = [make_job("broken-test", "x", gen.path(5), 2)]
+            with pytest.raises(RuntimeError, match="kaboom"):
+                run_jobs(jobs, max_workers=1, retries=0)
+        finally:
+            registry.ALGORITHMS.pop("broken-test", None)
+
+
 class TestProcessPool:
     def test_parallel_matches_inline(self):
         trees = [("a", gen.comb(6, 2)), ("b", gen.spider(3, 5))]

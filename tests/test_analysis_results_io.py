@@ -28,6 +28,22 @@ class TestCsv:
         text = rows_to_csv(ROWS)
         assert text.splitlines()[0] == "tree,k,rounds,ratio,ok"
 
+    def test_heterogeneous_rows_union_columns(self):
+        # Merged sweeps where some algorithms emit extra metric columns
+        # must serialise: fieldnames are the union across all rows, in
+        # first-seen order, with missing cells left empty.
+        rows = [
+            {"tree": "star", "k": 4, "rounds": 128},
+            {"tree": "comb", "k": 8, "rounds": 689, "reanchors": 17},
+            {"tree": "path", "k": 2, "rounds": 40, "cache": True},
+        ]
+        text = rows_to_csv(rows)
+        assert text.splitlines()[0] == "tree,k,rounds,reanchors,cache"
+        restored = rows_from_csv(text)
+        assert restored[1]["reanchors"] == 17
+        assert restored[2]["cache"] is True
+        assert restored[0]["reanchors"] == ""
+
 
 class TestFiles:
     def test_save_load_csv(self, tmp_path):

@@ -70,3 +70,62 @@ class TestCommands:
         assert main(["experiment", "E3"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("== E3")
+
+
+class TestSweepCommand:
+    ARGS = [
+        "sweep", "--algorithms", "bfdn", "--trees", "path",
+        "-n", "50", "-k", "2", "--jobs", "0",
+    ]
+
+    def test_sweep_without_cache(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "bfdn" in out and "0 cache hits" in out
+
+    def test_sweep_warm_cache_is_all_hits(self, tmp_path, capsys):
+        cached = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(cached) == 0
+        capsys.readouterr()
+        assert main(cached + ["--resume", "--min-hit-rate", "0.95"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits" in out and "0 simulated" in out
+
+    def test_sweep_min_hit_rate_fails_cold(self, tmp_path, capsys):
+        args = self.ARGS + [
+            "--cache-dir", str(tmp_path / "cache"), "--min-hit-rate", "0.95",
+        ]
+        assert main(args) == 1
+        assert "below required" in capsys.readouterr().out
+
+    def test_sweep_no_cache_flag_bypasses_store(self, tmp_path, capsys):
+        cached = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(cached) == 0
+        capsys.readouterr()
+        assert main(cached + ["--no-cache"]) == 0
+        assert "0 cache hits" in capsys.readouterr().out
+
+    def test_sweep_resume_requires_existing_cache(self, tmp_path, capsys):
+        missing = self.ARGS + [
+            "--cache-dir", str(tmp_path / "nope"), "--resume",
+        ]
+        assert main(missing) == 2
+        assert "nothing to resume" in capsys.readouterr().out
+        assert main(self.ARGS + ["--resume"]) == 2
+
+    def test_sweep_writes_rows(self, tmp_path, capsys):
+        out_path = tmp_path / "rows.csv"
+        assert main(self.ARGS + ["--out", str(out_path)]) == 0
+        from repro.analysis import load_rows
+
+        rows = load_rows(out_path)
+        assert rows and rows[0]["algorithm"] == "bfdn"
+
+    def test_sweep_multiple_seeds_label_workloads(self, capsys):
+        args = [
+            "sweep", "--algorithms", "bfdn", "--trees", "random",
+            "-n", "40", "-k", "2", "--seeds", "0", "1", "--jobs", "0",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "random-n40-s0" in out and "random-n40-s1" in out

@@ -1,0 +1,109 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+from repro.orchestrator import ResultStore
+from repro.orchestrator.jobspec import SCHEMA_VERSION
+
+ROW = {"algorithm": "bfdn", "rounds": 42, "complete": True}
+
+
+class TestRoundtrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("abc") is None
+        store.put("abc", ROW)
+        assert "abc" in store
+        got = store.get("abc")
+        assert got["rounds"] == 42
+        assert got["schema"] == SCHEMA_VERSION
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultStore(tmp_path).put("abc", ROW)
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get("abc")["rounds"] == 42
+
+    def test_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", dict(ROW, rounds=1))
+        store.put("abc", dict(ROW, rounds=2))
+        assert store.get("abc")["rounds"] == 2
+        assert ResultStore(tmp_path).get("abc")["rounds"] == 2
+
+    def test_get_returns_a_copy(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", ROW)
+        store.get("abc")["rounds"] = 999
+        assert store.get("abc")["rounds"] == 42
+
+
+class TestResilience:
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", ROW)
+        with (tmp_path / "results.jsonl").open("a") as handle:
+            handle.write('{"schema": "' + SCHEMA_VERSION + '", "finge')  # crash
+        reopened = ResultStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.skipped_lines == 1
+
+    def test_foreign_schema_rows_ignored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("abc", ROW)
+        with (tmp_path / "results.jsonl").open("a") as handle:
+            handle.write(
+                json.dumps({"schema": "other-v9", "fingerprint": "zzz"}) + "\n"
+            )
+        reopened = ResultStore(tmp_path)
+        assert "zzz" not in reopened
+        assert len(reopened) == 1
+
+    def test_missing_fingerprint_rows_ignored(self, tmp_path):
+        with (tmp_path / "results.jsonl").open("w") as handle:
+            handle.write(json.dumps({"schema": SCHEMA_VERSION}) + "\n")
+        assert len(ResultStore(tmp_path)) == 0
+
+
+class TestMutation:
+    def test_evict(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", ROW)
+        store.put("b", ROW)
+        assert store.evict("a")
+        assert not store.evict("a")
+        assert "a" not in store and "b" in store
+        assert "a" not in ResultStore(tmp_path)
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", ROW)
+        store.clear()
+        assert len(store) == 0
+        assert len(ResultStore(tmp_path)) == 0
+
+    def test_compact_drops_shadowed_rows(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", dict(ROW, rounds=1))
+        store.put("a", dict(ROW, rounds=2))
+        assert len((tmp_path / "results.jsonl").read_text().splitlines()) == 2
+        store.compact()
+        assert len((tmp_path / "results.jsonl").read_text().splitlines()) == 1
+        assert ResultStore(tmp_path).get("a")["rounds"] == 2
+
+
+class TestManifest:
+    def test_manifest_tracks_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.manifest() is None
+        store.put("a", ROW)
+        store.put("b", ROW)
+        manifest = store.manifest()
+        assert manifest["entries"] == 2
+        assert manifest["schema"] == SCHEMA_VERSION
+
+    def test_fingerprints_iterates_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", ROW)
+        store.put("b", ROW)
+        assert sorted(store.fingerprints()) == ["a", "b"]

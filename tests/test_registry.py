@@ -1,0 +1,66 @@
+"""Tests for the shared algorithm/tree registry."""
+
+import pytest
+
+from repro import registry
+from repro.sim import Simulator
+
+
+class TestAlgorithms:
+    def test_every_algorithm_constructs(self):
+        for name in registry.ALGORITHMS:
+            algo = registry.make_algorithm(name)
+            assert hasattr(algo, "select_moves"), name
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            registry.make_algorithm("nope")
+
+    def test_shared_reveal_defaults(self):
+        assert registry.shared_reveal_default("cte")
+        assert not registry.shared_reveal_default("bfdn")
+
+    def test_cli_and_parallel_use_the_registry(self):
+        from repro import cli
+        from repro.analysis import parallel
+
+        assert cli.ALGORITHMS is registry.ALGORITHMS
+        assert parallel.ALGORITHMS is registry.ALGORITHMS
+
+    def test_every_algorithm_completes_a_small_run(self):
+        tree = registry.make_tree("comb", 30)
+        for name in registry.ALGORITHMS:
+            result = Simulator(
+                tree,
+                registry.make_algorithm(name),
+                4,
+                allow_shared_reveal=registry.shared_reveal_default(name),
+            ).run()
+            assert result.complete, name
+
+
+class TestTrees:
+    def test_every_family_builds(self):
+        for family in registry.TREES:
+            tree = registry.make_tree(family, 40)
+            assert tree.n >= 1
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown tree family"):
+            registry.make_tree("nope", 10)
+
+    def test_seed_pins_random_families(self):
+        a = registry.make_tree("random", 60, seed=3)
+        b = registry.make_tree("random", 60, seed=3)
+        c = registry.make_tree("random", 60, seed=4)
+        parents = lambda t: [t.parent(v) for v in range(t.n)]
+        assert parents(a) == parents(b)
+        assert parents(a) != parents(c)
+
+    def test_cli_view_matches_seed_zero(self):
+        families = registry.tree_families()
+        a = families["random"](50)
+        b = registry.make_tree("random", 50, seed=0)
+        assert [a.parent(v) for v in range(a.n)] == [
+            b.parent(v) for v in range(b.n)
+        ]

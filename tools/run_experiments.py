@@ -1,50 +1,93 @@
 """Run the full experiment registry and archive the results.
 
-Writes, under ``results/`` (or argv[1]):
+Experiments are fanned over the orchestrator's resilient worker pool
+(`repro.orchestrator.run_tasks`): each experiment runs in its own
+process under an optional per-experiment timeout with bounded retries,
+so one hanging or crashing experiment is reported as failed without
+aborting the archive run.
+
+Writes, under ``results/`` (or ``--outdir``):
 
 * one ``E<i>.txt`` per experiment report,
 * ``summary.csv`` with a one-row status per experiment,
 * ``figure1_k20.svg`` and ``figure1_k40.svg``.
 
-    python tools/run_experiments.py [outdir]
+    python tools/run_experiments.py [--outdir results] [--jobs 4]
+                                    [--timeout 300] [--retries 1]
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
-import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analysis import EXPERIMENTS, run_experiment, save_rows
 from repro.bounds import compute_region_map
+from repro.orchestrator import ProgressTracker, run_tasks
 from repro.viz import region_map_svg
 
 
-def main(outdir: str = "results") -> int:
-    os.makedirs(outdir, exist_ok=True)
+def _run_one(exp_id: str) -> str:
+    """Worker: produce one experiment report (picklable top-level fn)."""
+    return run_experiment(exp_id)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("outdir", nargs="?", default="results")
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0/1 = inline, no pool)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-experiment timeout in seconds (needs --jobs >= 2)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="additional attempts for a failed experiment",
+    )
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.outdir, exist_ok=True)
+    exp_ids = sorted(EXPERIMENTS, key=lambda s: int(s[1:]))
+    tracker = ProgressTracker()
+    outcomes = run_tasks(
+        exp_ids,
+        _run_one,
+        labels=exp_ids,
+        max_workers=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        tracker=tracker,
+    )
+
     rows = []
     failures = 0
-    for exp_id in sorted(EXPERIMENTS, key=lambda s: int(s[1:])):
-        start = time.time()
-        try:
-            report = run_experiment(exp_id)
-            status = "ok"
-        except Exception as exc:  # pragma: no cover - archival tool
-            report = f"FAILED: {exc!r}"
-            status = "failed"
+    for exp_id, outcome in zip(exp_ids, outcomes):
+        if outcome.ok:
+            report, status = outcome.result, "ok"
+        else:
+            report, status = f"FAILED: {outcome.error}", "failed"
             failures += 1
-        elapsed = time.time() - start
-        path = os.path.join(outdir, f"{exp_id}.txt")
+        path = os.path.join(args.outdir, f"{exp_id}.txt")
         with open(path, "w") as f:
             f.write(report + "\n")
         rows.append(
-            {"experiment": exp_id, "status": status, "seconds": round(elapsed, 2)}
+            {
+                "experiment": exp_id,
+                "status": status,
+                "seconds": round(outcome.elapsed, 2),
+                "attempts": outcome.attempts,
+            }
         )
-        print(f"{exp_id}: {status} ({elapsed:.1f}s) -> {path}")
+        print(f"{exp_id}: {status} ({outcome.elapsed:.1f}s) -> {path}")
+    print(tracker.summary())
 
-    save_rows(rows, os.path.join(outdir, "summary.csv"))
+    save_rows(rows, os.path.join(args.outdir, "summary.csv"))
     for log2_k in (20, 40):
         region_map = compute_region_map(
             1 << log2_k,
@@ -52,7 +95,7 @@ def main(outdir: str = "results") -> int:
             log2_n_max=6.5 * log2_k,
             log2_d_max=5.0 * log2_k,
         )
-        path = os.path.join(outdir, f"figure1_k{log2_k}.svg")
+        path = os.path.join(args.outdir, f"figure1_k{log2_k}.svg")
         with open(path, "w") as f:
             f.write(region_map_svg(region_map))
         print(f"wrote {path}")
@@ -60,4 +103,4 @@ def main(outdir: str = "results") -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "results"))
+    sys.exit(main())
