@@ -9,7 +9,6 @@ per-depth re-anchor counts respect Lemma 2's bound, and on the stress
 tree the anti-balanced policy is measurably slower.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.bounds import lemma2_bound

@@ -13,7 +13,6 @@ the open question of a 2n/k + O(D^2) algorithm (Section "Open
 directions") focuses on the additive depth term.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.bounds import bfdn_bound

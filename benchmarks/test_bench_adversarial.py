@@ -6,7 +6,6 @@ guarantee 2n/k + D^2 (log k + 3).  Shape: exploration always completes
 before A(M) exceeds the bound, for every adversary.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.core import run_with_breakdowns

@@ -8,7 +8,6 @@ task switches stays below k log k + 2k for every workload (the optimum is
 
 import random
 
-import pytest
 
 from repro.analysis import render_table
 from repro.game import run_allocation

@@ -7,7 +7,6 @@ Theorem 1's once D^2 >> n/k); measured runtimes on these laptop-scale
 trees are reported alongside.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.bounds import bfdn_bound, bfdn_ell_bound

@@ -9,7 +9,6 @@ split schedule and the offline lower bound.  Shape: on bushy trees
 k/log k-ish factor above the lower bound.
 """
 
-import pytest
 
 from repro.analysis import render_table, run_sweep
 from repro.baselines import CTE

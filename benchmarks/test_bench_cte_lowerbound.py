@@ -12,7 +12,6 @@ benign bushy trees, and BFDN's additive overhead stays within Theorem 1's
 budget on both.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.baselines import offline_lower_bound, run_cte

@@ -9,7 +9,6 @@ numerically, all four regions coexist once k is large (Yo*'s
 is produced at k = 2^40 and the three-region core at k = 2^20.
 """
 
-import pytest
 
 from repro.bounds import compute_region_map, region_winner, render_ascii
 from repro.bounds.regions import bfdn_beats_bfdn_ell, bfdn_beats_cte

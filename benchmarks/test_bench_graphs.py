@@ -7,7 +7,6 @@ n = #edges and D = the radius, the kept edges always form a spanning BFS
 tree, and team speed-up is near-linear while n/k dominates.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.graphs import (

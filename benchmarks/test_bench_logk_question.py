@@ -15,12 +15,10 @@ adaptive construction; an honest data point only.)
 
 import math
 
-import pytest
 
 from repro.analysis import fit_power_law, render_table
 from repro.core import BFDN
 from repro.sim import Simulator
-from repro.trees import generators as gen
 from repro.trees.adversarial import reanchor_stress_tree
 
 

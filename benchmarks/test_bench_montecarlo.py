@@ -7,7 +7,6 @@ is within budget, and typical instances use a small fraction of it —
 quantifying how adversarial the worst case is.
 """
 
-import pytest
 
 from repro.analysis import (
     game_length_distribution,

@@ -14,7 +14,6 @@ explorers) exploration still completes, with wall-clock degradation
 proportional to the interference rate.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.bounds import adversarial_bound

@@ -10,7 +10,6 @@ with the bounds' shapes:
   random trees (the worst case is adversarial, cf. E2b).
 """
 
-import pytest
 
 from repro.analysis import fit_power_law, render_table
 from repro.baselines import OnlineDFS

@@ -7,7 +7,6 @@ and the overhead stays O(D^2 log k) — in particular it does not scale
 with n at fixed D.
 """
 
-import pytest
 
 from repro.analysis import render_table, run_sweep
 from repro.bounds import bfdn_bound

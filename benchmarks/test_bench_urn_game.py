@@ -7,7 +7,6 @@ greedy adversary realises Lemma 4's optimum), DP <= bound, and the value
 grows like k log k (superlinear).
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.bounds import theorem3_bound

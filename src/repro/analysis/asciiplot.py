@@ -9,7 +9,7 @@ the power laws the paper's bounds are made of.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 def _scale(value: float, lo: float, hi: float, cells: int) -> int:

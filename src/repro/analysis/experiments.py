@@ -10,11 +10,10 @@ quick interactive reproduction.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 from ..baselines import offline_lower_bound, run_cte
 from ..bounds import (
-    adversarial_bound,
     bfdn_bound,
     bfdn_ell_bound,
     compute_region_map,

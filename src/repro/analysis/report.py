@@ -48,7 +48,8 @@ def summarize_by(
     """Group rows and report min/mean/max of a numeric column."""
     groups: Dict[str, List[float]] = {}
     for row in rows:
-        groups.setdefault(str(row[group_key]), []).append(float(row[value_key]))  # type: ignore[arg-type]
+        value = float(row[value_key])  # type: ignore[arg-type]
+        groups.setdefault(str(row[group_key]), []).append(value)
     out: Dict[str, Dict[str, float]] = {}
     for key, values in groups.items():
         out[key] = {

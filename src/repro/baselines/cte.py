@@ -17,7 +17,7 @@ round, so run it with ``allow_shared_reveal=True`` (``run_cte`` does this).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..sim.engine import (
     STAY,

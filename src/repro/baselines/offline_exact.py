@@ -21,7 +21,7 @@ competitive overhead of the online algorithms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List
 
 from ..trees.tree import Tree
 

@@ -14,7 +14,7 @@ edge in one round).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 from ..sim.engine import (
     STAY,

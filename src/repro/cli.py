@@ -16,23 +16,72 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .analysis import (
-    EXPERIMENTS,
-    render_table,
-    run_experiment,
-    run_sweep,
-    run_sweep_cached,
-    save_rows,
-)
+from .analysis import render_table, run_experiment, run_sweep, run_sweep_cached, save_rows
 from .bounds import bfdn_bound, compute_region_map, render_ascii, theorem3_bound
 from .core import BFDN
 from .game import BalancedPlayer, GreedyAdversary, UrnBoard, game_value, play_game
 from .mission import run_mission
-from .orchestrator import ResultStore, TreeSpec
-from .registry import ALGORITHMS, TREES
-from .sim import Simulator, TraceRecorder
+from .orchestrator import ProgressTracker, ResultStore, TreeSpec
+from .registry import ALGORITHMS, ENTRY_POINTS, GAME_FAMILY, GRAPHS, TREES, workload_kind
+from .sim import (
+    ProgressEvents,
+    Simulator,
+    TimeSeriesObserver,
+    TraceObserver,
+    TraceRecorder,
+    replay,
+)
 from .sim.render import animate
 from .trees import generators as gen
+
+
+def _build_observers(spec: str, tree, shared: bool):
+    """Parse ``--observe trace,metrics,progress`` into round observers.
+
+    Returns ``(observers, reporters)``: the observers to hand the
+    simulator, and zero-argument callbacks that print each observer's
+    summary after the run.
+    """
+    observers, reporters = [], []
+    for kind in [s.strip() for s in spec.split(",") if s.strip()]:
+        if kind == "trace":
+            obs = TraceObserver()
+
+            def report_trace(obs=obs):
+                rounds, _ = replay(obs.trace, tree, allow_shared_reveal=shared)
+                print(
+                    f"trace: {len(obs.trace.rounds)} rounds recorded, "
+                    f"replay-validated ({rounds} billed rounds)"
+                )
+
+            reporters.append(report_trace)
+        elif kind == "metrics":
+            obs = TimeSeriesObserver()
+
+            def report_metrics(obs=obs):
+                series = obs.series
+                print(
+                    f"metrics: {len(series.samples)} samples, "
+                    f"exploration rate {series.exploration_rate():.2f} "
+                    "nodes/round, working depth monotone: "
+                    f"{series.working_depth_is_monotone()}"
+                )
+
+            reporters.append(report_metrics)
+        elif kind == "progress":
+            obs = ProgressEvents(
+                lambda e: print(
+                    f"progress[{e['wall_round']}]: billed={e['billed_round']} "
+                    f"{e['detail']}"
+                ),
+                label="explore",
+            )
+        else:
+            raise SystemExit(
+                f"unknown observer {kind!r} (known: trace, metrics, progress)"
+            )
+        observers.append(obs)
+    return observers, reporters
 
 
 def cmd_explore(args) -> int:
@@ -40,14 +89,17 @@ def cmd_explore(args) -> int:
     tree = TREES[args.tree](args.n)
     factory = ALGORITHMS[args.algorithm]
     shared = args.algorithm == "cte"
+    observers, reporters = _build_observers(args.observe or "", tree, shared)
     result = Simulator(
-        tree, factory(), args.k, allow_shared_reveal=shared
+        tree, factory(), args.k, allow_shared_reveal=shared, observers=observers
     ).run()
     bound = bfdn_bound(tree.n, tree.depth, args.k, tree.max_degree)
     print(f"tree: n={tree.n} D={tree.depth} max_degree={tree.max_degree}")
     print(f"{args.algorithm} with k={args.k}: {result.rounds} rounds "
           f"(complete={result.complete}, all home={result.all_home})")
     print(f"Theorem 1 bound: {bound:.0f}; 2n/k = {2 * tree.n / args.k:.0f}")
+    for report in reporters:
+        report()
     return 0 if result.complete else 1
 
 
@@ -86,32 +138,59 @@ def cmd_sweep(args) -> int:
         print("--resume requires --cache-dir (and not --no-cache)")
         return 2
 
-    workloads = []
-    for family in args.trees:
-        for n in args.n:
-            for seed in args.seeds:
-                label = f"{family}-n{n}" + (f"-s{seed}" if len(args.seeds) > 1 else "")
-                workloads.append((label, TreeSpec.named(family, n, seed)))
+    # Entry points of different kinds run on different workload families:
+    # tree algorithms on tree families, graph-bfdn on graph families,
+    # urn-game on the 'urns' pseudo family (n = Delta).  Partition the
+    # requested algorithms by kind and sweep each partition through the
+    # same cache/tracker.
+    families_by_kind = {
+        "tree": [f for f in args.trees if f in TREES],
+        "graph": [f for f in args.trees if f in GRAPHS],
+        "game": [f for f in args.trees if f == GAME_FAMILY],
+    }
+    tracker = ProgressTracker()
+    records, failures = [], []
+    for kind in ("tree", "graph", "game"):
+        algorithms = [a for a in args.algorithms if workload_kind(a) == kind]
+        if not algorithms:
+            continue
+        families = families_by_kind[kind]
+        if not families:
+            print(
+                f"skipping {', '.join(algorithms)}: no {kind} workload "
+                "family in --trees"
+            )
+            continue
+        workloads = []
+        for family in families:
+            for n in args.n:
+                for seed in args.seeds:
+                    label = f"{family}-n{n}" + (
+                        f"-s{seed}" if len(args.seeds) > 1 else ""
+                    )
+                    workloads.append((label, TreeSpec.named(family, n, seed)))
+        run = run_sweep_cached(
+            algorithms,
+            workloads,
+            team_sizes=args.k,
+            store=store,
+            max_workers=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            tracker=tracker,
+        )
+        records.extend(run.records)
+        failures.extend(run.failures)
 
-    run = run_sweep_cached(
-        args.algorithms,
-        workloads,
-        team_sizes=args.k,
-        store=store,
-        max_workers=args.jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-    )
-    rows = [record.as_row() for record in run.records]
+    rows = [record.as_row() for record in records]
     if rows:
         print(render_table(rows))
-    for outcome in run.failures:
+    for outcome in failures:
         print(
             f"FAILED {outcome.spec.label} ({outcome.spec.algorithm}, "
             f"k={outcome.spec.k}) after {outcome.attempts} attempt(s): "
             f"{outcome.error}"
         )
-    tracker = run.tracker
     print(tracker.bar())
     print(tracker.summary())
     if args.out:
@@ -123,7 +202,7 @@ def cmd_sweep(args) -> int:
             f"{args.min_hit_rate:.1%}"
         )
         return 1
-    return 1 if run.failures else 0
+    return 1 if failures else 0
 
 
 def cmd_figure1(args) -> int:
@@ -190,6 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tree", choices=sorted(TREES), default="random")
     p.add_argument("-n", type=int, default=1000, help="tree size")
     p.add_argument("-k", type=int, default=8, help="team size")
+    p.add_argument(
+        "--observe", default=None, metavar="KINDS",
+        help="comma list of round observers: trace, metrics, progress",
+    )
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("compare", help="sweep algorithms over families")
@@ -205,11 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="orchestrated grid sweep (cached, fault-tolerant, resumable)"
     )
     p.add_argument(
-        "--algorithms", nargs="+", choices=sorted(ALGORITHMS),
+        "--algorithms", nargs="+",
+        choices=sorted(ALGORITHMS) + sorted(ENTRY_POINTS),
         default=["bfdn", "cte"],
     )
     p.add_argument(
-        "--trees", nargs="+", choices=sorted(TREES), default=["random", "comb"]
+        "--trees", nargs="+",
+        choices=sorted(TREES) + sorted(GRAPHS) + [GAME_FAMILY],
+        default=["random", "comb"],
+        help="workload families: tree families, graph families, or 'urns'",
     )
     p.add_argument("-n", type=int, nargs="+", default=[200], help="tree sizes")
     p.add_argument("-k", type=int, nargs="+", default=[4, 16], help="team sizes")

@@ -21,7 +21,6 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Set
 
 from ..sim.engine import STAY, UP, Exploration, ExplorationAlgorithm, Move, down, explore
-from ..trees.partial import RevealEvent
 from .reanchor import LeastLoadedPolicy, ReanchorPolicy
 
 

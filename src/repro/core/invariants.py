@@ -21,7 +21,7 @@ round-stamped message.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from ..sim.engine import Exploration, ExplorationAlgorithm, Move
 from ..trees.partial import RevealEvent

@@ -13,7 +13,7 @@ from __future__ import annotations
 import heapq
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 from ..trees.partial import PartialTree
 

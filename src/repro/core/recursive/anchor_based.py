@@ -19,7 +19,7 @@ simultaneously, and hand their anchors to the next iteration.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from ...sim.engine import Exploration, Move
 from ...trees.partial import RevealEvent

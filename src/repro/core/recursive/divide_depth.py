@@ -25,7 +25,7 @@ Implementation notes (complete-communication model):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Sequence, Set
 
 from ...sim.engine import STAY, UP, Exploration, Move, down
 from ...trees.partial import RevealEvent

@@ -17,7 +17,7 @@ anchor/activity bookkeeping is directly visible.)
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Sequence, Set
 
 from ...sim.engine import Exploration, ExplorationAlgorithm, Move
 from ...trees.partial import RevealEvent

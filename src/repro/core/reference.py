@@ -15,7 +15,7 @@ one of the two strayed from Algorithm 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..sim.engine import STAY, UP, Exploration, ExplorationAlgorithm, Move, down, explore
 

@@ -20,8 +20,7 @@ sizes.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Tuple
 
 State = Tuple[Tuple[int, ...], int]  # (sorted U loads, balls outside U)
 

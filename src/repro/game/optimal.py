@@ -20,7 +20,7 @@ numerically (:func:`verify_lemma4`).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import List
 
 
 def game_value_table(k: int, delta: int) -> List[List[int]]:

@@ -1,10 +1,18 @@
-"""Game runner for the balls-in-urns game."""
+"""Game runner for the balls-in-urns game.
+
+The play-out loop is the shared round engine
+(:mod:`repro.sim.runloop`): the board is the :class:`RoundState`, the
+(adversary, player) pair is the :class:`Policy`, and the step cap is the
+engine's graceful billed-round budget — the same kernel that drives the
+tree, reactive and graph explorations.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..sim.runloop import Policy, RoundEngine, RoundState
 from .adversaries import UrnAdversary
 from .board import UrnBoard
 from .players import UrnPlayer
@@ -28,6 +36,57 @@ class GameRecord:
         return self.steps <= self.bound
 
 
+class UrnRoundState(RoundState):
+    """Adapts an :class:`UrnBoard` to the runloop protocol."""
+
+    def __init__(self, board: UrnBoard, record_history: bool = False):
+        self.board = board
+        self.record_history = record_history
+        self.history: List[Tuple[int, int]] = []
+
+    def apply(self, moves, movable):
+        """Apply one (adversary, player) move pair to the board."""
+        a, b = moves
+        self.board.step(a, b)
+        if self.record_history:
+            self.history.append((a, b))
+        return (a, b)
+
+    def billed_rounds(self) -> int:
+        """Game steps played so far."""
+        return self.board.steps
+
+    def is_complete(self) -> bool:
+        """Theorem 3's stop rule: every never-chosen urn holds ``Delta``."""
+        return self.board.is_over()
+
+    def progress_token(self):
+        """The step counter — every game step progresses."""
+        return self.board.steps
+
+
+class UrnGamePolicy(Policy):
+    """Selects one (adversary, player) move pair per round."""
+
+    name = "urn-game"
+
+    def __init__(self, adversary: UrnAdversary, player: UrnPlayer):
+        self.adversary = adversary
+        self.player = player
+
+    def select_moves(self, state: UrnRoundState, movable) -> Tuple[int, int]:
+        """The adversary picks an urn; the player places the ball.
+
+        When the adversary has just chosen the last unchosen urn the
+        placement is irrelevant (the game ends) and ``a`` is echoed.
+        """
+        board = state.board
+        a = self.adversary.choose(board)
+        legal = [i for i in range(board.k) if i not in board.chosen and i != a]
+        b = self.player.choose(board, a) if legal else a
+        return (a, b)
+
+
 def play_game(
     board: UrnBoard,
     adversary: UrnAdversary,
@@ -42,21 +101,19 @@ def play_game(
     far above Theorem 3's ``k log k + 2k``.
     """
     cap = max_steps if max_steps is not None else 8 * board.k * board.k + 64
-    history: List[Tuple[int, int]] = []
-    while not board.is_over():
-        if board.steps >= cap:
-            break
-        a = adversary.choose(board)
-        legal = [i for i in range(board.k) if i not in board.chosen and i != a]
-        b = player.choose(board, a) if legal else a
-        board.step(a, b)
-        if record_history:
-            history.append((a, b))
+    state = UrnRoundState(board, record_history=record_history)
+    engine = RoundEngine(
+        state=state,
+        policy=UrnGamePolicy(adversary, player),
+        stop_when_complete=True,
+        billed_stop=cap,
+    )
+    engine.run()
     return GameRecord(
         k=board.k,
         delta=board.delta,
         steps=board.steps,
         bound=board.theorem3_bound(),
-        history=history,
+        history=state.history,
         final_loads=list(board.loads),
     )

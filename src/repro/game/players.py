@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Optional
 
 from .board import UrnBoard
 

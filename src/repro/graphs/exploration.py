@@ -19,9 +19,10 @@ maximum degree ``Delta`` completes within
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..sim.runloop import Policy, RoundEngine, RoundState, graph_round_cap
 from .graph import Graph
 
 # Move kinds for the graph engine.
@@ -253,6 +254,52 @@ class GraphBFDN:
             self._stacks[i] = list(reversed(path[1:]))
 
 
+class GraphRoundState(RoundState):
+    """Adapts a :class:`GraphExploration` to the runloop protocol."""
+
+    def __init__(self, expl: GraphExploration):
+        self.expl = expl
+        self._team = frozenset(range(expl.k))
+
+    def apply(self, moves, movable):
+        """Execute one synchronous round (the graph engine has no
+        break-down mask, so ``movable`` is ignored)."""
+        return self.expl.apply(moves)
+
+    def billed_rounds(self) -> int:
+        """Rounds in which at least one robot moved."""
+        return self.expl.round
+
+    def is_complete(self) -> bool:
+        """Every edge is either a tree edge or closed."""
+        return self.expl.is_complete()
+
+    def progress_token(self):
+        """Positions plus settled-edge count: an identity swap closes an
+        edge without moving anyone, so edge progress counts too."""
+        return (
+            list(self.expl.positions),
+            self.expl.tree_edges + self.expl.closed_edges,
+        )
+
+    def team(self):
+        """All ``k`` robots."""
+        return self._team
+
+
+class GraphPolicy(Policy):
+    """Adapts a :class:`GraphBFDN` strategy to the runloop protocol."""
+
+    name = "BFDN-graph"
+
+    def __init__(self, algo: "GraphBFDN"):
+        self.algo = algo
+
+    def select_moves(self, state: GraphRoundState, movable) -> Dict[int, Tuple]:
+        """Delegate this round's move selection to the strategy."""
+        return self.algo.select_moves()
+
+
 @dataclass
 class GraphExplorationResult:
     """Outcome of a graph exploration run."""
@@ -278,31 +325,29 @@ def proposition9_bound(num_edges: int, radius: int, k: int, delta: int) -> float
 def run_graph_bfdn(
     graph: Graph, k: int, max_rounds: Optional[int] = None
 ) -> GraphExplorationResult:
-    """Run graph-BFDN to termination (everything traversed, robots home)."""
+    """Run graph-BFDN to termination (everything traversed, robots home).
+
+    The loop is the shared :class:`~repro.sim.runloop.RoundEngine`; the
+    progress token folds in the settled-edge count because an identity
+    swap closes an edge without changing any position.
+    """
     expl = GraphExploration(graph, k)
     algo = GraphBFDN(expl)
     cap = (
         max_rounds
         if max_rounds is not None
-        else 6 * graph.num_edges + 3 * (graph.radius + 1) ** 2 * (k + 2) + 100
+        else graph_round_cap(graph.num_edges, graph.radius, k)
     )
-    while True:
-        moves = algo.select_moves()
-        before = list(expl.positions)
-        progress_before = expl.tree_edges + expl.closed_edges
-        expl.apply(moves)
-        # An identity swap closes an edge without changing any position,
-        # so progress is measured on edges as well as positions.
-        if (
-            expl.positions == before
-            and expl.tree_edges + expl.closed_edges == progress_before
-        ):
-            break
-        if expl.round > cap:
-            raise RuntimeError(
-                f"graph BFDN exceeded {cap} rounds on "
-                f"graph(m={graph.num_edges}, radius={graph.radius}), k={k}"
-            )
+    engine = RoundEngine(
+        state=GraphRoundState(expl),
+        policy=GraphPolicy(algo),
+        billed_cap=cap,
+        cap_message=lambda billed, wall: (
+            f"graph BFDN exceeded {cap} rounds on "
+            f"graph(m={graph.num_edges}, radius={graph.radius}), k={k}"
+        ),
+    )
+    engine.run()
     origin = graph.origin
     return GraphExplorationResult(
         rounds=expl.round,

@@ -9,7 +9,7 @@ graph; :class:`Graph` provides that oracle via a BFS from the origin.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 
 class Graph:

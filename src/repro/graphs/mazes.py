@@ -8,7 +8,7 @@ exercises the backtrack-and-close rule at a controllable rate.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .graph import Graph
 

@@ -16,10 +16,14 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-#: Event kinds, in rough lifecycle order.
+#: Event kinds, in rough lifecycle order.  ``progress`` events are
+#: emitted mid-run by the round engine's
+#: :class:`repro.sim.runloop.ProgressEvents` observer (via
+#: :func:`progress_sink`); the others are per-job state transitions.
 EVENT_KINDS = (
     "queued",
     "started",
+    "progress",
     "cache-hit",
     "retry",
     "timeout",
@@ -126,4 +130,28 @@ class ProgressTracker:
         return " | ".join(parts)
 
 
-__all__ = ["EVENT_KINDS", "ProgressTracker", "SweepEvent"]
+def progress_sink(tracker: ProgressTracker) -> Callable[[Dict[str, object]], None]:
+    """Adapt a :class:`ProgressTracker` into a sink for the round engine's
+    :class:`repro.sim.runloop.ProgressEvents` observer.
+
+    The observer emits plain dicts (``sim`` must not import the
+    orchestrator); this converts them into ``progress`` events so
+    per-round heartbeats from long runs land in the same stream as the
+    executor's per-job transitions.
+    """
+
+    def sink(event: Dict[str, object]) -> None:
+        wall = event.get("wall_round", 0)
+        billed = event.get("billed_round", 0)
+        tracker.emit(
+            SweepEvent(
+                kind="progress",
+                label=str(event.get("label", "")),
+                detail=f"wall={wall} billed={billed}: {event.get('detail', '')}",
+            )
+        )
+
+    return sink
+
+
+__all__ = ["EVENT_KINDS", "ProgressTracker", "SweepEvent", "progress_sink"]

@@ -60,11 +60,19 @@ class TreeSpec:
 
     @classmethod
     def named(cls, family: str, n: int, seed: int = 0) -> "TreeSpec":
-        """Spec for a registry family; validates the name eagerly."""
-        if family not in registry.TREES:
+        """Spec for a registry family; validates the name eagerly.
+
+        Accepts tree families, graph families and the urn-game pseudo
+        family (where ``n`` is the threshold ``Delta``); which one is
+        meaningful depends on the job's entry-point kind.
+        """
+        known = (
+            set(registry.TREES) | set(registry.GRAPHS) | {registry.GAME_FAMILY}
+        )
+        if family not in known:
             raise ValueError(
                 f"unknown tree family {family!r} "
-                f"(known: {', '.join(sorted(registry.TREES))})"
+                f"(known: {', '.join(sorted(known))})"
             )
         return cls(family=family, n=n, seed=seed)
 
@@ -100,11 +108,9 @@ class JobSpec:
     compute_bounds: bool = False
 
     def __post_init__(self) -> None:
-        if self.algorithm not in registry.ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {self.algorithm!r} "
-                f"(known: {', '.join(sorted(registry.ALGORITHMS))})"
-            )
+        # workload_kind raises for names that are neither tree algorithms
+        # nor registered entry points (graph-bfdn, urn-game).
+        registry.workload_kind(self.algorithm)
         if self.k < 1:
             raise ValueError("team size k must be >= 1")
 
@@ -135,13 +141,100 @@ class JobSpec:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _base_row(spec: JobSpec) -> Dict[str, object]:
+    """The row fields every workload kind shares."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "fingerprint": spec.fingerprint(),
+        "algorithm": spec.algorithm,
+        "label": spec.label,
+        "k": spec.k,
+        "seed": spec.seed,
+    }
+
+
+def _run_graph_jobspec(spec: JobSpec) -> Dict[str, object]:
+    """Worker path for ``graph-bfdn`` jobs (Proposition 9)."""
+    from ..graphs.exploration import proposition9_bound, run_graph_bfdn
+
+    if spec.tree.family is None:
+        raise ValueError("graph jobs need a named graph family (not parents=)")
+    graph = registry.make_graph(spec.tree.family, spec.tree.n, spec.tree.seed)
+    start = time.perf_counter()
+    result = run_graph_bfdn(graph, spec.k, max_rounds=spec.max_rounds)
+    elapsed = time.perf_counter() - start
+    row = _base_row(spec)
+    row.update(
+        # Proposition 9's quantities are edges and radius; mapping them
+        # onto the (n, depth) columns keeps the sweep tables uniform.
+        n=graph.num_edges,
+        depth=graph.radius,
+        max_degree=graph.max_degree,
+        rounds=result.rounds,
+        wall_rounds=result.rounds,
+        complete=result.complete,
+        all_home=result.all_home,
+        elapsed=round(elapsed, 6),
+    )
+    if spec.compute_bounds:
+        row["bfdn_bound"] = proposition9_bound(
+            graph.num_edges, graph.radius, spec.k, graph.max_degree
+        )
+        row["lower_bound"] = 2 * graph.num_edges // spec.k
+        row["offline_split"] = 0
+    return row
+
+
+def _run_game_jobspec(spec: JobSpec) -> Dict[str, object]:
+    """Worker path for ``urn-game`` jobs (Theorem 3).
+
+    ``k`` is the number of urns and the workload's ``n`` is the stopping
+    threshold ``Delta``; the run is the balanced player against the
+    greedy adversary (the matchup Theorem 3 bounds).
+    """
+    from ..game import BalancedPlayer, GreedyAdversary, UrnBoard, play_game
+
+    delta = max(1, spec.tree.n)
+    board = UrnBoard(spec.k, delta)
+    start = time.perf_counter()
+    record = play_game(
+        board, GreedyAdversary(), BalancedPlayer(), max_steps=spec.max_rounds
+    )
+    elapsed = time.perf_counter() - start
+    row = _base_row(spec)
+    row.update(
+        n=spec.k,
+        depth=delta,
+        max_degree=delta,
+        rounds=record.steps,
+        wall_rounds=record.steps,
+        complete=board.is_over(),
+        all_home=board.is_over(),
+        elapsed=round(elapsed, 6),
+    )
+    if spec.compute_bounds:
+        row["bfdn_bound"] = board.theorem3_bound()
+        row["lower_bound"] = spec.k
+        row["offline_split"] = 0
+    return row
+
+
 def run_jobspec(spec: JobSpec) -> Dict[str, object]:
     """Execute one job spec and return its flat result row.
 
     This is the pure worker function the executor ships to worker
-    processes; everything it needs travels inside ``spec``.
+    processes; everything it needs travels inside ``spec``.  Dispatches
+    on the entry point's workload kind: tree jobs drive the simulator,
+    ``graph-bfdn`` jobs the graph engine, ``urn-game`` jobs the game —
+    all through the shared round engine.
     """
     from ..sim.engine import Simulator  # local: keep module import light
+
+    kind = registry.workload_kind(spec.algorithm)
+    if kind == "graph":
+        return _run_graph_jobspec(spec)
+    if kind == "game":
+        return _run_game_jobspec(spec)
 
     tree = spec.tree.materialize()
     algorithm = registry.make_algorithm(spec.algorithm)

@@ -15,11 +15,14 @@ results for it — prefer adding aliases over renaming.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Callable, Dict
 
 from .baselines import CTE, OnlineDFS
 from .core import BFDN, BFDNEll, ShortcutBFDN, WriteReadBFDN
+from .graphs.graph import Graph
+from .graphs.mazes import braided_maze, perfect_maze
 from .trees import generators as gen
 from .trees.tree import Tree
 
@@ -96,12 +99,81 @@ def tree_families() -> Dict[str, Callable[[int], Tree]]:
 #: Backwards-compatible alias used by ``cli.py``.
 TREES: Dict[str, Callable[[int], Tree]] = tree_families()
 
+
+# ---------------------------------------------------------------------
+# Non-tree entry points (graph exploration, the urn game)
+# ---------------------------------------------------------------------
+
+#: Entry points beyond tree exploration, mapping the addressable name to
+#: its workload kind.  ``graph-bfdn`` is Proposition 9's graph engine,
+#: ``urn-game`` Theorem 3's balls-in-urns game; both now run through the
+#: same round engine as the tree algorithms, so the orchestrator can
+#: sweep them with the same cache/retry machinery.
+ENTRY_POINTS: Dict[str, str] = {
+    "graph-bfdn": "graph",
+    "urn-game": "game",
+}
+
+#: The pseudo-family name for urn-game workloads (``n`` is ``Delta``).
+GAME_FAMILY = "urns"
+
+
+def workload_kind(name: str) -> str:
+    """The workload kind (``tree`` / ``graph`` / ``game``) of ``name``."""
+    if name in ALGORITHMS:
+        return "tree"
+    try:
+        return ENTRY_POINTS[name]
+    except KeyError:
+        known = sorted(ALGORITHMS) + sorted(ENTRY_POINTS)
+        raise ValueError(
+            f"unknown algorithm {name!r} (known: {', '.join(known)})"
+        ) from None
+
+
+def _maze_dims(n: int) -> "tuple[int, int]":
+    """Square-ish ``(width, height)`` with roughly ``n`` cells."""
+    width = max(2, math.isqrt(max(n, 4)))
+    height = max(2, (n + width - 1) // width)
+    return width, height
+
+
+#: Graph families by name.  Builders take ``(n, seed)`` where ``n`` is a
+#: target node count; ``(family, n, seed)`` pins the graph exactly, the
+#: same contract as the tree families.
+_GRAPH_BUILDERS: Dict[str, Callable[[int, int], Graph]] = {
+    "maze": lambda n, seed: perfect_maze(*_maze_dims(n), seed=seed),
+    "braided": lambda n, seed: braided_maze(
+        *_maze_dims(n), max(1, n // 6), seed=seed
+    ),
+}
+
+#: Graph family names (mirrors ``TREES`` for argparse choices).
+GRAPHS = tuple(sorted(_GRAPH_BUILDERS))
+
+
+def make_graph(family: str, n: int, seed: int = 0) -> Graph:
+    """Materialise the named graph family at size ``n`` with ``seed``."""
+    try:
+        builder = _GRAPH_BUILDERS[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph family {family!r} (known: {', '.join(GRAPHS)})"
+        ) from None
+    return builder(n, seed)
+
+
 __all__ = [
     "ALGORITHMS",
+    "ENTRY_POINTS",
+    "GAME_FAMILY",
+    "GRAPHS",
     "SHARED_REVEAL",
     "TREES",
     "make_algorithm",
+    "make_graph",
     "make_tree",
     "shared_reveal_default",
     "tree_families",
+    "workload_kind",
 ]

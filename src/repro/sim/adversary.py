@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence, Set
+from typing import List, Sequence, Set
 
 
 class BreakdownAdversary(ABC):

@@ -26,6 +26,14 @@ from ..trees.partial import PartialTree, RevealEvent
 from ..trees.tree import Tree
 from .adversary import BreakdownAdversary, NoBreakdowns
 from .metrics import ExplorationMetrics
+from .runloop import (
+    Interference,
+    Policy,
+    RoundEngine,
+    RoundObserver,
+    RoundState,
+    tree_round_cap,
+)
 
 Move = Tuple
 STAY: Move = ("stay",)
@@ -181,6 +189,71 @@ class Exploration:
         return events
 
 
+class TreeRoundState(RoundState):
+    """Adapts an :class:`Exploration` to the runloop protocol."""
+
+    def __init__(self, expl: Exploration):
+        self.expl = expl
+        self._team = frozenset(range(expl.k))
+
+    def apply(self, moves, movable):
+        """Execute one synchronous round through the move validator."""
+        return self.expl.apply(moves, movable)
+
+    def billed_rounds(self) -> int:
+        """Rounds in which at least one robot moved (Algorithm 1's ``t``)."""
+        return self.expl.round
+
+    def is_complete(self) -> bool:
+        """Every edge explored (robots need not be home)."""
+        return self.expl.ptree.is_complete()
+
+    def progress_token(self):
+        """Robot positions — in the tree model every effect moves a robot."""
+        return list(self.expl.positions)
+
+    def team(self):
+        """All ``k`` robots."""
+        return self._team
+
+
+class AlgorithmPolicy(Policy):
+    """Adapts an :class:`ExplorationAlgorithm` to the runloop protocol."""
+
+    def __init__(self, algorithm: ExplorationAlgorithm):
+        self.algorithm = algorithm
+        self.name = algorithm.name
+
+    def attach(self, state: TreeRoundState) -> None:
+        """Attach the wrapped algorithm to the exploration state."""
+        self.algorithm.attach(state.expl)
+
+    def select_moves(self, state: TreeRoundState, movable) -> Dict[int, Move]:
+        """Delegate this round's move selection to the algorithm."""
+        return self.algorithm.select_moves(state.expl, movable)
+
+    def observe(self, state: TreeRoundState, events) -> None:
+        """Forward the round's reveal events to the algorithm."""
+        self.algorithm.observe(state.expl, events)
+
+    def handle_blocked(self, state: TreeRoundState, agent: int, move: Move) -> None:
+        """Forward a reactive-adversary cancellation to the algorithm."""
+        self.algorithm.handle_blocked(state.expl, agent, move)
+
+
+class BreakdownInterference(Interference):
+    """Wraps a :class:`~repro.sim.adversary.BreakdownAdversary` as the
+    runloop's pre-commitment mask (Section 4.2)."""
+
+    def __init__(self, adversary: BreakdownAdversary):
+        self.adversary = adversary
+        self.horizon = getattr(adversary, "horizon", 0)
+
+    def movable(self, t: int, state: TreeRoundState):
+        """The robots the break-down schedule allows to move at ``t``."""
+        return self.adversary.allowed(t, len(state.team()))
+
+
 @dataclass
 class ExplorationResult:
     """Outcome of a simulated exploration."""
@@ -221,7 +294,11 @@ class Simulator:
         robots to return (the adversarial model's success criterion).
     max_rounds:
         Safety cap; defaults to the termination bound ``3 n D`` from the
-        paper's termination argument (plus slack for tiny trees).
+        paper's termination argument (plus slack for tiny trees), via
+        :func:`repro.sim.runloop.tree_round_cap`.
+    observers:
+        Optional :class:`~repro.sim.runloop.RoundObserver` hooks run
+        once per round (trace capture, per-round metrics, early stops).
     """
 
     def __init__(
@@ -233,6 +310,7 @@ class Simulator:
         stop_when_complete: bool = False,
         max_rounds: Optional[int] = None,
         allow_shared_reveal: bool = False,
+        observers: Sequence[RoundObserver] = (),
     ):
         self.tree = tree
         self.algorithm = algorithm
@@ -242,44 +320,40 @@ class Simulator:
         self.max_rounds = (
             max_rounds
             if max_rounds is not None
-            else 3 * tree.n * max(tree.depth, 1) + 3 * tree.n + 100
+            else tree_round_cap(tree.n, tree.depth, slack=3 * tree.n + 100)
         )
         self.allow_shared_reveal = allow_shared_reveal
+        self.observers = list(observers)
 
     def run(self) -> ExplorationResult:
         """Run the exploration to termination and return the result.
 
-        The wall clock ``t`` (which drives the break-down adversary)
-        advances every round, including rounds where every robot is
-        blocked; the billed round counter ``expl.round`` only advances
-        when somebody moves, matching the do-while loop of Algorithm 1.
+        Drives the shared :class:`~repro.sim.runloop.RoundEngine`: the
+        wall clock (which paces the break-down adversary) advances every
+        round, including rounds where every robot is blocked; the billed
+        round counter ``expl.round`` only advances when somebody moves,
+        matching the do-while loop of Algorithm 1.
         """
         expl = Exploration(self.tree, self.k, self.allow_shared_reveal)
-        self.algorithm.attach(expl)
-        everyone = set(range(self.k))
         horizon = getattr(self.adversary, "horizon", 0)
-        wall_cap = self.max_rounds + 2 * horizon + 100
-        t = 0
-        while True:
-            if self.stop_when_complete and expl.ptree.is_complete():
-                break
-            movable = self.adversary.allowed(t, self.k)
-            moves = self.algorithm.select_moves(expl, movable)
-            before = list(expl.positions)
-            events = expl.apply(moves, movable)
-            self.algorithm.observe(expl, events)
-            if expl.positions == before and movable == everyone:
-                break  # nobody moved although everyone could: done
-            t += 1
-            if expl.round > self.max_rounds or t > wall_cap:
-                raise RuntimeError(
-                    f"{self.algorithm.name}: exceeded {self.max_rounds} rounds "
-                    f"on tree(n={self.tree.n}, D={self.tree.depth}), k={self.k}"
-                )
+        engine = RoundEngine(
+            state=TreeRoundState(expl),
+            policy=AlgorithmPolicy(self.algorithm),
+            interference=BreakdownInterference(self.adversary),
+            observers=self.observers,
+            stop_when_complete=self.stop_when_complete,
+            billed_cap=self.max_rounds,
+            wall_cap=self.max_rounds + 2 * horizon + 100,
+            cap_message=lambda billed, wall: (
+                f"{self.algorithm.name}: exceeded {self.max_rounds} rounds "
+                f"on tree(n={self.tree.n}, D={self.tree.depth}), k={self.k}"
+            ),
+        )
+        outcome = engine.run()
         root = self.tree.root
         return ExplorationResult(
             rounds=expl.round,
-            wall_rounds=t,
+            wall_rounds=outcome.wall_rounds,
             complete=expl.ptree.is_complete(),
             all_home=all(p == root for p in expl.positions),
             metrics=expl.metrics,

@@ -19,9 +19,22 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
-from .engine import Exploration, ExplorationAlgorithm, ExplorationResult, Move
+from .engine import (
+    AlgorithmPolicy,
+    Exploration,
+    ExplorationAlgorithm,
+    ExplorationResult,
+    Move,
+    TreeRoundState,
+)
+from .runloop import (
+    Interference,
+    InterferenceCounter,
+    RoundEngine,
+    tree_round_cap,
+)
 
 
 class ReactiveAdversary(ABC):
@@ -93,6 +106,20 @@ class RandomReactive(ReactiveAdversary):
         }
 
 
+class ReactiveInterference(Interference):
+    """Wraps a :class:`ReactiveAdversary` as the runloop's
+    post-commitment strike (Remark 8): the adversary inspects the
+    selected moves before choosing whom to block."""
+
+    def __init__(self, adversary: ReactiveAdversary):
+        self.adversary = adversary
+        self.horizon = adversary.horizon
+
+    def filter(self, t: int, state: TreeRoundState, moves: Dict[int, Move]) -> Set[int]:
+        """The robots whose selected moves are struck out this round."""
+        return self.adversary.block(t, state.expl, moves)
+
+
 @dataclass
 class ReactiveRunResult:
     """Outcome of a reactive-adversary run."""
@@ -118,42 +145,39 @@ def run_reactive(
     """Drive an exploration where the adversary strikes selected moves.
 
     Stops as soon as the tree is completely explored (as in Section 4.2,
-    robots need not return home against an adversary).
+    robots need not return home against an adversary).  The loop is the
+    shared :class:`~repro.sim.runloop.RoundEngine` with the adversary
+    plugged in as a post-commitment :class:`ReactiveInterference`; the
+    blocked/executed accounting is the stock
+    :class:`~repro.sim.runloop.InterferenceCounter` observer.
     """
     expl = Exploration(tree, k)
-    algorithm.attach(expl)
-    everyone = set(range(k))
     cap = (
         max_wall_rounds
         if max_wall_rounds is not None
-        else 3 * tree.n * max(tree.depth, 1) + 2 * adversary.horizon + 1000
+        else tree_round_cap(tree.n, tree.depth, slack=2 * adversary.horizon + 1000)
     )
-    blocked_total = 0
-    executed_total = 0
-    t = 0
-    while not expl.ptree.is_complete():
-        moves = algorithm.select_moves(expl, everyone)
-        blocked = adversary.block(t, expl, moves)
-        surviving = {i: m for i, m in moves.items() if i not in blocked}
-        for i in blocked:
-            if i in moves:
-                algorithm.handle_blocked(expl, i, moves[i])
-        blocked_total += sum(
-            1 for i in blocked if i in moves and moves[i][0] != "stay"
-        )
-        executed_total += sum(1 for m in surviving.values() if m[0] != "stay")
-        before = list(expl.positions)
-        events = expl.apply(surviving, everyone)
-        algorithm.observe(expl, events)
-        t += 1
-        if expl.positions == before and not blocked and t > adversary.horizon:
-            break  # genuinely stuck without interference: incomplete tree?
-        if t > cap:
-            raise RuntimeError(f"reactive run exceeded {cap} wall rounds")
+    counter = InterferenceCounter()
+    engine = RoundEngine(
+        state=TreeRoundState(expl),
+        policy=AlgorithmPolicy(algorithm),
+        interference=ReactiveInterference(adversary),
+        observers=[counter],
+        stop_when_complete=True,
+        wall_cap=cap,
+        # The adversary may legitimately stall every mover during its
+        # horizon; only afterwards does quiescence mean "stuck".
+        quiescence_grace=adversary.horizon,
+        bill_quiescent_round=True,
+        cap_message=lambda billed, wall: (
+            f"reactive run exceeded {cap} wall rounds"
+        ),
+    )
+    outcome = engine.run()
     root = tree.root
     result = ExplorationResult(
         rounds=expl.round,
-        wall_rounds=t,
+        wall_rounds=outcome.wall_rounds,
         complete=expl.ptree.is_complete(),
         all_home=all(p == root for p in expl.positions),
         metrics=expl.metrics,
@@ -162,6 +186,6 @@ def run_reactive(
     )
     return ReactiveRunResult(
         result=result,
-        blocked_moves=blocked_total,
-        executed_moves=executed_total,
+        blocked_moves=counter.blocked_moves,
+        executed_moves=counter.executed_moves,
     )

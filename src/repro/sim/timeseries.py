@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..trees.partial import RevealEvent
-from .engine import Exploration, ExplorationAlgorithm, Move
+from .engine import Exploration, ExplorationAlgorithm, Move, TreeRoundState
+from .runloop import RoundObserver, RoundRecord
 
 
 @dataclass
@@ -82,16 +83,41 @@ class TimeSeriesRecorder(ExplorationAlgorithm):
         self._sample(expl)
 
     def _sample(self, expl: Exploration) -> None:
-        ptree = expl.ptree
-        depths = [ptree.node_depth(p) for p in expl.positions]
-        self.series.samples.append(
-            RoundSample(
-                round=expl.round,
-                explored=ptree.num_explored,
-                dangling=ptree.num_dangling,
-                working_depth=ptree.min_open_depth,
-                robots_at_root=sum(1 for p in expl.positions if p == expl.tree.root),
-                max_robot_depth=max(depths),
-                mean_robot_depth=sum(depths) / len(depths),
-            )
-        )
+        self.series.samples.append(sample_round(expl))
+
+
+def sample_round(expl: Exploration) -> RoundSample:
+    """Snapshot the exploration state as one :class:`RoundSample`."""
+    ptree = expl.ptree
+    depths = [ptree.node_depth(p) for p in expl.positions]
+    return RoundSample(
+        round=expl.round,
+        explored=ptree.num_explored,
+        dangling=ptree.num_dangling,
+        working_depth=ptree.min_open_depth,
+        robots_at_root=sum(1 for p in expl.positions if p == expl.tree.root),
+        max_robot_depth=max(depths),
+        mean_robot_depth=sum(depths) / len(depths),
+    )
+
+
+class TimeSeriesObserver(RoundObserver):
+    """Round-engine observer sampling the exploration state each round.
+
+    The observer equivalent of :class:`TimeSeriesRecorder`: instead of
+    wrapping the algorithm it hooks the engine, so it composes with any
+    algorithm (and any other observer) without changing the algorithm's
+    ``name``.  Samples once on attach and once after every round.
+    """
+
+    def __init__(self) -> None:
+        self.series = TimeSeries()
+
+    def on_attach(self, state: TreeRoundState) -> None:
+        """Reset the series and take the round-0 sample."""
+        self.series = TimeSeries()
+        self.series.samples.append(sample_round(state.expl))
+
+    def on_round(self, state: TreeRoundState, record: RoundRecord) -> None:
+        """Sample the post-round state."""
+        self.series.samples.append(sample_round(state.expl))

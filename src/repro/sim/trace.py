@@ -14,7 +14,8 @@ from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from ..trees.partial import PartialTree, RevealEvent
 from ..trees.tree import Tree
-from .engine import Exploration, ExplorationAlgorithm, Move
+from .engine import Exploration, ExplorationAlgorithm, Move, TreeRoundState
+from .runloop import RoundObserver, RoundRecord
 
 
 @dataclass
@@ -87,6 +88,34 @@ class TraceRecorder(ExplorationAlgorithm):
 
     def observe(self, expl: Exploration, events: Sequence[RevealEvent]) -> None:
         self.inner.observe(expl, events)
+
+
+class TraceObserver(RoundObserver):
+    """Round-engine observer that records a replayable :class:`Trace`.
+
+    Unlike :class:`TraceRecorder` (which wraps the algorithm and records
+    the moves as *selected*), this hooks the engine itself and records the
+    moves that *survived* interference — so the trace replays cleanly even
+    for runs under a reactive adversary.  Pass it to ``Simulator`` via the
+    ``observers`` parameter, or use ``--observe trace`` from the CLI.
+    """
+
+    def __init__(self) -> None:
+        self.trace: Trace = Trace(k=0)
+
+    def on_attach(self, state: TreeRoundState) -> None:
+        """Start a fresh trace for this run."""
+        self.trace = Trace(k=state.expl.k)
+
+    def on_round(self, state: TreeRoundState, record: RoundRecord) -> None:
+        """Record the round's pre-move positions and surviving moves."""
+        self.trace.rounds.append(
+            TraceRound(
+                round=record.billed_before,
+                positions_before=list(record.before),
+                moves=dict(record.surviving_moves()),
+            )
+        )
 
 
 def replay(trace: Trace, tree: Tree, allow_shared_reveal: bool = False) -> Tuple[int, PartialTree]:

@@ -8,7 +8,7 @@ time: a node's code is the sorted tuple of its children's codes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .tree import Tree
 

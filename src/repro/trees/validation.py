@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Iterable
 
 from .partial import PartialTree
 from .tree import Tree

@@ -14,7 +14,7 @@ centered over their children) on the *explored* part of the tree.
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..bounds.regions import ALGORITHMS, RegionMap
 from ..trees.partial import PartialTree

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import render_table, run_sweep, summarize_by
-from repro.baselines import CTE, OnlineDFS
+from repro.baselines import CTE
 from repro.core import BFDN
 from repro.trees import generators as gen
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.parallel import ALGORITHMS, Job, JobResult, make_job, run_jobs
+from repro.analysis.parallel import ALGORITHMS, make_job, run_jobs
 from repro.core import BFDN
 from repro.sim import Simulator
 from repro.trees import generators as gen

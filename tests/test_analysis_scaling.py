@@ -5,7 +5,6 @@ the measured scaling of the paper's quantities and asserts the exponents
 land near the theory (D^2 for the overhead budget, ~k log k for the game).
 """
 
-import math
 
 import pytest
 

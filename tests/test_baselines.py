@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.baselines import (
-    CTE,
     OnlineDFS,
     offline_lower_bound,
     offline_split_runtime,

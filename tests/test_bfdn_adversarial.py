@@ -2,14 +2,8 @@
 
 import pytest
 
-from repro.core import BFDN, run_with_breakdowns
-from repro.sim import (
-    RandomBreakdowns,
-    RoundRobinBreakdowns,
-    ScheduleAdversary,
-    Simulator,
-    TargetedBreakdowns,
-)
+from repro.core import run_with_breakdowns
+from repro.sim import RandomBreakdowns, RoundRobinBreakdowns, ScheduleAdversary, TargetedBreakdowns
 from repro.trees import generators as gen
 
 

@@ -1,12 +1,11 @@
 """Tests for BFDN (Algorithm 1): Theorem 1 and Claims 1–4."""
 
-import math
 
 import pytest
 
 from repro.bounds import bfdn_bound, lemma2_bound
 from repro.core import BFDN
-from repro.sim import Simulator, TraceRecorder
+from repro.sim import Simulator
 from repro.trees import generators as gen
 from repro.trees.validation import (
     check_exploration_complete,

@@ -1,6 +1,5 @@
 """Direct unit tests for the write-read central planner (Algorithm 2)."""
 
-import pytest
 
 from repro.core.bfdn_writeread import _Planner, _RobotMemory
 

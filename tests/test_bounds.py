@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.bounds import (
-    ALGORITHMS,
     adversarial_bound,
     best_bfdn_ell_simplified,
     bfdn_bound,

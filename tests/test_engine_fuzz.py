@@ -12,7 +12,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim import STAY, UP, Exploration, MoveError, down, explore
 from repro.trees import Tree
-from repro.trees import generators as gen
 from repro.trees.validation import check_partial_consistent
 
 

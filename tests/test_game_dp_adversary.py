@@ -13,7 +13,9 @@ from repro.game import (
 
 
 class TestDPAdversary:
-    @pytest.mark.parametrize("k,delta", [(2, 2), (4, 4), (8, 8), (8, 3), (16, 16), (16, 5), (24, 24)])
+    @pytest.mark.parametrize(
+        "k,delta", [(2, 2), (4, 4), (8, 8), (8, 3), (16, 16), (16, 5), (24, 24)]
+    )
     def test_achieves_dp_value(self, k, delta):
         record = play_game(
             UrnBoard(k, delta), DPAdversary(k, delta), BalancedPlayer()

@@ -46,7 +46,9 @@ class TestGreedyAdversaryIsOptimal:
     """The simulated greedy adversary achieves exactly the DP value
     ``R(k, k)`` against the balanced player — Lemma 4 in action."""
 
-    @pytest.mark.parametrize("k,delta", [(2, 2), (4, 4), (6, 3), (8, 8), (12, 5), (16, 16), (24, 24)])
+    @pytest.mark.parametrize(
+        "k,delta", [(2, 2), (4, 4), (6, 3), (8, 8), (12, 5), (16, 16), (24, 24)]
+    )
     def test_matches_dp(self, k, delta):
         record = play_game(UrnBoard(k, delta), GreedyAdversary(), BalancedPlayer())
         assert record.steps == game_value(k, delta)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graphs import Graph, GraphExploration
-from repro.graphs.exploration import _CLOSED, _TREE, _UNKNOWN
+from repro.graphs.exploration import _CLOSED, _TREE
 
 
 def triangle():

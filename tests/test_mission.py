@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mission import MissionPlan, plan_mission, run_mission
+from repro.mission import plan_mission, run_mission
 from repro.trees import generators as gen
 
 

@@ -9,7 +9,7 @@ import math
 
 import pytest
 
-from repro.bounds import bfdn_bound, lemma2_bound, theorem3_bound
+from repro.bounds import bfdn_bound, lemma2_bound
 
 
 class TestTheorem3Arithmetic:

@@ -6,7 +6,6 @@ through hypothesis and checking each variant's guarantee simultaneously.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines import run_cte

@@ -6,7 +6,6 @@ iteration advance, deep continuation — are exercised directly with
 ``BFDN1Instance`` children on hand-built scenarios.
 """
 
-import pytest
 
 from repro.core.recursive.bfdn_depth_limited import BFDN1Instance
 from repro.core.recursive.divide_depth import DivideDepthInstance, _route

@@ -1,0 +1,165 @@
+"""Unit tests for the shared round engine (``repro.sim.runloop``)."""
+
+import pytest
+
+from repro.sim import (
+    EarlyStop,
+    InterferenceCounter,
+    NoBreakdowns,
+    ProgressEvents,
+    RoundCapExceeded,
+    RoundLog,
+    ScheduleAdversary,
+    Simulator,
+    TimeSeriesObserver,
+    TraceObserver,
+    graph_round_cap,
+    replay,
+    tree_round_cap,
+)
+from repro.core import BFDN
+from repro.trees import generators as gen
+
+
+def small_tree():
+    return gen.comb(8, 4)
+
+
+# ---------------------------------------------------------------------
+# The shared safety-cap helpers (satellite: one formula, one place)
+# ---------------------------------------------------------------------
+
+
+class TestRoundCaps:
+    def test_tree_cap_is_the_papers_3nD(self):
+        # The termination argument in the proof of Theorem 1: at most
+        # 3 n D rounds for any legal execution.
+        assert tree_round_cap(100, 7) == 3 * 100 * 7
+        assert tree_round_cap(50, 12, slack=10) == 3 * 50 * 12 + 10
+
+    def test_tree_cap_floors_depth_at_one(self):
+        # A single-node or star tree (depth 0/1) still needs a positive
+        # cap; the formula clamps D to 1.
+        assert tree_round_cap(5, 0) == 15
+        assert tree_round_cap(5, 1) == 15
+
+    def test_tree_cap_dominates_real_runs(self):
+        # The cap must strictly over-approximate any legal run: BFDN on
+        # the comb takes far fewer rounds than 3 n D.
+        tree = small_tree()
+        result = Simulator(tree, BFDN(), 3).run()
+        assert result.rounds < tree_round_cap(tree.n, tree.depth)
+
+    def test_graph_cap_formula(self):
+        assert graph_round_cap(10, 3, 2) == 6 * 10 + 3 * 16 * 4 + 100
+
+    def test_cap_exceeded_is_a_runtime_error(self):
+        # Existing callers catch RuntimeError; the typed subclass must
+        # stay substitutable.
+        assert issubclass(RoundCapExceeded, RuntimeError)
+
+    def test_simulator_raises_typed_cap_error(self):
+        with pytest.raises(RoundCapExceeded, match="exceeded 2 rounds"):
+            Simulator(small_tree(), BFDN(), 2, max_rounds=2).run()
+
+
+# ---------------------------------------------------------------------
+# Wall-clock vs billed-round accounting (satellite: break-down runs)
+# ---------------------------------------------------------------------
+
+
+class TestWallVsBilledAccounting:
+    def test_equal_without_adversary(self):
+        # No robot is ever blocked, so every wall round bills.
+        result = Simulator(small_tree(), BFDN(), 3, adversary=NoBreakdowns()).run()
+        assert result.wall_rounds == result.rounds
+
+    def test_fully_blocked_rounds_widen_the_gap(self):
+        # Three opening rounds where *nobody* may move: the wall clock
+        # advances, the billed counter does not.
+        stall = ScheduleAdversary([[], [], []])
+        blocked = Simulator(small_tree(), BFDN(), 3, adversary=stall).run()
+        free = Simulator(small_tree(), BFDN(), 3).run()
+        assert blocked.rounds == free.rounds
+        assert blocked.wall_rounds == free.wall_rounds + 3
+
+    def test_wall_never_below_billed(self):
+        for schedule in ([[0]], [[], [0, 1, 2]], [[1], [], [2]]):
+            result = Simulator(
+                small_tree(), BFDN(), 3, adversary=ScheduleAdversary(schedule)
+            ).run()
+            assert result.wall_rounds >= result.rounds
+
+    def test_equality_iff_nobody_ever_blocked(self):
+        # A partial block (robot 0 only) still bills the round, but any
+        # round where allowed != selected movers can stall: equality must
+        # hold exactly when no selected move was ever masked out.
+        partial = ScheduleAdversary([[0, 1, 2]])  # everyone allowed
+        result = Simulator(small_tree(), BFDN(), 3, adversary=partial).run()
+        assert result.wall_rounds == result.rounds
+
+
+# ---------------------------------------------------------------------
+# Observers
+# ---------------------------------------------------------------------
+
+
+class TestObservers:
+    def test_round_log_records_every_round(self):
+        log = RoundLog()
+        result = Simulator(small_tree(), BFDN(), 3, observers=[log]).run()
+        # One record per wall round (including the final all-stay round).
+        assert len(log.records) == result.wall_rounds + 1
+        assert log.records[0].t == 0
+        assert log.records[-1].progressed is False
+
+    def test_round_log_limit_evicts_oldest(self):
+        log = RoundLog(limit=5)
+        Simulator(small_tree(), BFDN(), 3, observers=[log]).run()
+        assert len(log.records) == 5
+        assert log.records[-1].t > log.records[0].t
+
+    def test_early_stop_terminates_run(self):
+        stop = EarlyStop(lambda state, record: record.billed >= 4, "budget")
+        result = Simulator(small_tree(), BFDN(), 3, observers=[stop]).run()
+        assert result.rounds == 4
+        assert not result.complete
+
+    def test_trace_observer_trace_replays(self):
+        tree = small_tree()
+        obs = TraceObserver()
+        result = Simulator(tree, BFDN(), 3, observers=[obs]).run()
+        rounds, ptree = replay(obs.trace, tree)
+        assert rounds == result.rounds
+        assert ptree.is_complete()
+
+    def test_timeseries_observer_matches_run(self):
+        obs = TimeSeriesObserver()
+        result = Simulator(small_tree(), BFDN(), 4, observers=[obs]).run()
+        series = obs.series
+        assert series.samples[0].explored == 1
+        assert series.samples[-1].round == result.rounds
+        assert series.working_depth_is_monotone()
+
+    def test_progress_events_emit_heartbeats_and_final(self):
+        events = []
+        obs = ProgressEvents(events.append, label="t", every=10)
+        result = Simulator(small_tree(), BFDN(), 3, observers=[obs]).run()
+        assert events, "expected at least the final event"
+        final = events[-1]
+        assert final["kind"] == "progress"
+        assert final["label"] == "t"
+        assert final["billed_round"] == result.rounds
+        assert final["detail"] == "quiescent"
+        heartbeats = [e for e in events[:-1]]
+        assert all(e["wall_round"] % 10 == 0 for e in heartbeats)
+
+    def test_progress_events_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            ProgressEvents(lambda e: None, every=0)
+
+    def test_interference_counter_zero_without_adversary(self):
+        counter = InterferenceCounter()
+        Simulator(small_tree(), BFDN(), 3, observers=[counter]).run()
+        assert counter.blocked_moves == 0
+        assert counter.executed_moves > 0

@@ -1,0 +1,81 @@
+"""Property tests for the round engine's interference seam.
+
+The kernel's contract (``Interference.filter``): dropping *any* subset
+of a legal synchronous move set leaves a legal move set — per-round
+dangling-edge selections are distinct, moves are validated against each
+robot's own position, so removing some moves can never make a surviving
+move illegal.  These tests let hypothesis hunt for a counterexample.
+"""
+
+import copy
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BFDN
+from repro.registry import make_tree
+from repro.sim import run_reactive
+from repro.sim.engine import Exploration
+from repro.sim.reactive import ReactiveAdversary
+
+
+class RandomStrike(ReactiveAdversary):
+    """Strikes an arbitrary (seeded) subset of the selected movers."""
+
+    def __init__(self, seed: int, horizon: int):
+        self.horizon = horizon
+        self._rng = random.Random(seed)
+
+    def block(self, round_, expl, moves):
+        if round_ >= self.horizon:
+            return set()
+        movers = sorted(i for i, m in moves.items() if m[0] != "stay")
+        return {i for i in movers if self._rng.random() < 0.5}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tree_seed=st.integers(0, 10**6),
+    strike_seed=st.integers(0, 10**6),
+    k=st.integers(1, 5),
+)
+def test_arbitrary_strikes_never_make_moves_illegal(tree_seed, strike_seed, k):
+    # A full run under adversarial subset-dropping: if any surviving
+    # move set were illegal, Exploration.apply would raise MoveError and
+    # fail the test.  The adversary's horizon guarantees termination.
+    tree = make_tree("random", 40, seed=tree_seed)
+    rr = run_reactive(tree, BFDN(), k, RandomStrike(strike_seed, horizon=60))
+    assert rr.result.complete
+    assert rr.result.wall_rounds >= rr.result.rounds
+    assert 0.0 <= rr.interference <= 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    tree_seed=st.integers(0, 10**6),
+    rounds=st.integers(0, 25),
+    subset_seed=st.integers(0, 10**6),
+)
+def test_any_subset_of_one_rounds_moves_applies_cleanly(
+    tree_seed, rounds, subset_seed
+):
+    # Single-round form of the property: advance a run to an arbitrary
+    # state, select one legal move set, and apply a random subset of it
+    # to a copy of that state — it must execute without MoveError.
+    tree = make_tree("random", 30, seed=tree_seed)
+    expl = Exploration(tree, 3)
+    algo = BFDN()
+    algo.attach(expl)
+    everyone = set(range(expl.k))
+    for _ in range(rounds):
+        if expl.ptree.is_complete():
+            break
+        moves = algo.select_moves(expl, everyone)
+        events = expl.apply(moves, everyone)
+        algo.observe(expl, events)
+    moves = algo.select_moves(expl, everyone)
+    rng = random.Random(subset_seed)
+    subset = {i: m for i, m in moves.items() if rng.random() < 0.5}
+    snapshot = copy.deepcopy(expl)
+    snapshot.apply(subset, everyone)  # must not raise

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bounds import compute_region_map
 from repro.core import BFDN
-from repro.sim import Exploration, Simulator
+from repro.sim import Exploration
 from repro.trees import generators as gen
 from repro.viz import REGION_COLORS, exploration_svg, region_map_svg, tree_svg
 
