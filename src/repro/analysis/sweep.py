@@ -25,6 +25,7 @@ from ..bounds.guarantees import bfdn_bound, competitive_overhead, competitive_ra
 from ..orchestrator import JobOutcome, JobSpec, TreeSpec, run_jobspecs
 from ..orchestrator.events import ProgressTracker
 from ..orchestrator.store import ResultStore
+from ..perf import TimingObserver
 from ..sim.engine import ExplorationAlgorithm, Simulator
 from ..trees.tree import Tree
 
@@ -48,6 +49,9 @@ class SweepRecord:
     bfdn_bound: float
     lower_bound: int
     offline_split: int
+    #: Engine throughput of the run (billed rounds per second of engine
+    #: time, via the perf timing observer); 0.0 for legacy rows.
+    rounds_per_sec: float = 0.0
 
     @property
     def overhead(self) -> float:
@@ -73,6 +77,7 @@ class SweepRecord:
             "offline": self.offline_split,
             "overhead": round(self.overhead, 1),
             "ratio": round(self.ratio, 2),
+            "rps": round(self.rounds_per_sec),
         }
 
 
@@ -86,6 +91,7 @@ def run_sweep(
     """Run every algorithm on every (tree, k) pair."""
     shared = allow_shared_reveal or {}
     records: List[SweepRecord] = []
+    timing = TimingObserver()
     for label, tree in workloads:
         for k in team_sizes:
             lower = offline_lower_bound(tree.n, tree.depth, k)
@@ -97,6 +103,7 @@ def run_sweep(
                     k,
                     allow_shared_reveal=shared.get(name, False),
                     max_rounds=max_rounds,
+                    observers=[timing],
                 )
                 result = sim.run()
                 records.append(
@@ -113,6 +120,7 @@ def run_sweep(
                         bfdn_bound=bfdn_bound(tree.n, tree.depth, k, tree.max_degree),
                         lower_bound=lower,
                         offline_split=offline,
+                        rounds_per_sec=round(timing.rounds_per_sec(), 1),
                     )
                 )
     return records
@@ -151,6 +159,7 @@ def _record_from_row(row: Dict[str, object]) -> SweepRecord:
         bfdn_bound=float(row["bfdn_bound"]),
         lower_bound=int(row["lower_bound"]),
         offline_split=int(row["offline_split"]),
+        rounds_per_sec=float(row.get("rounds_per_sec", 0.0)),
     )
 
 

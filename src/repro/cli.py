@@ -5,6 +5,7 @@ Commands
 ``explore``   run an exploration algorithm on a generated tree
 ``compare``   sweep several algorithms over the standard tree families
 ``sweep``     orchestrated (cached, fault-tolerant, resumable) grid sweep
+``bench``     run the pinned engine micro-benchmarks / compare snapshots
 ``figure1``   draw the Figure 1 region chart
 ``game``      play the balls-in-urns game and report Theorem 3's numbers
 ``demo``      animate BFDN on a small tree, frame by frame
@@ -22,6 +23,7 @@ from .core import BFDN
 from .game import BalancedPlayer, GreedyAdversary, UrnBoard, game_value, play_game
 from .mission import run_mission
 from .orchestrator import ProgressTracker, ResultStore, TreeSpec
+from .perf import bench as perf_bench
 from .registry import ALGORITHMS, ENTRY_POINTS, GAME_FAMILY, GRAPHS, TREES, workload_kind
 from .sim import (
     ProgressEvents,
@@ -205,6 +207,74 @@ def cmd_sweep(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args) -> int:
+    """Run the pinned engine micro-benchmarks, or compare two snapshots.
+
+    ``bench`` runs the suite and writes a ``BENCH_<date>.json`` snapshot;
+    ``bench --compare OLD NEW`` is a pure diff (no benchmarks run) that
+    exits non-zero when any case regresses beyond ``--threshold``;
+    ``bench --profile`` runs the suite once under cProfile and prints the
+    top ``--top`` hotspots by cumulative time.
+    """
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old = perf_bench.load_snapshot(old_path)
+            new = perf_bench.load_snapshot(new_path)
+        except (OSError, perf_bench.SnapshotError) as exc:
+            print(f"bench --compare: {exc}")
+            return 2
+        lines, regressions = perf_bench.compare_snapshots(
+            old, new, threshold=args.threshold
+        )
+        for line in lines:
+            print(line)
+        if regressions:
+            print(
+                f"{len(regressions)} case(s) regressed beyond "
+                f"+{args.threshold:.0%}"
+            )
+            return 1
+        print(f"no regressions beyond +{args.threshold:.0%}")
+        return 0
+
+    if args.profile:
+        try:
+            report = perf_bench.profile_suite(
+                quick=args.quick, only=args.only, top=args.top
+            )
+        except ValueError as exc:
+            print(f"bench --profile: {exc}")
+            return 2
+        print(report, end="")
+        return 0
+
+    try:
+        snapshot = perf_bench.run_suite(
+            quick=args.quick,
+            repeats=args.repeats,
+            only=args.only,
+            progress=print,
+        )
+    except ValueError as exc:
+        print(f"bench: {exc}")
+        return 2
+    for case in snapshot["cases"]:
+        fractions = case["phase_fractions"]
+        print(
+            f"{case['name']}: {case['elapsed']:.4f}s  "
+            f"{case['rounds']} rounds  "
+            f"{case['rounds_per_sec']:.0f} rounds/s  "
+            f"{case['reveals_per_sec']:.0f} reveals/s  "
+            f"(select {fractions['select']:.0%} / apply "
+            f"{fractions['apply']:.0%} / observe {fractions['observe']:.0%})"
+        )
+    out = args.out or perf_bench.default_snapshot_path()
+    perf_bench.write_snapshot(snapshot, out)
+    print(f"wrote {out}")
+    return 0
+
+
 def cmd_figure1(args) -> int:
     """Draw the Figure 1 region chart for the given team size."""
     region_map = compute_region_map(
@@ -331,6 +401,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if the cache hit rate falls below this fraction",
     )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "bench",
+        help="pinned engine micro-benchmarks (writes BENCH_<date>.json)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="run only the quick subset (CI smoke)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per case; the snapshot keeps the best",
+    )
+    p.add_argument(
+        "--only", nargs="+", default=None, metavar="CASE",
+        help="run only the named cases (see repro.perf.PINNED_SUITE)",
+    )
+    p.add_argument(
+        "--out", default=None,
+        help="snapshot path (default: BENCH_<date>.json)",
+    )
+    p.add_argument(
+        "--compare", nargs=2, default=None, metavar=("OLD", "NEW"),
+        help="diff two snapshots instead of benchmarking; exit 1 on "
+        "regressions beyond --threshold",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="--compare regression threshold as a fraction (0.2 = +20%%)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run the suite once under cProfile and print hotspots",
+    )
+    p.add_argument(
+        "--top", type=int, default=25,
+        help="--profile: number of functions to print",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("figure1", help="draw the Figure 1 region chart")
     p.add_argument("--log2-k", type=int, default=40, dest="log2_k")

@@ -51,6 +51,7 @@ class ShortcutBFDN(ExplorationAlgorithm):
         self._anchors = [root] * expl.k
         self._paths = [[] for _ in range(expl.k)]
         self._loads = {root: expl.k}
+        self.policy.reset()
         if expl.ptree.is_open(root):
             self.policy.on_open(root, 0)
             self.policy.on_load_change(root, expl.k)

@@ -14,9 +14,15 @@ asserts the structural claims of the paper's analysis:
   decreases;
 * **load conservation** — anchor loads sum to k.
 
-Checking is O(n) per round, so use it in tests and debugging, not in
-benchmarks.  Violations raise :class:`InvariantViolation` with a
-round-stamped message.
+Checking is incremental: instead of re-deriving coverage and the
+finished-subtree partition by walking the whole explored tree every
+round (O(n) per round), the checker maintains mirrors of both from the
+round's reveal events and the anchor-set delta, and only re-verifies
+what changed — newly opened nodes, nodes whose covering anchor moved,
+and subtrees finished this round.  Per-round cost is O(k + events)
+amortized, so the checker is cheap enough for large test trees and for
+the ``checked-bfdn`` bench cases.  Violations raise
+:class:`InvariantViolation` with a round-stamped message.
 """
 
 from __future__ import annotations
@@ -40,10 +46,27 @@ class CheckedBFDN(ExplorationAlgorithm):
     def __init__(self, inner: Optional[BFDN] = None):
         self.inner = inner or BFDN()
         self._last_working_depth = -1
+        # Coverage mirror (Claim 4): for the current working depth,
+        # which verified anchor covers each verified open node.
+        self._coverage_depth = -1
+        self._coverage_anchors: Set[int] = set()
+        self._covered_by: Dict[int, int] = {}
+        self._covers: Dict[int, Set[int]] = {}
+        # Finished-subtree mirror (Claim 5): explored nodes with an
+        # unfinished subtree, bucketed by depth.
+        self._unfinished_at: Dict[int, Set[int]] = {}
 
     # ------------------------------------------------------------------
     def attach(self, expl: Exploration) -> None:
         self._last_working_depth = -1
+        self._coverage_depth = -1
+        self._coverage_anchors = set()
+        self._covered_by = {}
+        self._covers = {}
+        root = expl.tree.root
+        self._unfinished_at = (
+            {} if expl.ptree.is_finished(root) else {0: {root}}
+        )
         self.inner.attach(expl)
 
     def select_moves(self, expl: Exploration, movable: Set[int]) -> Dict[int, Move]:
@@ -51,7 +74,7 @@ class CheckedBFDN(ExplorationAlgorithm):
 
     def observe(self, expl: Exploration, events: Sequence[RevealEvent]) -> None:
         self.inner.observe(expl, events)
-        self._check_round(expl)
+        self._check_round(expl, events)
 
     def handle_blocked(self, expl: Exploration, robot: int, move: Move) -> None:
         self.inner.handle_blocked(expl, robot, move)
@@ -60,11 +83,11 @@ class CheckedBFDN(ExplorationAlgorithm):
     def _fail(self, expl: Exploration, message: str) -> None:
         raise InvariantViolation(f"round {expl.round}: {message}")
 
-    def _check_round(self, expl: Exploration) -> None:
+    def _check_round(self, expl: Exploration, events: Sequence[RevealEvent]) -> None:
         self._check_working_depth(expl)
         self._check_load_conservation(expl)
-        self._check_open_node_coverage(expl)
-        self._check_claim5(expl)
+        self._check_open_node_coverage(expl, events)
+        self._check_claim5(expl, events)
 
     def _check_working_depth(self, expl: Exploration) -> None:
         depth = expl.ptree.min_open_depth
@@ -82,29 +105,90 @@ class CheckedBFDN(ExplorationAlgorithm):
         if total != expl.k:
             self._fail(expl, f"anchor loads sum to {total}, expected {expl.k}")
 
-    def _check_open_node_coverage(self, expl: Exploration) -> None:
-        """Claim 4: all open nodes lie under some anchor."""
+    def _check_open_node_coverage(
+        self, expl: Exploration, events: Sequence[RevealEvent]
+    ) -> None:
+        """Claim 4: all open nodes of minimum depth lie under some anchor.
+
+        A node verified as covered by anchor ``a`` stays covered while
+        ``a`` remains an anchor (ancestry never changes once explored),
+        so only three kinds of node need an ancestor walk each round:
+        every open node when the working depth advances, nodes opened by
+        this round's reveals, and nodes whose covering anchor left the
+        anchor set.
+        """
         ptree = expl.ptree
-        anchors = set(self.inner.anchors)
         depth = ptree.min_open_depth
         if depth is None:
             return
-        for v in list(ptree.open_nodes_at(depth)):
+        anchors = set(self.inner.anchors)
+        open_set = ptree.open_nodes_at(depth)
+        if depth != self._coverage_depth:
+            # The working depth advanced: restart coverage at this depth.
+            self._coverage_depth = depth
+            self._covered_by = {}
+            self._covers = {}
+            to_check = list(open_set)
+        else:
+            to_check = [
+                ev.child
+                for ev in events
+                if ev.child_open and ptree.node_depth(ev.child) == depth
+            ]
+            for gone in self._coverage_anchors - anchors:
+                for v in self._covers.pop(gone, ()):
+                    if self._covered_by.get(v) == gone:
+                        del self._covered_by[v]
+                        if v in open_set:
+                            to_check.append(v)
+        self._coverage_anchors = anchors
+        for v in to_check:
             w = v
             while w != -1 and w not in anchors:
                 w = ptree.parent(w)
             if w == -1:
                 self._fail(expl, f"open node {v} is not under any anchor")
+            self._covered_by[v] = w
+            self._covers.setdefault(w, set()).add(v)
 
-    def _check_claim5(self, expl: Exploration) -> None:
+    def _check_claim5(
+        self, expl: Exploration, events: Sequence[RevealEvent]
+    ) -> None:
         """When every anchor sits at depth <= d-1, each explored node at
-        depth d has a finished subtree or hosts a robot in it."""
+        depth d has a finished subtree or hosts a robot in it.
+
+        The unfinished-subtree partition is mirrored from reveal events:
+        an open child starts unfinished; a closed-leaf reveal finishes
+        the maximal chain of ancestors whose subtrees it completed (each
+        node finishes exactly once, so the walks are amortized O(1)).
+        """
         ptree = expl.ptree
+        unfinished_at = self._unfinished_at
+        for ev in events:
+            if ev.child_open:
+                dc = ptree.node_depth(ev.child)
+                bucket = unfinished_at.get(dc)
+                if bucket is None:
+                    bucket = set()
+                    unfinished_at[dc] = bucket
+                bucket.add(ev.child)
+            else:
+                # A leaf reveal is the only way subtrees finish; ancestors
+                # of ev.node finish bottom-up until the first unfinished.
+                w = ev.node
+                while w != -1 and ptree.is_finished(w):
+                    bucket = unfinished_at.get(ptree.node_depth(w))
+                    if bucket:
+                        bucket.discard(w)
+                    w = ptree.parent(w)
         anchors = self.inner.anchors
         if not anchors:
             return
         max_anchor_depth = max(ptree.node_depth(a) for a in anchors)
         d = max_anchor_depth + 1
+        candidates = unfinished_at.get(d)
+        if not candidates:
+            return
         # Robots by their depth-d ancestor.
         hosts: Set[int] = set()
         for p in expl.positions:
@@ -114,20 +198,13 @@ class CheckedBFDN(ExplorationAlgorithm):
                 depth_p -= 1
             if depth_p == d:
                 hosts.add(p)
-        # Every unfinished depth-d subtree must host a robot.
-        stack = [expl.tree.root]
-        while stack:
-            u = stack.pop()
-            du = ptree.node_depth(u)
-            if du == d:
-                if not ptree.is_finished(u) and u not in hosts:
-                    self._fail(
-                        expl,
-                        f"unfinished depth-{d} subtree at {u} hosts no robot "
-                        f"(anchors all at depth <= {max_anchor_depth})",
-                    )
-                continue
-            stack.extend(ptree.explored_children(u))
+        for u in candidates:
+            if u not in hosts:
+                self._fail(
+                    expl,
+                    f"unfinished depth-{d} subtree at {u} hosts no robot "
+                    f"(anchors all at depth <= {max_anchor_depth})",
+                )
 
     # ------------------------------------------------------------------
     @property

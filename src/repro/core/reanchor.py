@@ -37,6 +37,9 @@ class ReanchorPolicy(ABC):
     def on_open(self, node: int, depth: int) -> None:
         """``node`` at ``depth`` became open (hook for incremental policies)."""
 
+    def reset(self) -> None:
+        """Drop incremental state (called when an algorithm re-attaches)."""
+
 
 class LeastLoadedPolicy(ReanchorPolicy):
     """The paper's policy: ``argmin_{v in U} n_v`` with deterministic
@@ -51,6 +54,14 @@ class LeastLoadedPolicy(ReanchorPolicy):
     def __init__(self) -> None:
         self._heaps: Dict[int, List[Tuple[int, int]]] = {}
         self._depth_of: Dict[int, int] = {}
+        #: Depths below this have no open nodes left (the working depth is
+        #: monotone), so their heaps and ``_depth_of`` entries are dead.
+        self._frontier = 0
+
+    def reset(self) -> None:
+        self._heaps.clear()
+        self._depth_of.clear()
+        self._frontier = 0
 
     def on_open(self, node: int, depth: int) -> None:
         self._depth_of[node] = depth
@@ -61,7 +72,23 @@ class LeastLoadedPolicy(ReanchorPolicy):
         if depth is not None:
             heapq.heappush(self._heaps.setdefault(depth, []), (load, node))
 
+    def _discard_closed_depths(self, depth: int) -> None:
+        """Free the heaps of depths the working depth has moved past.
+
+        Without this, long sweeps accumulate one dead heap (plus one
+        ``_depth_of`` entry per node) for every depth ever worked on —
+        unbounded growth over a run; with it, live state is bounded by
+        the open nodes at the current working depth.
+        """
+        for d in [d for d in self._heaps if d < depth]:
+            for _, node in self._heaps.pop(d):
+                if self._depth_of.get(node) == d:
+                    del self._depth_of[node]
+        self._frontier = depth
+
     def choose(self, ptree: PartialTree, depth: int, loads: Dict[int, int]) -> int:
+        if depth > self._frontier:
+            self._discard_closed_depths(depth)
         heap = self._heaps.setdefault(depth, [])
         open_nodes = ptree.open_nodes_at(depth)
         while heap:

@@ -10,9 +10,9 @@ tree, reactive and graph explorations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..sim.runloop import Policy, RoundEngine, RoundState
+from ..sim.runloop import Policy, RoundEngine, RoundObserver, RoundState
 from .adversaries import UrnAdversary
 from .board import UrnBoard
 from .players import UrnPlayer
@@ -93,18 +93,21 @@ def play_game(
     player: UrnPlayer,
     max_steps: Optional[int] = None,
     record_history: bool = False,
+    observers: Sequence[RoundObserver] = (),
 ) -> GameRecord:
     """Play the game to completion and return the record.
 
     ``max_steps`` guards against non-terminating ablation match-ups (e.g. a
     bad player against a patient adversary); it defaults to ``8 k^2 + 64``,
-    far above Theorem 3's ``k log k + 2k``.
+    far above Theorem 3's ``k log k + 2k``.  ``observers`` are per-round
+    engine hooks (timing, logging, early stops).
     """
     cap = max_steps if max_steps is not None else 8 * board.k * board.k + 64
     state = UrnRoundState(board, record_history=record_history)
     engine = RoundEngine(
         state=state,
         policy=UrnGamePolicy(adversary, player),
+        observers=observers,
         stop_when_complete=True,
         billed_stop=cap,
     )

@@ -20,9 +20,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..sim.runloop import Policy, RoundEngine, RoundState, graph_round_cap
+from ..sim.runloop import (
+    Policy,
+    RoundEngine,
+    RoundObserver,
+    RoundState,
+    graph_round_cap,
+)
 from .graph import Graph
 
 # Move kinds for the graph engine.
@@ -323,13 +329,17 @@ def proposition9_bound(num_edges: int, radius: int, k: int, delta: int) -> float
 
 
 def run_graph_bfdn(
-    graph: Graph, k: int, max_rounds: Optional[int] = None
+    graph: Graph,
+    k: int,
+    max_rounds: Optional[int] = None,
+    observers: Sequence[RoundObserver] = (),
 ) -> GraphExplorationResult:
     """Run graph-BFDN to termination (everything traversed, robots home).
 
     The loop is the shared :class:`~repro.sim.runloop.RoundEngine`; the
     progress token folds in the settled-edge count because an identity
-    swap closes an edge without changing any position.
+    swap closes an edge without changing any position.  ``observers``
+    are per-round engine hooks (timing, tracing, early stops).
     """
     expl = GraphExploration(graph, k)
     algo = GraphBFDN(expl)
@@ -341,9 +351,11 @@ def run_graph_bfdn(
     engine = RoundEngine(
         state=GraphRoundState(expl),
         policy=GraphPolicy(algo),
+        observers=observers,
         billed_cap=cap,
         cap_message=lambda billed, wall: (
-            f"graph BFDN exceeded {cap} rounds on "
+            f"graph BFDN exceeded {cap} rounds "
+            f"(billed={billed}, wall={wall}) on "
             f"graph(m={graph.num_edges}, radius={graph.radius}), k={k}"
         ),
     )

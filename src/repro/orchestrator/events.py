@@ -97,6 +97,12 @@ class ProgressTracker:
         """Seconds since the tracker was created."""
         return time.perf_counter() - self.started_at
 
+    def rounds_per_sec(self) -> float:
+        """Aggregate simulated throughput over all finished jobs (rounds
+        per second of engine time, not of sweep wall time — cache hits
+        and pool overhead don't dilute it)."""
+        return self.rounds_total / self.sim_seconds if self.sim_seconds > 0 else 0.0
+
     # -- rendering -----------------------------------------------------
     def as_rows(self) -> List[Dict[str, object]]:
         """Counter rows for ``analysis.report.render_table``."""
@@ -126,6 +132,8 @@ class ProgressTracker:
         if self.counts["failed"]:
             parts.append(f"{self.counts['failed']} failed")
         parts.append(f"{self.rounds_total} rounds simulated")
+        if self.sim_seconds > 0:
+            parts.append(f"{self.rounds_per_sec():.0f} rounds/s")
         parts.append(f"wall {self.wall_time():.2f}s")
         return " | ".join(parts)
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -26,7 +25,9 @@ from ..trees.tree import Tree
 
 #: Bump when the result row schema or the canonical encoding changes;
 #: the store ignores rows written under a different tag.
-SCHEMA_VERSION = "repro-orchestrator-v1"
+#: v2: workers run under the perf timing observer, rows carry
+#: ``rounds_per_sec`` and ``elapsed`` measures engine time only.
+SCHEMA_VERSION = "repro-orchestrator-v2"
 
 
 @dataclass(frozen=True)
@@ -156,13 +157,15 @@ def _base_row(spec: JobSpec) -> Dict[str, object]:
 def _run_graph_jobspec(spec: JobSpec) -> Dict[str, object]:
     """Worker path for ``graph-bfdn`` jobs (Proposition 9)."""
     from ..graphs.exploration import proposition9_bound, run_graph_bfdn
+    from ..perf import TimingObserver
 
     if spec.tree.family is None:
         raise ValueError("graph jobs need a named graph family (not parents=)")
     graph = registry.make_graph(spec.tree.family, spec.tree.n, spec.tree.seed)
-    start = time.perf_counter()
-    result = run_graph_bfdn(graph, spec.k, max_rounds=spec.max_rounds)
-    elapsed = time.perf_counter() - start
+    timing = TimingObserver()
+    result = run_graph_bfdn(
+        graph, spec.k, max_rounds=spec.max_rounds, observers=[timing]
+    )
     row = _base_row(spec)
     row.update(
         # Proposition 9's quantities are edges and radius; mapping them
@@ -174,7 +177,8 @@ def _run_graph_jobspec(spec: JobSpec) -> Dict[str, object]:
         wall_rounds=result.rounds,
         complete=result.complete,
         all_home=result.all_home,
-        elapsed=round(elapsed, 6),
+        elapsed=round(timing.elapsed, 6),
+        rounds_per_sec=round(timing.rounds_per_sec(), 1),
     )
     if spec.compute_bounds:
         row["bfdn_bound"] = proposition9_bound(
@@ -193,14 +197,18 @@ def _run_game_jobspec(spec: JobSpec) -> Dict[str, object]:
     greedy adversary (the matchup Theorem 3 bounds).
     """
     from ..game import BalancedPlayer, GreedyAdversary, UrnBoard, play_game
+    from ..perf import TimingObserver
 
     delta = max(1, spec.tree.n)
     board = UrnBoard(spec.k, delta)
-    start = time.perf_counter()
+    timing = TimingObserver()
     record = play_game(
-        board, GreedyAdversary(), BalancedPlayer(), max_steps=spec.max_rounds
+        board,
+        GreedyAdversary(),
+        BalancedPlayer(),
+        max_steps=spec.max_rounds,
+        observers=[timing],
     )
-    elapsed = time.perf_counter() - start
     row = _base_row(spec)
     row.update(
         n=spec.k,
@@ -210,7 +218,8 @@ def _run_game_jobspec(spec: JobSpec) -> Dict[str, object]:
         wall_rounds=record.steps,
         complete=board.is_over(),
         all_home=board.is_over(),
-        elapsed=round(elapsed, 6),
+        elapsed=round(timing.elapsed, 6),
+        rounds_per_sec=round(timing.rounds_per_sec(), 1),
     )
     if spec.compute_bounds:
         row["bfdn_bound"] = board.theorem3_bound()
@@ -228,6 +237,7 @@ def run_jobspec(spec: JobSpec) -> Dict[str, object]:
     ``graph-bfdn`` jobs the graph engine, ``urn-game`` jobs the game —
     all through the shared round engine.
     """
+    from ..perf import TimingObserver
     from ..sim.engine import Simulator  # local: keep module import light
 
     kind = registry.workload_kind(spec.algorithm)
@@ -238,15 +248,15 @@ def run_jobspec(spec: JobSpec) -> Dict[str, object]:
 
     tree = spec.tree.materialize()
     algorithm = registry.make_algorithm(spec.algorithm)
-    start = time.perf_counter()
+    timing = TimingObserver()
     result = Simulator(
         tree,
         algorithm,
         spec.k,
         allow_shared_reveal=spec.shared_reveal(),
         max_rounds=spec.max_rounds,
+        observers=[timing],
     ).run()
-    elapsed = time.perf_counter() - start
     row: Dict[str, object] = {
         "schema": SCHEMA_VERSION,
         "fingerprint": spec.fingerprint(),
@@ -261,7 +271,8 @@ def run_jobspec(spec: JobSpec) -> Dict[str, object]:
         "wall_rounds": result.wall_rounds,
         "complete": result.complete,
         "all_home": result.all_home,
-        "elapsed": round(elapsed, 6),
+        "elapsed": round(timing.elapsed, 6),
+        "rounds_per_sec": round(timing.rounds_per_sec(), 1),
     }
     if spec.compute_bounds:
         from ..baselines.offline import offline_lower_bound, offline_split_runtime

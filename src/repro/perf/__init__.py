@@ -1,0 +1,43 @@
+"""Performance instrumentation for the shared round engine.
+
+:mod:`repro.perf.timing` provides the per-run :class:`TimingObserver`
+(phase wall times, rounds/sec, reveals/sec); :mod:`repro.perf.bench`
+provides the pinned micro-benchmark suite behind ``python -m repro
+bench``, its ``BENCH_*.json`` snapshot format, and snapshot comparison.
+"""
+
+from .bench import (
+    BENCH_SCHEMA,
+    BenchCase,
+    CaseDelta,
+    PINNED_SUITE,
+    SnapshotError,
+    compare_snapshots,
+    default_snapshot_path,
+    load_snapshot,
+    profile_suite,
+    run_case,
+    run_suite,
+    select_cases,
+    validate_snapshot,
+    write_snapshot,
+)
+from .timing import TimingObserver
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchCase",
+    "CaseDelta",
+    "PINNED_SUITE",
+    "SnapshotError",
+    "TimingObserver",
+    "compare_snapshots",
+    "default_snapshot_path",
+    "load_snapshot",
+    "profile_suite",
+    "run_case",
+    "run_suite",
+    "select_cases",
+    "validate_snapshot",
+    "write_snapshot",
+]

@@ -180,9 +180,15 @@ class Exploration:
                 self.metrics.moves_per_robot[i] += 1
             stationary = self.k - len(moved)
             if stationary:
+                # A robot is idle in a billed round iff it did not traverse
+                # an edge — whether it submitted "stay", "up" at the root
+                # (the paper's stay convention), no move at all, or was
+                # blocked.  Counting by complement of ``moved`` keeps
+                # ``moves_per_robot[i] + idle_per_robot[i] == rounds``.
                 self.metrics.idle_rounds += 1
+                moved_set = set(moved)
                 for i in range(self.k):
-                    if i not in moves or moves[i][0] == "stay":
+                    if i not in moved_set:
                         self.metrics.idle_per_robot[i] += 1
         self.metrics.reveals += len(events)
         self.positions = new_positions
@@ -346,6 +352,7 @@ class Simulator:
             wall_cap=self.max_rounds + 2 * horizon + 100,
             cap_message=lambda billed, wall: (
                 f"{self.algorithm.name}: exceeded {self.max_rounds} rounds "
+                f"(billed={billed}, wall={wall}) "
                 f"on tree(n={self.tree.n}, D={self.tree.depth}), k={self.k}"
             ),
         )

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -208,11 +209,24 @@ class RoundObserver:
     terminate the run early (reported as ``observer:<reason>``).
     """
 
+    #: Observers that set this to True receive :meth:`on_phase_times`
+    #: each round; the engine only pays for clock reads when at least one
+    #: attached observer asks for them, so the default path stays free.
+    wants_phase_timing = False
+
     def on_attach(self, state: RoundState) -> None:
         """Called once before the first round."""
 
     def on_round(self, state: RoundState, record: RoundRecord) -> None:
         """Called after every round with its :class:`RoundRecord`."""
+
+    def on_phase_times(
+        self, select_s: float, apply_s: float, observe_s: float
+    ) -> None:
+        """Per-phase wall time of the round that is about to be reported
+        via :meth:`on_round` (only called when ``wants_phase_timing``):
+        move selection (mask + policy + strikes), ``state.apply``, and
+        ``policy.observe``."""
 
     def should_stop(self, state: RoundState, record: RoundRecord) -> Optional[str]:
         """Return a reason string to stop the run after this round."""
@@ -289,6 +303,10 @@ class RoundEngine:
         policy = self.policy
         interference = self.interference
         observers = list(self.observers)
+        # Phase timing is opt-in per observer; with no taker the loop
+        # performs zero clock reads beyond what it always did.
+        timed = [obs for obs in observers if obs.wants_phase_timing]
+        _t0 = _t1 = _t2 = 0.0
         policy.attach(state)
         for obs in observers:
             obs.on_attach(state)
@@ -305,6 +323,8 @@ class RoundEngine:
                 reason = STOP_CAP
                 break
 
+            if timed:
+                _t0 = perf_counter()
             movable = interference.movable(t, state)
             moves = policy.select_moves(state, movable)
             struck = interference.filter(t, state, moves)
@@ -318,8 +338,16 @@ class RoundEngine:
 
             before = state.progress_token()
             billed_before = state.billed_rounds()
+            if timed:
+                _t1 = perf_counter()
             events = state.apply(surviving, movable)
+            if timed:
+                _t2 = perf_counter()
             policy.observe(state, events)
+            if timed:
+                _t3 = perf_counter()
+                for obs in timed:
+                    obs.on_phase_times(_t1 - _t0, _t2 - _t1, _t3 - _t2)
             record = RoundRecord(
                 t=t,
                 billed_before=billed_before,

@@ -76,9 +76,10 @@ class TestFingerprint:
 
     def test_golden_fingerprint_is_pinned(self):
         # Guards against accidental canonical-encoding changes, which
-        # would silently invalidate every existing cache.
+        # would silently invalidate every existing cache.  Pinned for
+        # schema repro-orchestrator-v2 (timing-instrumented workers).
         assert spec().fingerprint() == (
-            "46b77f8c174f009c53210db3aa95b15ccb7394ea23af9ce61c9ef4183aaef8e3"
+            "85982862b8d877141470fd13ba7cdb777d9011fd160f8be55afbd190bb73d4c2"
         )
 
 

@@ -66,6 +66,42 @@ class TestLeastLoaded:
         policy.on_load_change(1, 3)  # stale (0, 1) remains in the heap
         assert policy.choose(ptree, 1, {1: 3, 2: 0}) == 2
 
+    def test_closed_depths_are_discarded(self):
+        # Regression: per-depth heaps for depths behind the working depth
+        # used to be kept forever, so a long run accumulated O(n) heap
+        # entries.  Choosing at a deeper depth must drop the stale tiers.
+        ptree = PartialTree(0, 1)
+        ptree.reveal(0, 0, 1, 2)
+        ptree.reveal(1, 1, 2, 2)
+        ptree.reveal(2, 1, 3, 2)
+        policy = LeastLoadedPolicy()
+        for node, depth in ((1, 1), (2, 2), (3, 3)):
+            policy.on_open(node, depth)
+        assert set(policy._heaps) == {1, 2, 3}
+        assert policy.choose(ptree, 3, {}) == 3
+        assert set(policy._heaps) == {3}
+        assert set(policy._depth_of) == {3}
+
+    def test_reset_clears_state(self):
+        policy = LeastLoadedPolicy()
+        policy.on_open(1, 1)
+        policy.on_load_change(1, 2)
+        policy.reset()
+        assert not policy._heaps
+        assert not policy._depth_of
+
+    def test_memory_bounded_after_bfdn_run(self):
+        # End to end: after a full exploration the policy retains at most
+        # the frontier's worth of bookkeeping, not the whole tree.
+        algo = BFDN(policy=LeastLoadedPolicy())
+        from repro import registry
+
+        tree = registry.make_tree("random", 400, seed=3)
+        res = Simulator(tree, algo, 4).run()
+        assert res.done
+        retained = sum(len(h) for h in algo.policy._heaps.values())
+        assert retained < tree.n // 4
+
 
 class TestOtherPolicies:
     def _open_three(self):

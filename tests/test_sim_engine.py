@@ -1,6 +1,7 @@
 """Unit tests for the synchronous round engine."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.sim import (
     STAY,
@@ -103,6 +104,73 @@ class TestMetricsAccounting:
         assert e.metrics.idle_per_robot[1] == 1
         assert e.metrics.moves_per_robot[0] == 1
 
+    def test_up_at_root_counts_idle(self):
+        # Regression: "up" at the root is the paper's stay convention;
+        # the robot traverses no edge, so the billed round must count it
+        # idle (it used to be counted neither moved nor idle).
+        e = Exploration(gen.star(4), 2)
+        e.apply({0: explore(0), 1: UP}, {0, 1})
+        assert e.metrics.idle_rounds == 1
+        assert e.metrics.idle_per_robot[1] == 1
+        assert e.metrics.moves_per_robot[1] == 0
+
+    def test_unsubmitted_robot_counts_idle(self):
+        # A movable robot that submits no move at all is idle too.
+        e = Exploration(gen.star(4), 2)
+        e.apply({0: explore(0)}, {0, 1})
+        assert e.metrics.idle_per_robot[1] == 1
+
+    def test_blocked_robot_counts_idle(self):
+        # A robot outside the movable set (broken down) is idle in any
+        # billed round.
+        e = Exploration(gen.star(4), 2)
+        e.apply({0: explore(0)}, {0})
+        assert e.metrics.idle_per_robot[1] == 1
+        assert e.metrics.moves_per_robot[0] + e.metrics.idle_per_robot[0] == e.round
+        assert e.metrics.moves_per_robot[1] + e.metrics.idle_per_robot[1] == e.round
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_billed_move_conservation(self, data):
+        # In every billed round each robot either traverses an edge or is
+        # idle — never neither, never both.  Exercises arbitrary movable
+        # masks, up-at-root, unsubmitted robots and plain stays.
+        k = data.draw(st.integers(min_value=1, max_value=4), label="k")
+        degree = data.draw(st.integers(min_value=2, max_value=6), label="degree")
+        e = Exploration(gen.star(degree), k)
+        rounds = data.draw(st.integers(min_value=1, max_value=8), label="rounds")
+        for _ in range(rounds):
+            movable = {
+                i for i in range(k) if data.draw(st.booleans(), label="movable")
+            }
+            moves = {}
+            claimed = set()
+            for i in sorted(movable):
+                action = data.draw(
+                    st.sampled_from(["explore", "up", "stay", "none"]),
+                    label="action",
+                )
+                if action == "none":
+                    continue  # movable but submits nothing
+                if e.positions[i] != 0:
+                    moves[i] = STAY if action == "stay" else UP
+                    continue
+                if action == "explore":
+                    ports = sorted(e.ptree.dangling_ports(0) - claimed)
+                    if ports:
+                        claimed.add(ports[0])
+                        moves[i] = explore(ports[0])
+                        continue
+                    action = "stay"
+                # at the root, "up" is the paper's stay convention
+                moves[i] = STAY if action == "stay" else UP
+            e.apply(moves, movable)
+            for i in range(k):
+                assert (
+                    e.metrics.moves_per_robot[i] + e.metrics.idle_per_robot[i]
+                    == e.round
+                )
+
     def test_all_stay_round_not_billed(self):
         e = Exploration(gen.star(4), 2)
         e.apply({0: STAY, 1: STAY}, {0, 1})
@@ -136,6 +204,25 @@ class TestSimulatorLoop:
 
         with pytest.raises(RuntimeError):
             Simulator(gen.star(3), Bouncer(), 1, max_rounds=10).run()
+
+    def test_cap_message_reports_billed_and_wall_rounds(self):
+        # Regression: the cap message used to ignore the engine's billed
+        # and wall counters, reporting only the configured limit.
+        class Bouncer(ExplorationAlgorithm):
+            name = "bouncer"
+
+            def select_moves(self, expl, movable):
+                if expl.positions[0] == 0:
+                    if 0 in expl.ptree.dangling_ports(0):
+                        return {0: explore(0)}
+                    return {0: down(expl.ptree.child_via(0, 0))}
+                return {0: UP}
+
+        with pytest.raises(RuntimeError) as err:
+            Simulator(gen.star(3), Bouncer(), 1, max_rounds=10).run()
+        message = str(err.value)
+        assert "billed=" in message and "wall=" in message
+        assert "k=1" in message
 
     def test_result_fields(self):
         from repro.core import BFDN
