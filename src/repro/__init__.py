@@ -19,6 +19,7 @@ recursive ``BFDN_ell`` (``repro.core.recursive``).
 from .baselines import CTE, OnlineDFS, offline_lower_bound, offline_split_runtime
 from .core import BFDN, BFDNEll, WriteReadBFDN, run_with_breakdowns
 from .mission import MissionPlan, MissionReport, plan_mission, run_mission
+from .scenario import ScenarioSpec, run_scenario, scenario_grid
 from .sim import Simulator
 from .trees import PartialTree, Tree, generators, tree_from_edges
 
@@ -35,6 +36,9 @@ __all__ = [
     "run_mission",
     "MissionPlan",
     "MissionReport",
+    "ScenarioSpec",
+    "run_scenario",
+    "scenario_grid",
     "Tree",
     "PartialTree",
     "tree_from_edges",

@@ -2,20 +2,33 @@
 
 from .report import render_table, summarize_by
 from .scaling import PowerLawFit, doubling_ratios, fit_power_law, measure_exponent
-from .experiments import EXPERIMENTS, run_experiment
+from .experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from .asciiplot import line_plot, scatter_loglog
 from .stats import PairedComparison, Replication, compare_paired, replicate
 from .results_io import load_rows, rows_from_csv, rows_to_csv, save_rows
 from .montecarlo import Distribution, SlackStudy, game_length_distribution, overhead_distribution
 from .parallel import Job, JobResult, make_job, run_jobs
-from .sweep import AlgorithmFactory, SweepRecord, SweepRun, run_sweep, run_sweep_cached
+from .sweep import (
+    AlgorithmFactory,
+    ScenarioRun,
+    SweepRecord,
+    SweepRun,
+    record_from_row,
+    run_scenarios_cached,
+    run_sweep,
+    run_sweep_cached,
+)
 
 __all__ = [
     "run_sweep",
     "run_sweep_cached",
+    "run_scenarios_cached",
+    "record_from_row",
     "SweepRecord",
     "SweepRun",
+    "ScenarioRun",
     "AlgorithmFactory",
+    "ExperimentContext",
     "render_table",
     "summarize_by",
     "fit_power_law",

@@ -5,177 +5,335 @@ returning a printable report.  The pytest benchmarks in ``benchmarks/``
 remain the canonical, asserting versions; this registry powers
 ``python -m repro experiment <id>`` and ``examples/reproduce_all.py`` for
 quick interactive reproduction.
+
+Every simulation-backed experiment enumerates
+:class:`~repro.scenario.ScenarioSpec` values and routes them through
+:func:`~repro.analysis.sweep.run_scenarios_cached`, so the full suite is
+resumable: run with an :class:`ExperimentContext` carrying a
+:class:`~repro.orchestrator.store.ResultStore` and a re-run serves every
+row from the content-addressed cache.  E1 (the Figure 1 region chart)
+and E11 (the allocation switch bound) are pure analytical computations
+with no simulation to cache and run inline.
+
+``REPRO_EXPERIMENT_SCALE=tiny`` shrinks every experiment's instances for
+smoke runs (CI uses this); the default scale reproduces the paper-sized
+instances.
 """
 
 from __future__ import annotations
 
+import math
+import os
 import random
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..baselines import offline_lower_bound, run_cte
+from .. import registry
 from ..bounds import (
-    bfdn_bound,
     bfdn_ell_bound,
     compute_region_map,
     lemma2_bound,
     render_ascii,
-    theorem3_bound,
 )
-from ..core import BFDN, BFDNEll, WriteReadBFDN, run_with_breakdowns
-from ..game import (
-    BalancedPlayer,
-    GreedyAdversary,
-    UrnBoard,
-    game_value,
-    play_game,
-    run_allocation,
-)
-from ..graphs import proposition9_bound, random_obstacle_grid, run_graph_bfdn
-from ..sim import BlockExplorers, RandomBreakdowns, Simulator, run_reactive
+from ..game import game_value, run_allocation
+from ..orchestrator import TreeSpec
+from ..orchestrator.events import ProgressTracker
+from ..orchestrator.store import ResultStore
+from ..scenario import ScenarioSpec
 from ..trees import generators as gen
 from .report import render_table
-from .sweep import run_sweep
+from .sweep import record_from_row, run_scenarios_cached, run_sweep_cached
 
 
-def e1_figure1() -> str:
+def _default_scale() -> str:
+    """Experiment scale from ``REPRO_EXPERIMENT_SCALE`` (full or tiny)."""
+    scale = os.environ.get("REPRO_EXPERIMENT_SCALE", "full")
+    if scale not in ("full", "tiny"):
+        raise ValueError(
+            f"REPRO_EXPERIMENT_SCALE must be 'full' or 'tiny', got {scale!r}"
+        )
+    return scale
+
+
+@dataclass
+class ExperimentContext:
+    """Shared run context for the experiment registry.
+
+    ``store`` enables the content-addressed cache (``None`` runs
+    everything fresh, which keeps direct test invocations hermetic);
+    ``tracker`` aggregates hit/miss/failure counts across all the
+    experiments run under this context; ``scale`` picks paper-sized
+    (``full``) or smoke-sized (``tiny``) instances.
+    """
+
+    store: Optional[ResultStore] = None
+    tracker: ProgressTracker = field(default_factory=ProgressTracker)
+    scale: str = field(default_factory=_default_scale)
+    max_workers: int = 0
+    timeout: Optional[float] = None
+
+    def pick(self, full, tiny):
+        """``full`` or ``tiny`` depending on the context's scale."""
+        return tiny if self.scale == "tiny" else full
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[Dict[str, object]]:
+        """Run specs through the cached orchestrator path, in order."""
+        run = run_scenarios_cached(
+            specs,
+            store=self.store,
+            tracker=self.tracker,
+            max_workers=self.max_workers,
+            timeout=self.timeout,
+        )
+        if run.failures:
+            first = run.failures[0]
+            raise RuntimeError(
+                f"{len(run.failures)} scenario(s) failed, e.g. "
+                f"{first.spec.label or first.spec.fingerprint()}: {first.error}"
+            )
+        return run.rows
+
+
+def _tree_spec(
+    ctx: ExperimentContext,
+    algorithm: str,
+    tree,
+    k: int,
+    label: str,
+    **kwargs,
+) -> ScenarioSpec:
+    """A tree-kind spec over a concrete tree (cached via parent array)."""
+    return ScenarioSpec(
+        kind=kwargs.pop("kind", "tree"),
+        algorithm=algorithm,
+        substrate=TreeSpec.from_tree(tree),
+        k=k,
+        label=label,
+        **kwargs,
+    )
+
+
+def e1_figure1(ctx: ExperimentContext) -> str:
     """Figure 1 region chart (k = 2^20)."""
-    region_map = compute_region_map(1 << 20, resolution=36, log2_n_max=110, log2_d_max=70)
+    # Pure analytical computation (no simulation): nothing to cache.
+    resolution = ctx.pick(36, 12)
+    region_map = compute_region_map(
+        1 << 20, resolution=resolution, log2_n_max=110, log2_d_max=70
+    )
     return render_ascii(region_map) + f"\n\ncells won: {region_map.counts()}"
 
 
-def e2_theorem1() -> str:
+def e2_theorem1(ctx: ExperimentContext) -> str:
     """Theorem 1: measured rounds vs bound across families."""
-    records = run_sweep(
-        {"BFDN": BFDN}, gen.standard_families(k=8, size="small"), (2, 8)
-    )
+    families = gen.standard_families(k=8, size="small")
+    families = ctx.pick(families, families[:4])
+    specs = [
+        _tree_spec(ctx, "bfdn", tree, k, label, compute_bounds=True)
+        for label, tree in families
+        for k in (2, 8)
+    ]
+    records = [record_from_row(row) for row in ctx.run(specs)]
     ok = all(r.rounds <= r.bfdn_bound for r in records)
     return render_table([r.as_row() for r in records]) + f"\n\nbound holds: {ok}"
 
 
-def e3_urn_game() -> str:
+def e3_urn_game(ctx: ExperimentContext) -> str:
     """Theorem 3: simulated vs DP vs bound."""
+    from ..bounds import theorem3_bound
+
+    team_sizes = ctx.pick((4, 8, 16, 32, 64), (4, 8))
+    specs = [
+        ScenarioSpec(
+            kind="game",
+            algorithm="urn-game",
+            substrate=TreeSpec.named(registry.GAME_FAMILY, k),
+            k=k,
+            policy="balanced",
+            adversary="greedy",
+            label=f"urns-k{k}",
+        )
+        for k in team_sizes
+    ]
     rows = []
-    for k in (4, 8, 16, 32, 64):
-        sim = play_game(UrnBoard(k, k), GreedyAdversary(), BalancedPlayer()).steps
+    for row in ctx.run(specs):
+        k = int(row["n"])
         rows.append(
-            {"k": k, "simulated": sim, "DP": game_value(k, k),
+            {"k": k, "simulated": row["rounds"], "DP": game_value(k, k),
              "bound": round(theorem3_bound(k), 1)}
         )
     return render_table(rows)
 
 
-def e4_lemma2() -> str:
+def e4_lemma2(ctx: ExperimentContext) -> str:
     """Lemma 2: per-depth re-anchor counts."""
-    rows = []
     k = 8
-    for label, tree in [("caterpillar", gen.caterpillar(30, 5)),
-                        ("comb", gen.comb(20, 8))]:
-        res = Simulator(tree, BFDN(), k).run()
-        interior = {
-            d: c for d, c in res.metrics.reanchors_per_depth().items()
-            if 1 <= d <= tree.depth - 1
-        }
-        rows.append(
-            {"tree": label, "max/depth": max(interior.values(), default=0),
-             "bound": round(lemma2_bound(k, tree.max_degree), 1)}
-        )
-    return render_table(rows)
-
-
-def e5_writeread() -> str:
-    """Proposition 6: write-read vs centralized BFDN."""
+    trees = [
+        ("caterpillar", gen.caterpillar(*ctx.pick((30, 5), (10, 3)))),
+        ("comb", gen.comb(*ctx.pick((20, 8), (8, 4)))),
+    ]
+    specs = [_tree_spec(ctx, "bfdn", tree, k, label) for label, tree in trees]
     rows = []
-    k = 4
-    for label, tree in gen.standard_families(k=k, size="small")[:8]:
-        central = Simulator(tree, BFDN(), k).run().rounds
-        wr = Simulator(tree, WriteReadBFDN(), k).run().rounds
+    for row in ctx.run(specs):
         rows.append(
-            {"tree": label, "central": central, "write-read": wr,
-             "bound": round(bfdn_bound(tree.n, tree.depth, k, tree.max_degree), 1)}
+            {"tree": row["label"],
+             "max/depth": row["max_interior_reanchors"],
+             "bound": round(lemma2_bound(k, int(row["max_degree"])), 1)}
         )
     return render_table(rows)
 
 
-def e6_breakdowns() -> str:
+def e5_writeread(ctx: ExperimentContext) -> str:
+    """Proposition 6: write-read vs centralized BFDN."""
+    from ..bounds import bfdn_bound
+
+    k = 4
+    families = gen.standard_families(k=k, size="small")[: ctx.pick(8, 4)]
+    specs = [
+        _tree_spec(ctx, algorithm, tree, k, label)
+        for label, tree in families
+        for algorithm in ("bfdn", "bfdn-wr")
+    ]
+    results = ctx.run(specs)
+    rows = []
+    for central, wr in zip(results[::2], results[1::2]):
+        rows.append(
+            {"tree": central["label"],
+             "central": central["rounds"],
+             "write-read": wr["rounds"],
+             "bound": round(
+                 bfdn_bound(
+                     int(central["n"]), int(central["depth"]), k,
+                     int(central["max_degree"]),
+                 ), 1,
+             )}
+        )
+    return render_table(rows)
+
+
+def e6_breakdowns(ctx: ExperimentContext) -> str:
     """Proposition 7: A(M) at completion vs bound."""
     k = 8
-    tree = gen.random_recursive(400)
+    tree = gen.random_recursive(ctx.pick(400, 80))
+    specs = [
+        _tree_spec(
+            ctx, "bfdn", tree, k, f"breakdowns-p{p}",
+            adversary="random-breakdowns",
+            adversary_params={"p": p, "horizon_per_n": 200, "seed": 1},
+        )
+        for p in (0.25, 0.5, 0.75)
+    ]
     rows = []
-    for p in (0.25, 0.5, 0.75):
-        out = run_with_breakdowns(tree, k, RandomBreakdowns(p, 200 * tree.n, seed=1))
+    for p, row in zip((0.25, 0.5, 0.75), ctx.run(specs)):
         rows.append(
-            {"p": p, "wall": out.result.wall_rounds,
-             "A(M)": round(out.average_allowed, 1), "bound": round(out.bound, 1)}
+            {"p": p, "wall": row["wall_rounds"],
+             "A(M)": round(float(row["average_allowed"]), 1),
+             "bound": round(float(row["adversarial_bound"]), 1)}
         )
     return render_table(rows)
 
 
-def e7_graphs() -> str:
+def e7_graphs(ctx: ExperimentContext) -> str:
     """Proposition 9: grids with obstacles."""
-    g = random_obstacle_grid(16, 16, 8, seed=3)
+    # obstacle-grid resolves n=256 to the 16x16 grid with n//32 = 8
+    # obstacles used by the benchmarks.
+    nodes = ctx.pick(256, 64)
+    specs = [
+        ScenarioSpec(
+            kind="graph",
+            algorithm="graph-bfdn",
+            substrate=TreeSpec.named("obstacle-grid", nodes, seed=3),
+            k=k,
+            label=f"grid-k{k}",
+            compute_bounds=True,
+        )
+        for k in (2, 4, 8)
+    ]
     rows = []
-    for k in (2, 4, 8):
-        res = run_graph_bfdn(g, k)
+    for row in ctx.run(specs):
         rows.append(
-            {"k": k, "rounds": res.rounds,
-             "bound": round(proposition9_bound(g.num_edges, g.radius, k, g.max_degree), 1),
-             "closed": res.closed_edges}
+            {"k": row["k"], "rounds": row["rounds"],
+             "bound": round(float(row["bfdn_bound"]), 1),
+             "closed": row["closed_edges"]}
         )
     return render_table(rows)
 
 
-def e8_bfdn_ell() -> str:
+def e8_bfdn_ell(ctx: ExperimentContext) -> str:
     """Theorem 10: depth sweep, BFDN vs BFDN_ell."""
-    k, n = 16, 2_048
+    from ..bounds import bfdn_bound
+
+    k = 16
+    n = ctx.pick(2_048, 256)
+    depths = ctx.pick((16, 128, 512), (8, 32))
+    specs = [
+        _tree_spec(
+            ctx, algorithm, gen.random_tree_with_depth(n, depth), k,
+            f"depth-{depth}",
+        )
+        for depth in depths
+        for algorithm in ("bfdn", "bfdn-ell2")
+    ]
+    results = ctx.run(specs)
     rows = []
-    for depth in (16, 128, 512):
-        tree = gen.random_tree_with_depth(n, depth)
+    for depth, (plain, ell) in zip(depths, zip(results[::2], results[1::2])):
         rows.append(
             {"D": depth,
-             "BFDN": Simulator(tree, BFDN(), k).run().rounds,
-             "BFDN_l2": Simulator(tree, BFDNEll(2), k).run().rounds,
+             "BFDN": plain["rounds"],
+             "BFDN_l2": ell["rounds"],
              "thm1": round(bfdn_bound(n, depth, k)),
              "thm10(l2)": round(bfdn_ell_bound(n, depth, k, 2))}
         )
     return render_table(rows)
 
 
-def e9_comparison() -> str:
+def e9_comparison(ctx: ExperimentContext) -> str:
     """Competitive overhead: BFDN vs CTE vs offline."""
-    from ..baselines import CTE
-
-    records = run_sweep(
-        {"BFDN": BFDN, "CTE": CTE},
-        gen.standard_families(k=8, size="small")[:8],
+    families = gen.standard_families(k=8, size="small")[: ctx.pick(8, 4)]
+    run = run_sweep_cached(
+        ["bfdn", "cte"],
+        families,
         (8,),
-        allow_shared_reveal={"CTE": True},
+        store=ctx.store,
+        tracker=ctx.tracker,
+        max_workers=ctx.max_workers,
+        timeout=ctx.timeout,
     )
-    return render_table([r.as_row() for r in records])
+    return render_table([r.as_row() for r in run.records])
 
 
-def e10_cte_traps() -> str:
+def e10_cte_traps(ctx: ExperimentContext) -> str:
     """CTE on fixed trap trees (honest constant-factor residue)."""
     from ..trees.adversarial import cte_trap_tree
 
     k = 16
+    configs = ctx.pick(((8, 16), (32, 4)), ((2, 4), (4, 2)))
+    specs = [
+        _tree_spec(
+            ctx, algorithm, cte_trap_tree(k, gadgets, trap), k,
+            f"trap-g{gadgets}-t{trap}", compute_bounds=True,
+        )
+        for gadgets, trap in configs
+        for algorithm in ("cte", "bfdn")
+    ]
+    results = ctx.run(specs)
     rows = []
-    for gadgets, trap in ((8, 16), (32, 4)):
-        tree = cte_trap_tree(k, gadgets, trap)
-        lower = offline_lower_bound(tree.n, tree.depth, k)
+    for (gadgets, trap), (cte, bfdn) in zip(
+        configs, zip(results[::2], results[1::2])
+    ):
         rows.append(
             {"gadgets": gadgets, "trap": trap,
-             "CTE": run_cte(tree, k).rounds,
-             "BFDN": Simulator(tree, BFDN(), k).run().rounds,
-             "lower": lower}
+             "CTE": cte["rounds"], "BFDN": bfdn["rounds"],
+             "lower": cte["lower_bound"]}
         )
     return render_table(rows)
 
 
-def e11_allocation() -> str:
+def e11_allocation(ctx: ExperimentContext) -> str:
     """Resource allocation switch bound."""
+    # Pure analytical computation (no simulation): nothing to cache.
     rng = random.Random(0)
     rows = []
-    for k in (8, 32):
+    for k in ctx.pick((8, 32), (4, 8)):
         work = [rng.randrange(1, 200) for _ in range(k)]
         res = run_allocation(work)
         rows.append(
@@ -185,68 +343,93 @@ def e11_allocation() -> str:
     return render_table(rows)
 
 
-def e12_ablation() -> str:
+def e12_ablation(ctx: ExperimentContext) -> str:
     """Reanchor policy ablation on the stress tree."""
-    from ..core import make_policy
     from ..trees.adversarial import reanchor_stress_tree
 
     k = 8
-    tree = reanchor_stress_tree(k, 12)
-    rows = []
-    for policy in ("least-loaded", "random", "round-robin", "most-loaded"):
-        res = Simulator(tree, BFDN(policy=make_policy(policy)), k).run()
-        rows.append({"policy": policy, "rounds": res.rounds})
+    tree = reanchor_stress_tree(k, ctx.pick(12, 4))
+    specs = [
+        _tree_spec(ctx, "bfdn", tree, k, policy, policy=policy)
+        for policy in registry.REANCHOR_POLICIES
+    ]
+    rows = [
+        {"policy": row["policy"], "rounds": row["rounds"]}
+        for row in ctx.run(specs)
+    ]
     return render_table(rows)
 
 
-def e13_reactive() -> str:
+def e13_reactive(ctx: ExperimentContext) -> str:
     """Remark 8: reactive adversaries."""
-    tree = gen.random_recursive(300)
+    tree = gen.random_recursive(ctx.pick(300, 80))
+    budgets = (0, 1, 3)
+    specs = [
+        _tree_spec(
+            ctx, "bfdn", tree, 8, f"reactive-b{budget}", kind="reactive",
+            adversary="block-explorers",
+            adversary_params={"budget": budget, "horizon_per_n": 30},
+        )
+        for budget in budgets
+    ]
     rows = []
-    for budget in (0, 1, 3):
-        out = run_reactive(tree, BFDN(), 8, BlockExplorers(budget, 30 * tree.n))
+    for budget, row in zip(budgets, ctx.run(specs)):
         rows.append(
-            {"budget": budget, "wall": out.result.wall_rounds,
-             "interference": round(out.interference, 2)}
+            {"budget": budget, "wall": row["wall_rounds"],
+             "interference": round(float(row["interference"]), 2)}
         )
     note = ("\nnote: with budget >= concurrent explorers the reactive adversary"
             "\ndenies discovery outright — Prop 7's bound does not carry over.")
     return render_table(rows) + note
 
 
-def e14_shortcut() -> str:
+def e14_shortcut(ctx: ExperimentContext) -> str:
     """Shortcut re-anchoring ablation: the cost of root returns."""
-    from ..core import ShortcutBFDN
-
     k = 8
+    trees = [
+        ("caterpillar", gen.caterpillar(*ctx.pick((30, 5), (10, 3)))),
+        ("deep-random",
+         gen.random_tree_with_depth(*ctx.pick((600, 60), (120, 16)))),
+    ]
+    specs = [
+        _tree_spec(ctx, algorithm, tree, k, label)
+        for label, tree in trees
+        for algorithm in ("bfdn", "bfdn-shortcut")
+    ]
+    results = ctx.run(specs)
     rows = []
-    for label, tree in [("caterpillar", gen.caterpillar(30, 5)),
-                        ("deep-random", gen.random_tree_with_depth(600, 60))]:
-        standard = Simulator(tree, BFDN(), k).run().rounds
-        shortcut = Simulator(tree, ShortcutBFDN(), k).run().rounds
-        rows.append({"tree": label, "BFDN": standard, "shortcut": shortcut,
-                     "speedup": round(standard / max(shortcut, 1), 2)})
+    for (label, _), (standard, shortcut) in zip(
+        trees, zip(results[::2], results[1::2])
+    ):
+        rows.append(
+            {"tree": label, "BFDN": standard["rounds"],
+             "shortcut": shortcut["rounds"],
+             "speedup": round(
+                 int(standard["rounds"]) / max(int(shortcut["rounds"]), 1), 2
+             )}
+        )
     return render_table(rows)
 
 
-def e15_logk_question() -> str:
+def e15_logk_question(ctx: ExperimentContext) -> str:
     """Open question probe: overhead growth in k at fixed (n, D)."""
-    import math
-
     from ..trees.adversarial import reanchor_stress_tree
 
-    tree = reanchor_stress_tree(32, 12)
+    tree = reanchor_stress_tree(32, ctx.pick(12, 4))
+    team_sizes = (2, 8, 32)
+    specs = [
+        _tree_spec(ctx, "bfdn", tree, k, f"stress-k{k}") for k in team_sizes
+    ]
     rows = []
-    for k in (2, 8, 32):
-        res = Simulator(tree, BFDN(), k).run()
-        overhead = res.rounds - 2 * tree.n / k
-        budget = tree.depth ** 2 * (math.log(k) + 3)
+    for k, row in zip(team_sizes, ctx.run(specs)):
+        overhead = int(row["rounds"]) - 2 * int(row["n"]) / k
+        budget = int(row["depth"]) ** 2 * (math.log(k) + 3)
         rows.append({"k": k, "overhead": round(overhead, 1),
                      "budget": round(budget, 1)})
     return render_table(rows)
 
 
-EXPERIMENTS: Dict[str, Callable[[], str]] = {
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], str]] = {
     "E1": e1_figure1,
     "E2": e2_theorem1,
     "E3": e3_urn_game,
@@ -265,8 +448,13 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 }
 
 
-def run_experiment(exp_id: str) -> str:
-    """Run one experiment by id and return its report."""
+def run_experiment(exp_id: str, ctx: Optional[ExperimentContext] = None) -> str:
+    """Run one experiment by id and return its report.
+
+    Without a context the experiment runs uncached at full scale; pass
+    an :class:`ExperimentContext` with a store to serve repeat runs from
+    the orchestrator cache (``python -m repro experiment`` does).
+    """
     key = exp_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(
@@ -274,4 +462,4 @@ def run_experiment(exp_id: str) -> str:
         )
     func = EXPERIMENTS[key]
     header = f"== {key}: {func.__doc__.strip()} =="  # type: ignore[union-attr]
-    return header + "\n" + func()
+    return header + "\n" + func(ctx if ctx is not None else ExperimentContext())

@@ -22,10 +22,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 from ..baselines.offline import offline_lower_bound, offline_split_runtime
 from ..bounds.guarantees import bfdn_bound, competitive_overhead, competitive_ratio
-from ..orchestrator import JobOutcome, JobSpec, TreeSpec, run_jobspecs
+from ..orchestrator import JobOutcome, TreeSpec, run_jobspecs
 from ..orchestrator.events import ProgressTracker
 from ..orchestrator.store import ResultStore
 from ..perf import TimingObserver
+from ..scenario import ScenarioSpec, scenario_grid
 from ..sim.engine import ExplorationAlgorithm, Simulator
 from ..trees.tree import Tree
 
@@ -145,7 +146,12 @@ class SweepRun:
         return [outcome for outcome in self.outcomes if not outcome.ok]
 
 
-def _record_from_row(row: Dict[str, object]) -> SweepRecord:
+def record_from_row(row: Dict[str, object]) -> SweepRecord:
+    """Rebuild a :class:`SweepRecord` from an orchestrator result row.
+
+    Tolerates rows without the bound columns (scenarios run with
+    ``compute_bounds=False``) by defaulting them to zero.
+    """
     return SweepRecord(
         algorithm=str(row["algorithm"]),
         tree_label=str(row["label"]),
@@ -156,11 +162,65 @@ def _record_from_row(row: Dict[str, object]) -> SweepRecord:
         rounds=int(row["rounds"]),
         complete=bool(row["complete"]),
         all_home=bool(row["all_home"]),
-        bfdn_bound=float(row["bfdn_bound"]),
-        lower_bound=int(row["lower_bound"]),
-        offline_split=int(row["offline_split"]),
+        bfdn_bound=float(row.get("bfdn_bound", 0.0)),
+        lower_bound=int(row.get("lower_bound", 0)),
+        offline_split=int(row.get("offline_split", 0)),
         rounds_per_sec=float(row.get("rounds_per_sec", 0.0)),
     )
+
+
+# Backwards-compatible private alias (pre-scenario name).
+_record_from_row = record_from_row
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of an orchestrated scenario batch: raw rows per job.
+
+    Unlike :class:`SweepRun` this keeps the full result rows (scenario
+    extras like ``average_allowed``, ``interference`` or
+    ``max_interior_reanchors`` included) instead of projecting onto
+    :class:`SweepRecord`.
+    """
+
+    rows: List[Dict[str, object]]
+    outcomes: List[JobOutcome]
+    tracker: ProgressTracker
+
+    @property
+    def failures(self) -> List[JobOutcome]:
+        """Jobs that produced no result even after retries."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+
+def run_scenarios_cached(
+    specs: Sequence[ScenarioSpec],
+    *,
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = 0,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    tracker: Optional[ProgressTracker] = None,
+) -> ScenarioRun:
+    """Run an explicit list of scenario specs through the cached pool.
+
+    This is the path every E1–E15 experiment routes through: the
+    experiment enumerates :class:`~repro.scenario.ScenarioSpec` values,
+    the orchestrator dedupes them by fingerprint, serves cache hits from
+    the store and fans the misses over the worker pool.  ``rows`` come
+    back in spec order (failed jobs omitted).
+    """
+    tracker = tracker if tracker is not None else ProgressTracker()
+    outcomes = run_jobspecs(
+        specs,
+        store=store,
+        max_workers=max_workers,
+        timeout=timeout,
+        retries=retries,
+        tracker=tracker,
+    )
+    rows = [outcome.row for outcome in outcomes if outcome.ok]
+    return ScenarioRun(rows=rows, outcomes=outcomes, tracker=tracker)
 
 
 def run_sweep_cached(
@@ -174,6 +234,9 @@ def run_sweep_cached(
     retries: int = 1,
     max_rounds: Optional[int] = None,
     tracker: Optional[ProgressTracker] = None,
+    policy: Optional[str] = None,
+    adversary: Optional[str] = None,
+    adversary_params: Optional[Dict[str, object]] = None,
 ) -> SweepRun:
     """Run every named algorithm on every (tree, k) pair, orchestrated.
 
@@ -183,22 +246,27 @@ def run_sweep_cached(
     their parent arrays.  The worker also computes the Theorem 1 bound
     and the offline baselines, so a cache hit recomputes *nothing*.
     ``max_workers=0`` (the default) runs inline.
+
+    ``policy`` names a re-anchor policy ablation, ``adversary`` (with
+    ``adversary_params``) a break-down or reactive adversary from the
+    registry — the scenario kind is inferred per algorithm, so one call
+    can sweep adversarial tree scenarios next to graph/game entry
+    points.
     """
-    specs: List[JobSpec] = []
-    for label, tree in workloads:
-        tree_spec = tree if isinstance(tree, TreeSpec) else TreeSpec.from_tree(tree)
-        for k in team_sizes:
-            for name in algorithms:
-                specs.append(
-                    JobSpec(
-                        algorithm=name,
-                        tree=tree_spec,
-                        k=k,
-                        label=label,
-                        max_rounds=max_rounds,
-                        compute_bounds=True,
-                    )
-                )
+    workload_list = [
+        (label, tree if isinstance(tree, TreeSpec) else TreeSpec.from_tree(tree))
+        for label, tree in workloads
+    ]
+    specs = scenario_grid(
+        algorithms,
+        workload_list,
+        team_sizes,
+        policy=policy,
+        adversary=adversary,
+        adversary_params=adversary_params,
+        max_rounds=max_rounds,
+        compute_bounds=True,
+    )
     tracker = tracker if tracker is not None else ProgressTracker()
     outcomes = run_jobspecs(
         specs,
@@ -209,6 +277,6 @@ def run_sweep_cached(
         tracker=tracker,
     )
     records = [
-        _record_from_row(outcome.row) for outcome in outcomes if outcome.ok
+        record_from_row(outcome.row) for outcome in outcomes if outcome.ok
     ]
     return SweepRun(records=records, outcomes=outcomes, tracker=tracker)

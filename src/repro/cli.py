@@ -17,14 +17,26 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .analysis import render_table, run_experiment, run_sweep, run_sweep_cached, save_rows
+from .analysis import render_table, run_experiment, run_sweep_cached, save_rows
+from .analysis.experiments import ExperimentContext
 from .bounds import bfdn_bound, compute_region_map, render_ascii, theorem3_bound
 from .core import BFDN
 from .game import BalancedPlayer, GreedyAdversary, UrnBoard, game_value, play_game
 from .mission import run_mission
 from .orchestrator import ProgressTracker, ResultStore, TreeSpec
+from .orchestrator.store import DEFAULT_CACHE_DIR
 from .perf import bench as perf_bench
-from .registry import ALGORITHMS, ENTRY_POINTS, GAME_FAMILY, GRAPHS, TREES, workload_kind
+from .registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    ENTRY_POINTS,
+    GAME_FAMILY,
+    GRAPHS,
+    REANCHOR_POLICIES,
+    TREES,
+    workload_kind,
+)
+from .scenario import ScenarioSpec
 from .sim import (
     ProgressEvents,
     Simulator,
@@ -86,36 +98,93 @@ def _build_observers(spec: str, tree, shared: bool):
     return observers, reporters
 
 
+def _parse_params(items) -> dict:
+    """Parse repeated ``KEY=VALUE`` flags into a typed parameter dict."""
+    params = {}
+    for item in items or ():
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ValueError(f"expected KEY=VALUE, got {item!r}")
+        value: object = raw
+        for cast in (int, float):
+            try:
+                value = cast(raw)
+                break
+            except ValueError:
+                continue
+        params[key] = value
+    return params
+
+
+def _explore_spec(args) -> ScenarioSpec:
+    """The scenario described by the ``explore`` flags."""
+    kind = "tree"
+    if args.adversary is not None:
+        # Reactive adversaries switch the scenario to the Remark 8 model.
+        kind = ADVERSARIES.get(args.adversary, "tree")
+    return ScenarioSpec(
+        kind=kind,
+        algorithm=args.algorithm,
+        substrate=TreeSpec.named(args.tree, args.n),
+        k=args.k,
+        seed=args.seed,
+        policy=args.policy,
+        adversary=args.adversary,
+        adversary_params=_parse_params(args.adversary_param),
+        label=f"{args.tree}-n{args.n}",
+    )
+
+
 def cmd_explore(args) -> int:
-    """Run one exploration and print the Theorem 1 numbers."""
-    tree = TREES[args.tree](args.n)
-    factory = ALGORITHMS[args.algorithm]
-    shared = args.algorithm == "cte"
-    observers, reporters = _build_observers(args.observe or "", tree, shared)
-    result = Simulator(
-        tree, factory(), args.k, allow_shared_reveal=shared, observers=observers
-    ).run()
+    """Run one exploration scenario and print the Theorem 1 numbers."""
+    try:
+        spec = _explore_spec(args)
+        built = spec.build()
+    except ValueError as exc:
+        print(f"explore: {exc}")
+        return 2
+    tree = built.tree
+    observers, reporters = _build_observers(
+        args.observe or "", tree, spec.shared_reveal()
+    )
+    row = built.run(observers)
     bound = bfdn_bound(tree.n, tree.depth, args.k, tree.max_degree)
     print(f"tree: n={tree.n} D={tree.depth} max_degree={tree.max_degree}")
-    print(f"{args.algorithm} with k={args.k}: {result.rounds} rounds "
-          f"(complete={result.complete}, all home={result.all_home})")
+    setup = args.algorithm
+    if spec.policy:
+        setup += f" (policy={spec.policy})"
+    print(f"{setup} with k={args.k}: {row['rounds']} rounds "
+          f"(complete={row['complete']}, all home={row['all_home']})")
+    if spec.adversary is not None and spec.kind == "tree":
+        print(f"adversary {spec.adversary}: wall rounds {row['wall_rounds']}, "
+              f"A(M)={row['average_allowed']}, "
+              f"Prop 7 bound {row['adversarial_bound']}")
+    elif spec.adversary is not None:
+        print(f"adversary {spec.adversary}: wall rounds {row['wall_rounds']}, "
+              f"blocked {row['blocked_moves']} of "
+              f"{int(row['blocked_moves']) + int(row['executed_moves'])} moves "
+              f"(interference {row['interference']})")
     print(f"Theorem 1 bound: {bound:.0f}; 2n/k = {2 * tree.n / args.k:.0f}")
     for report in reporters:
         report()
-    return 0 if result.complete else 1
+    return 0 if row["complete"] else 1
 
 
 def cmd_compare(args) -> int:
-    """Sweep the chosen algorithms over the standard families."""
-    factories = {name: ALGORITHMS[name] for name in args.algorithms}
-    records = run_sweep(
-        factories,
+    """Sweep the chosen algorithms over the standard families.
+
+    Routes through the orchestrated scenario path (shared-reveal
+    defaults come from the registry, e.g. ``cte``); pass ``--cache-dir``
+    to make repeat comparisons cache hits.
+    """
+    run = run_sweep_cached(
+        args.algorithms,
         gen.standard_families(k=max(args.k), size=args.size),
         team_sizes=args.k,
-        allow_shared_reveal={"cte": True},
+        store=ResultStore(args.cache_dir) if args.cache_dir else None,
     )
-    print(render_table([r.as_row() for r in records]))
-    return 0
+    print(render_table([r.as_row() for r in run.records]))
+    return 1 if run.failures else 0
 
 
 def cmd_sweep(args) -> int:
@@ -150,6 +219,11 @@ def cmd_sweep(args) -> int:
         "graph": [f for f in args.trees if f in GRAPHS],
         "game": [f for f in args.trees if f == GAME_FAMILY],
     }
+    try:
+        adversary_params = _parse_params(args.adversary_param)
+    except ValueError as exc:
+        print(f"sweep: {exc}")
+        return 2
     tracker = ProgressTracker()
     records, failures = [], []
     for kind in ("tree", "graph", "game"):
@@ -171,16 +245,23 @@ def cmd_sweep(args) -> int:
                         f"-s{seed}" if len(args.seeds) > 1 else ""
                     )
                     workloads.append((label, TreeSpec.named(family, n, seed)))
-        run = run_sweep_cached(
-            algorithms,
-            workloads,
-            team_sizes=args.k,
-            store=store,
-            max_workers=args.jobs,
-            timeout=args.timeout,
-            retries=args.retries,
-            tracker=tracker,
-        )
+        try:
+            run = run_sweep_cached(
+                algorithms,
+                workloads,
+                team_sizes=args.k,
+                store=store,
+                max_workers=args.jobs,
+                timeout=args.timeout,
+                retries=args.retries,
+                tracker=tracker,
+                policy=args.policy if kind == "tree" else None,
+                adversary=args.adversary if kind == "tree" else None,
+                adversary_params=adversary_params if kind == "tree" else None,
+            )
+        except ValueError as exc:
+            print(f"sweep: {exc}")
+            return 2
         records.extend(run.records)
         failures.extend(run.failures)
 
@@ -309,10 +390,28 @@ def cmd_mission(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    """Run experiments from the registry (E1..E15) and print reports."""
+    """Run experiments from the registry (E1..E15) and print reports.
+
+    Experiments enumerate scenarios and route through the orchestrator
+    cache (default ``results/cache``), so re-running an experiment is
+    cache hits; ``--no-cache`` runs everything fresh and
+    ``--min-hit-rate`` turns the hit rate into an exit-code gate.
+    """
+    store = None
+    if args.cache_dir and not args.no_cache:
+        store = ResultStore(args.cache_dir)
+    ctx = ExperimentContext(store=store, max_workers=args.jobs)
     for exp_id in args.ids:
-        print(run_experiment(exp_id))
+        print(run_experiment(exp_id, ctx))
         print()
+    if store is not None:
+        print(ctx.tracker.summary())
+    if args.min_hit_rate is not None and ctx.tracker.hit_rate() < args.min_hit_rate:
+        print(
+            f"cache hit rate {ctx.tracker.hit_rate():.1%} below required "
+            f"{args.min_hit_rate:.1%}"
+        )
+        return 1
     return 0
 
 
@@ -343,6 +442,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--observe", default=None, metavar="KINDS",
         help="comma list of round observers: trace, metrics, progress",
     )
+    p.add_argument("--seed", type=int, default=0, help="run seed")
+    p.add_argument(
+        "--policy", default=None, choices=sorted(REANCHOR_POLICIES),
+        help="re-anchor policy ablation (policy-capable algorithms only)",
+    )
+    p.add_argument(
+        "--adversary", default=None, metavar="NAME",
+        help="break-down or reactive adversary from the registry "
+        f"(known: {', '.join(sorted(ADVERSARIES))})",
+    )
+    p.add_argument(
+        "--adversary-param", action="append", default=None, metavar="KEY=VALUE",
+        dest="adversary_param",
+        help="adversary parameter, repeatable (e.g. p=0.5 horizon_per_n=100)",
+    )
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("compare", help="sweep algorithms over families")
@@ -352,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-k", type=int, nargs="+", default=[4, 16])
     p.add_argument("--size", choices=["small", "medium", "large"], default="small")
+    p.add_argument(
+        "--cache-dir", default=None, dest="cache_dir",
+        help="content-addressed result cache directory",
+    )
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
@@ -399,6 +517,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--min-hit-rate", type=float, default=None, dest="min_hit_rate",
         help="exit non-zero if the cache hit rate falls below this fraction",
+    )
+    p.add_argument(
+        "--policy", default=None, choices=sorted(REANCHOR_POLICIES),
+        help="re-anchor policy ablation applied to the tree algorithms",
+    )
+    p.add_argument(
+        "--adversary", default=None, metavar="NAME",
+        help="adversarial scenario for the tree algorithms "
+        f"(known: {', '.join(sorted(ADVERSARIES))})",
+    )
+    p.add_argument(
+        "--adversary-param", action="append", default=None, metavar="KEY=VALUE",
+        dest="adversary_param",
+        help="adversary parameter, repeatable (e.g. p=0.5 horizon_per_n=100)",
     )
     p.set_defaults(func=cmd_sweep)
 
@@ -464,6 +596,22 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run experiments from DESIGN.md's index (E1..E15)"
     )
     p.add_argument("ids", nargs="+", metavar="ID", help="e.g. E3 E8")
+    p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, dest="cache_dir",
+        help="content-addressed result cache directory",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", dest="no_cache",
+        help="bypass the result cache entirely",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0/1 = inline, no pool)",
+    )
+    p.add_argument(
+        "--min-hit-rate", type=float, default=None, dest="min_hit_rate",
+        help="exit non-zero if the cache hit rate falls below this fraction",
+    )
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("demo", help="animate BFDN on a small tree")

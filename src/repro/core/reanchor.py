@@ -153,4 +153,7 @@ def make_policy(name: str, seed: int = 0) -> ReanchorPolicy:
     try:
         return policies[name]()
     except KeyError:
-        raise ValueError(f"unknown reanchor policy {name!r}") from None
+        known = ", ".join(sorted(policies) + ["random"])
+        raise ValueError(
+            f"unknown reanchor policy {name!r} (known: {known})"
+        ) from None

@@ -27,7 +27,13 @@ from ..trees.tree import Tree
 #: the store ignores rows written under a different tag.
 #: v2: workers run under the perf timing observer, rows carry
 #: ``rounds_per_sec`` and ``elapsed`` measures engine time only.
-SCHEMA_VERSION = "repro-orchestrator-v2"
+#: v3: jobs are described by :class:`repro.scenario.ScenarioSpec`; the
+#: canonical encoding gains ``kind``, ``policy``, ``adversary``,
+#: ``adversary_params`` and ``params`` keys, and a plain ``JobSpec``
+#: fingerprints identically to its equivalent scenario.  Migration: v2
+#: cache rows are *not* rewritten — the store filters rows by schema
+#: tag, so v2 entries are simply ignored and jobs re-run once under v3.
+SCHEMA_VERSION = "repro-orchestrator-v3"
 
 
 @dataclass(frozen=True)
@@ -121,18 +127,36 @@ class JobSpec:
             return self.allow_shared_reveal
         return registry.shared_reveal_default(self.algorithm)
 
+    def to_scenario(self):
+        """The equivalent :class:`repro.scenario.ScenarioSpec`.
+
+        A ``JobSpec`` is the adversary-free, policy-free special case of
+        a scenario; converting here (rather than keeping two run paths)
+        means both spell the same canonical encoding and share one cache
+        namespace.
+        """
+        from ..scenario import ScenarioSpec  # local: avoid import cycle
+
+        return ScenarioSpec(
+            kind=registry.workload_kind(self.algorithm),
+            algorithm=self.algorithm,
+            substrate=self.tree,
+            k=self.k,
+            seed=self.seed,
+            label=self.label,
+            max_rounds=self.max_rounds,
+            allow_shared_reveal=self.allow_shared_reveal,
+            compute_bounds=self.compute_bounds,
+        )
+
     def canonical(self) -> Dict[str, object]:
-        """Canonical encoding: resolved defaults, no presentation fields."""
-        return {
-            "schema": SCHEMA_VERSION,
-            "algorithm": self.algorithm,
-            "tree": self.tree.canonical(),
-            "k": self.k,
-            "seed": self.seed,
-            "max_rounds": self.max_rounds,
-            "allow_shared_reveal": self.shared_reveal(),
-            "compute_bounds": self.compute_bounds,
-        }
+        """Canonical encoding: resolved defaults, no presentation fields.
+
+        Delegates to the equivalent scenario, so a ``JobSpec`` and the
+        ``ScenarioSpec`` it denotes fingerprint identically (and hit the
+        same cache entries).
+        """
+        return self.to_scenario().canonical()
 
     def fingerprint(self) -> str:
         """Stable sha256 hex digest of the canonical encoding."""
@@ -142,146 +166,19 @@ class JobSpec:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _base_row(spec: JobSpec) -> Dict[str, object]:
-    """The row fields every workload kind shares."""
-    return {
-        "schema": SCHEMA_VERSION,
-        "fingerprint": spec.fingerprint(),
-        "algorithm": spec.algorithm,
-        "label": spec.label,
-        "k": spec.k,
-        "seed": spec.seed,
-    }
-
-
-def _run_graph_jobspec(spec: JobSpec) -> Dict[str, object]:
-    """Worker path for ``graph-bfdn`` jobs (Proposition 9)."""
-    from ..graphs.exploration import proposition9_bound, run_graph_bfdn
-    from ..perf import TimingObserver
-
-    if spec.tree.family is None:
-        raise ValueError("graph jobs need a named graph family (not parents=)")
-    graph = registry.make_graph(spec.tree.family, spec.tree.n, spec.tree.seed)
-    timing = TimingObserver()
-    result = run_graph_bfdn(
-        graph, spec.k, max_rounds=spec.max_rounds, observers=[timing]
-    )
-    row = _base_row(spec)
-    row.update(
-        # Proposition 9's quantities are edges and radius; mapping them
-        # onto the (n, depth) columns keeps the sweep tables uniform.
-        n=graph.num_edges,
-        depth=graph.radius,
-        max_degree=graph.max_degree,
-        rounds=result.rounds,
-        wall_rounds=result.rounds,
-        complete=result.complete,
-        all_home=result.all_home,
-        elapsed=round(timing.elapsed, 6),
-        rounds_per_sec=round(timing.rounds_per_sec(), 1),
-    )
-    if spec.compute_bounds:
-        row["bfdn_bound"] = proposition9_bound(
-            graph.num_edges, graph.radius, spec.k, graph.max_degree
-        )
-        row["lower_bound"] = 2 * graph.num_edges // spec.k
-        row["offline_split"] = 0
-    return row
-
-
-def _run_game_jobspec(spec: JobSpec) -> Dict[str, object]:
-    """Worker path for ``urn-game`` jobs (Theorem 3).
-
-    ``k`` is the number of urns and the workload's ``n`` is the stopping
-    threshold ``Delta``; the run is the balanced player against the
-    greedy adversary (the matchup Theorem 3 bounds).
-    """
-    from ..game import BalancedPlayer, GreedyAdversary, UrnBoard, play_game
-    from ..perf import TimingObserver
-
-    delta = max(1, spec.tree.n)
-    board = UrnBoard(spec.k, delta)
-    timing = TimingObserver()
-    record = play_game(
-        board,
-        GreedyAdversary(),
-        BalancedPlayer(),
-        max_steps=spec.max_rounds,
-        observers=[timing],
-    )
-    row = _base_row(spec)
-    row.update(
-        n=spec.k,
-        depth=delta,
-        max_degree=delta,
-        rounds=record.steps,
-        wall_rounds=record.steps,
-        complete=board.is_over(),
-        all_home=board.is_over(),
-        elapsed=round(timing.elapsed, 6),
-        rounds_per_sec=round(timing.rounds_per_sec(), 1),
-    )
-    if spec.compute_bounds:
-        row["bfdn_bound"] = board.theorem3_bound()
-        row["lower_bound"] = spec.k
-        row["offline_split"] = 0
-    return row
-
-
-def run_jobspec(spec: JobSpec) -> Dict[str, object]:
-    """Execute one job spec and return its flat result row.
+def run_jobspec(spec) -> Dict[str, object]:
+    """Execute one job or scenario spec and return its flat result row.
 
     This is the pure worker function the executor ships to worker
-    processes; everything it needs travels inside ``spec``.  Dispatches
-    on the entry point's workload kind: tree jobs drive the simulator,
-    ``graph-bfdn`` jobs the graph engine, ``urn-game`` jobs the game —
-    all through the shared round engine.
+    processes; everything it needs travels inside ``spec``.  Accepts a
+    :class:`JobSpec` (converted to its equivalent scenario) or a
+    :class:`repro.scenario.ScenarioSpec` directly; either way the run
+    goes through the one ``build()``/``run()`` path into the round
+    engine.
     """
-    from ..perf import TimingObserver
-    from ..sim.engine import Simulator  # local: keep module import light
-
-    kind = registry.workload_kind(spec.algorithm)
-    if kind == "graph":
-        return _run_graph_jobspec(spec)
-    if kind == "game":
-        return _run_game_jobspec(spec)
-
-    tree = spec.tree.materialize()
-    algorithm = registry.make_algorithm(spec.algorithm)
-    timing = TimingObserver()
-    result = Simulator(
-        tree,
-        algorithm,
-        spec.k,
-        allow_shared_reveal=spec.shared_reveal(),
-        max_rounds=spec.max_rounds,
-        observers=[timing],
-    ).run()
-    row: Dict[str, object] = {
-        "schema": SCHEMA_VERSION,
-        "fingerprint": spec.fingerprint(),
-        "algorithm": spec.algorithm,
-        "label": spec.label,
-        "n": tree.n,
-        "depth": tree.depth,
-        "max_degree": tree.max_degree,
-        "k": spec.k,
-        "seed": spec.seed,
-        "rounds": result.rounds,
-        "wall_rounds": result.wall_rounds,
-        "complete": result.complete,
-        "all_home": result.all_home,
-        "elapsed": round(timing.elapsed, 6),
-        "rounds_per_sec": round(timing.rounds_per_sec(), 1),
-    }
-    if spec.compute_bounds:
-        from ..baselines.offline import offline_lower_bound, offline_split_runtime
-        from ..bounds.guarantees import bfdn_bound
-
-        row["bfdn_bound"] = bfdn_bound(tree.n, tree.depth, spec.k, tree.max_degree)
-        row["lower_bound"] = offline_lower_bound(tree.n, tree.depth, spec.k)
-        row["offline_split"] = offline_split_runtime(tree, spec.k)
-    return row
+    if isinstance(spec, JobSpec):
+        spec = spec.to_scenario()
+    return spec.build().run()
 
 
 __all__ = ["SCHEMA_VERSION", "JobSpec", "TreeSpec", "run_jobspec"]

@@ -59,6 +59,10 @@ class BenchCase:
     Proposition 9's graph engine; ``game`` plays Theorem 3's urn game
     (``n`` is the threshold ``Delta``).  ``quick`` cases form the
     ``--quick`` subset used by the CI smoke job.
+
+    A case is sugar over a :class:`~repro.scenario.ScenarioSpec` (see
+    :meth:`to_scenario`); the runner builds the scenario once, outside
+    the timed region, and times repeated ``run()`` calls.
     """
 
     name: str
@@ -68,6 +72,35 @@ class BenchCase:
     k: int
     algorithm: str = "bfdn"
     quick: bool = False
+
+    def to_scenario(self):
+        """The scenario this case times.
+
+        ``checked`` maps to the registry's ``bfdn-checked`` algorithm;
+        ``graph``/``game`` map to their entry-point scenarios.
+        """
+        from ..orchestrator.jobspec import TreeSpec
+        from ..scenario import ScenarioSpec
+
+        kind_map = {
+            "tree": ("tree", self.algorithm),
+            "checked": ("tree", "bfdn-checked"),
+            "graph": ("graph", "graph-bfdn"),
+            "game": ("game", "urn-game"),
+        }
+        if self.kind not in kind_map:
+            raise ValueError(
+                f"unknown bench case kind {self.kind!r} "
+                f"(known: {', '.join(kind_map)})"
+            )
+        kind, algorithm = kind_map[self.kind]
+        return ScenarioSpec(
+            kind=kind,
+            algorithm=algorithm,
+            substrate=TreeSpec(family=self.family, n=self.n, seed=0),
+            k=self.k,
+            label=self.name,
+        )
 
 
 #: The pinned suite.  Names are stable identifiers: ``--compare`` matches
@@ -100,56 +133,19 @@ PINNED_SUITE: Tuple[BenchCase, ...] = (
 def _make_runner(case: BenchCase) -> Callable[[TimingObserver], None]:
     """Build the workload once and return a one-run closure.
 
-    Workload construction (tree/graph generation) happens here, outside
-    the timed region; the closure only runs the engine.
+    The case's scenario is built here — workload construction
+    (tree/graph generation) happens outside the timed region — and the
+    closure runs it through the one scenario ``run()`` path; fresh
+    algorithm/adversary instances are created per call, so repeats are
+    independent.  The built scenario rides along as ``run.built`` so
+    callers can read the actual instance size.
     """
-    from .. import registry
+    built = case.to_scenario().build()
 
-    if case.kind == "tree":
-        from ..sim.engine import Simulator
+    def run(timing: TimingObserver) -> None:
+        built.run([timing])
 
-        tree = registry.make_tree(case.family, case.n, seed=0)
-        shared = registry.shared_reveal_default(case.algorithm)
-
-        def run(timing: TimingObserver) -> None:
-            Simulator(
-                tree,
-                registry.make_algorithm(case.algorithm),
-                case.k,
-                allow_shared_reveal=shared,
-                observers=[timing],
-            ).run()
-
-    elif case.kind == "checked":
-        from ..core.invariants import CheckedBFDN
-        from ..sim.engine import Simulator
-
-        tree = registry.make_tree(case.family, case.n, seed=0)
-
-        def run(timing: TimingObserver) -> None:
-            Simulator(tree, CheckedBFDN(), case.k, observers=[timing]).run()
-
-    elif case.kind == "graph":
-        from ..graphs.exploration import run_graph_bfdn
-
-        graph = registry.make_graph(case.family, case.n, seed=0)
-
-        def run(timing: TimingObserver) -> None:
-            run_graph_bfdn(graph, case.k, observers=[timing])
-
-    elif case.kind == "game":
-        from ..game import BalancedPlayer, GreedyAdversary, UrnBoard, play_game
-
-        def run(timing: TimingObserver) -> None:
-            play_game(
-                UrnBoard(case.k, case.n),
-                GreedyAdversary(),
-                BalancedPlayer(),
-                observers=[timing],
-            )
-
-    else:
-        raise ValueError(f"unknown bench case kind {case.kind!r}")
+    run.built = built  # type: ignore[attr-defined]
     return run
 
 
@@ -173,7 +169,10 @@ def run_case(case: BenchCase, repeats: int = 3) -> Dict[str, Any]:
         "kind": case.kind,
         "family": case.family,
         "algorithm": case.algorithm,
-        "n": case.n,
+        # The *actual* instance size — named families round the
+        # requested n (e.g. maze-n1200 materialises 1224 nodes).
+        "n": run.built.size,  # type: ignore[attr-defined]
+        "requested_n": case.n,
         "k": case.k,
         "rounds": best["rounds"],
         "billed_rounds": best["billed_rounds"],

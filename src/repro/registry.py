@@ -1,12 +1,15 @@
-"""Single registry of exploration algorithms and tree families.
+"""Single registry of every name a scenario can be assembled from.
 
 Historically ``cli.py`` and ``analysis/parallel.py`` each kept their own
 ``ALGORITHMS`` dict; they drifted (the CLI was missing ``bfdn-shortcut``)
 and the orchestrator needs one canonical name space so that job
 fingerprints resolve identically everywhere.  This module is that single
 source of truth: algorithm factories addressable by name, the set of
-algorithms that run under the shared-reveal model, and the named tree
-families used by the CLI and by orchestrated sweeps.
+algorithms that run under the shared-reveal model, the named tree/graph
+families, and — for the scenario layer (:mod:`repro.scenario`) — the
+named break-down adversaries (Proposition 7), reactive adversaries
+(Remark 8), re-anchor policies (the Lemma 2 ablations) and urn-game
+players/adversaries (Section 3).
 
 Names are part of the on-disk cache fingerprint (see
 ``repro.orchestrator.jobspec``), so renaming an entry invalidates cached
@@ -17,13 +20,16 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Callable, Dict
+from typing import Callable, Dict, Mapping, Optional
 
 from .baselines import CTE, OnlineDFS
 from .core import BFDN, BFDNEll, ShortcutBFDN, WriteReadBFDN
+from .core.invariants import CheckedBFDN
 from .graphs.graph import Graph
+from .graphs.grid import random_obstacle_grid
 from .graphs.mazes import braided_maze, perfect_maze
 from .trees import generators as gen
+from .trees.adversarial import cte_trap_tree, reanchor_stress_tree
 from .trees.tree import Tree
 
 #: Algorithms addressable by name (picklable indirection: job specs and
@@ -32,22 +38,30 @@ ALGORITHMS: Dict[str, Callable[[], object]] = {
     "bfdn": BFDN,
     "bfdn-wr": WriteReadBFDN,
     "bfdn-shortcut": ShortcutBFDN,
+    "bfdn-checked": CheckedBFDN,
     "bfdn-ell2": lambda: BFDNEll(2),
     "bfdn-ell3": lambda: BFDNEll(3),
     "cte": CTE,
     "dfs": OnlineDFS,
 }
 
+#: Algorithms whose constructor accepts a ``policy=`` re-anchor policy
+#: (the Lemma 2 ablation knob of the scenario layer).
+POLICY_ALGORITHMS = frozenset({"bfdn", "bfdn-shortcut"})
+
 #: Algorithms whose model permits two robots to traverse the same
 #: dangling edge in one round (CTE's model; forbidden for BFDN).
 SHARED_REVEAL = frozenset({"cte"})
 
 
-def make_algorithm(name: str):
+def make_algorithm(name: str, policy: Optional[str] = None, seed: int = 0):
     """Build a fresh algorithm instance for ``name``.
 
-    Raises ``ValueError`` for unknown names so callers surface typos
-    instead of silently caching results under a bogus key.
+    ``policy`` optionally selects a named re-anchor policy (see
+    :data:`REANCHOR_POLICIES`); only the algorithms in
+    :data:`POLICY_ALGORITHMS` accept one.  Raises ``ValueError`` for
+    unknown names so callers surface typos instead of silently caching
+    results under a bogus key.
     """
     try:
         factory = ALGORITHMS[name]
@@ -55,7 +69,14 @@ def make_algorithm(name: str):
         raise ValueError(
             f"unknown algorithm {name!r} (known: {', '.join(sorted(ALGORITHMS))})"
         ) from None
-    return factory()
+    if policy is None:
+        return factory()
+    if name not in POLICY_ALGORITHMS:
+        raise ValueError(
+            f"algorithm {name!r} does not take a re-anchor policy "
+            f"(policy-capable: {', '.join(sorted(POLICY_ALGORITHMS))})"
+        )
+    return factory(policy=make_reanchor_policy(policy, seed=seed))
 
 
 def shared_reveal_default(name: str) -> bool:
@@ -74,6 +95,13 @@ _TREE_BUILDERS: Dict[str, Callable[[int, random.Random], Tree]] = {
     "spider": lambda n, rng: gen.spider(8, max(1, n // 8)),
     "comb": lambda n, rng: gen.comb(max(2, n // 6), 5),
     "deep": lambda n, rng: gen.random_tree_with_depth(n, max(2, n // 4), rng),
+    # Adversarial constructions from the literature, sized by n so they
+    # are sweepable like any other family (the builders fix k-like shape
+    # parameters; see repro.trees.adversarial for the constructions).
+    "cte-trap": lambda n, rng: cte_trap_tree(8, max(1, (n - 1) // 57), 8),
+    "reanchor-stress": lambda n, rng: reanchor_stress_tree(
+        8, max(2, (n + 28) // 38)
+    ),
 }
 
 
@@ -146,6 +174,10 @@ _GRAPH_BUILDERS: Dict[str, Callable[[int, int], Graph]] = {
     "braided": lambda n, seed: braided_maze(
         *_maze_dims(n), max(1, n // 6), seed=seed
     ),
+    # The Ortolf–Schindelhauer-style obstacle grids of Proposition 9.
+    "obstacle-grid": lambda n, seed: random_obstacle_grid(
+        *_maze_dims(n), max(1, n // 32), seed=seed
+    ),
 }
 
 #: Graph family names (mirrors ``TREES`` for argparse choices).
@@ -163,15 +195,201 @@ def make_graph(family: str, n: int, seed: int = 0) -> Graph:
     return builder(n, seed)
 
 
+# ---------------------------------------------------------------------
+# Scenario ingredients: adversaries, re-anchor policies, game roles
+# ---------------------------------------------------------------------
+
+def _resolve_horizon(params: Mapping[str, object], n: int, default: int) -> int:
+    """Resolve an adversary horizon from declarative params.
+
+    Accepts either an absolute ``horizon`` or a substrate-relative
+    ``horizon_per_n`` (multiplied by the materialised instance size) so a
+    spec stays meaningful across sizes; ``default`` applies when neither
+    is given.
+    """
+    if "horizon" in params:
+        return int(params["horizon"])  # type: ignore[arg-type]
+    if "horizon_per_n" in params:
+        return int(float(params["horizon_per_n"]) * max(n, 1))  # type: ignore[arg-type]
+    return default
+
+
+def _check_params(name: str, params: Mapping[str, object], known: frozenset) -> None:
+    unknown = set(params) - set(known)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for {name!r} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+
+
+#: Break-down adversaries by name (Section 4.2 / Proposition 7); values
+#: are ``(builder, known_params)``.  Builders take the resolved params
+#: plus the materialised instance size ``n`` (for per-n horizons).
+_BREAKDOWN_ADVERSARIES = {
+    "random-breakdowns": frozenset({"p", "horizon", "horizon_per_n", "seed"}),
+    "round-robin-breakdowns": frozenset(
+        {"num_blocked", "horizon", "horizon_per_n"}
+    ),
+    "targeted-breakdowns": frozenset({"blocked", "horizon", "horizon_per_n"}),
+}
+
+#: Reactive (move-observing) adversaries by name (Remark 8).
+_REACTIVE_ADVERSARIES = {
+    "block-explorers": frozenset({"budget", "horizon", "horizon_per_n"}),
+    "block-deepest": frozenset({"budget", "horizon", "horizon_per_n"}),
+    "random-reactive": frozenset({"p", "horizon", "horizon_per_n", "seed"}),
+}
+
+#: Every adversary name, mapped to the scenario kind it plugs into.
+ADVERSARIES: Dict[str, str] = {
+    **{name: "tree" for name in _BREAKDOWN_ADVERSARIES},
+    **{name: "reactive" for name in _REACTIVE_ADVERSARIES},
+}
+
+
+def make_breakdown_adversary(
+    name: str, params: Optional[Mapping[str, object]] = None, *, n: int = 1
+):
+    """Build a named break-down adversary (Proposition 7's model).
+
+    ``n`` is the materialised instance size, used to resolve
+    ``horizon_per_n`` params into absolute horizons.
+    """
+    from .sim.adversary import (
+        RandomBreakdowns,
+        RoundRobinBreakdowns,
+        TargetedBreakdowns,
+    )
+
+    params = dict(params or {})
+    if name not in _BREAKDOWN_ADVERSARIES:
+        raise ValueError(
+            f"unknown break-down adversary {name!r} "
+            f"(known: {', '.join(sorted(_BREAKDOWN_ADVERSARIES))})"
+        )
+    _check_params(name, params, _BREAKDOWN_ADVERSARIES[name])
+    horizon = _resolve_horizon(params, n, default=100 * max(n, 1))
+    if name == "random-breakdowns":
+        return RandomBreakdowns(
+            float(params.get("p", 0.5)), horizon, seed=int(params.get("seed", 0))
+        )
+    if name == "round-robin-breakdowns":
+        return RoundRobinBreakdowns(int(params.get("num_blocked", 1)), horizon)
+    blocked = int(params.get("blocked", 1))
+    return TargetedBreakdowns(list(range(blocked)), horizon)
+
+
+def make_reactive_adversary(
+    name: str, params: Optional[Mapping[str, object]] = None, *, n: int = 1
+):
+    """Build a named reactive adversary (Remark 8's model)."""
+    from .sim.reactive import BlockDeepest, BlockExplorers, RandomReactive
+
+    params = dict(params or {})
+    if name not in _REACTIVE_ADVERSARIES:
+        raise ValueError(
+            f"unknown reactive adversary {name!r} "
+            f"(known: {', '.join(sorted(_REACTIVE_ADVERSARIES))})"
+        )
+    _check_params(name, params, _REACTIVE_ADVERSARIES[name])
+    horizon = _resolve_horizon(params, n, default=30 * max(n, 1))
+    if name == "block-explorers":
+        return BlockExplorers(int(params.get("budget", 1)), horizon)
+    if name == "block-deepest":
+        return BlockDeepest(int(params.get("budget", 1)), horizon)
+    return RandomReactive(
+        float(params.get("p", 0.5)), horizon, seed=int(params.get("seed", 0))
+    )
+
+
+#: Re-anchor policy names (Algorithm 1 line 28 and its ablations).
+REANCHOR_POLICIES = ("least-loaded", "most-loaded", "random", "round-robin")
+
+
+def make_reanchor_policy(name: str, seed: int = 0):
+    """Build a named re-anchor policy; ``ValueError`` lists known names."""
+    from .core.reanchor import make_policy
+
+    if name not in REANCHOR_POLICIES:
+        raise ValueError(
+            f"unknown reanchor policy {name!r} "
+            f"(known: {', '.join(REANCHOR_POLICIES)})"
+        )
+    return make_policy(name, seed=seed)
+
+
+#: Urn-game player strategies by name (Section 3).
+GAME_PLAYERS = ("balanced", "greedy-worst", "random")
+
+#: Urn-game adversaries by name (Section 3).
+GAME_ADVERSARIES = ("greedy", "dp", "fresh-urn", "min-load", "random")
+
+
+def make_game_player(name: str, seed: int = 0):
+    """Build a named urn-game player strategy."""
+    from .game import BalancedPlayer, GreedyWorstPlayer, RandomPlayer
+
+    players = {
+        "balanced": BalancedPlayer,
+        "greedy-worst": GreedyWorstPlayer,
+        "random": lambda: RandomPlayer(seed),
+    }
+    if name not in players:
+        raise ValueError(
+            f"unknown game player {name!r} (known: {', '.join(GAME_PLAYERS)})"
+        )
+    return players[name]()
+
+
+def make_game_adversary(name: str, seed: int = 0, *, k: int = 1, delta: int = 1):
+    """Build a named urn-game adversary.
+
+    ``k``/``delta`` size the DP adversary's table; the other adversaries
+    ignore them.
+    """
+    from .game import (
+        DPAdversary,
+        FreshUrnAdversary,
+        GreedyAdversary,
+        MinLoadAdversary,
+        RandomAdversary,
+    )
+
+    adversaries = {
+        "greedy": GreedyAdversary,
+        "dp": lambda: DPAdversary(k, delta),
+        "fresh-urn": FreshUrnAdversary,
+        "min-load": MinLoadAdversary,
+        "random": lambda: RandomAdversary(seed),
+    }
+    if name not in adversaries:
+        raise ValueError(
+            f"unknown game adversary {name!r} "
+            f"(known: {', '.join(GAME_ADVERSARIES)})"
+        )
+    return adversaries[name]()
+
+
 __all__ = [
+    "ADVERSARIES",
     "ALGORITHMS",
     "ENTRY_POINTS",
+    "GAME_ADVERSARIES",
     "GAME_FAMILY",
+    "GAME_PLAYERS",
     "GRAPHS",
+    "POLICY_ALGORITHMS",
+    "REANCHOR_POLICIES",
     "SHARED_REVEAL",
     "TREES",
     "make_algorithm",
+    "make_breakdown_adversary",
+    "make_game_adversary",
+    "make_game_player",
     "make_graph",
+    "make_reactive_adversary",
+    "make_reanchor_policy",
     "make_tree",
     "shared_reveal_default",
     "tree_families",

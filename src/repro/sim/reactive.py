@@ -19,7 +19,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Sequence, Set
 
 from .engine import (
     AlgorithmPolicy,
@@ -33,6 +33,7 @@ from .runloop import (
     Interference,
     InterferenceCounter,
     RoundEngine,
+    RoundObserver,
     tree_round_cap,
 )
 
@@ -141,6 +142,7 @@ def run_reactive(
     k: int,
     adversary: ReactiveAdversary,
     max_wall_rounds: Optional[int] = None,
+    observers: Sequence[RoundObserver] = (),
 ) -> ReactiveRunResult:
     """Drive an exploration where the adversary strikes selected moves.
 
@@ -150,6 +152,7 @@ def run_reactive(
     plugged in as a post-commitment :class:`ReactiveInterference`; the
     blocked/executed accounting is the stock
     :class:`~repro.sim.runloop.InterferenceCounter` observer.
+    ``observers`` are extra per-round engine hooks (timing, tracing).
     """
     expl = Exploration(tree, k)
     cap = (
@@ -162,7 +165,7 @@ def run_reactive(
         state=TreeRoundState(expl),
         policy=AlgorithmPolicy(algorithm),
         interference=ReactiveInterference(adversary),
-        observers=[counter],
+        observers=[counter, *observers],
         stop_when_complete=True,
         wall_cap=cap,
         # The adversary may legitimately stall every mover during its

@@ -77,10 +77,19 @@ class TestFingerprint:
     def test_golden_fingerprint_is_pinned(self):
         # Guards against accidental canonical-encoding changes, which
         # would silently invalidate every existing cache.  Pinned for
-        # schema repro-orchestrator-v2 (timing-instrumented workers).
+        # schema repro-orchestrator-v3 (scenario-described jobs): the
+        # canonical encoding gained kind/policy/adversary/params keys,
+        # deliberately re-keying the cache away from the v2 value
+        # (8598...d4c2).
         assert spec().fingerprint() == (
-            "85982862b8d877141470fd13ba7cdb777d9011fd160f8be55afbd190bb73d4c2"
+            "f877ef9c279f70a58a104bce2f077124781b1e93cc3bbfb05a91a2ae6dc64ee8"
         )
+
+    def test_jobspec_fingerprints_as_its_scenario(self):
+        # One cache namespace: a plain JobSpec and the ScenarioSpec it
+        # desugars to must hash identically.
+        s = spec()
+        assert s.fingerprint() == s.to_scenario().fingerprint()
 
 
 class TestValidation:

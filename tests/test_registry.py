@@ -64,3 +64,57 @@ class TestTrees:
         assert [a.parent(v) for v in range(a.n)] == [
             b.parent(v) for v in range(b.n)
         ]
+
+
+class TestNamedFactories:
+    """Every make_* factory rejects unknown names, listing the known ones."""
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="bfdn"):
+            registry.make_algorithm("nope")
+
+    def test_policy_on_policy_free_algorithm(self):
+        with pytest.raises(ValueError, match="policy"):
+            registry.make_algorithm("dfs", policy="round-robin")
+
+    def test_policy_capable_algorithms_accept_policy(self):
+        for name in registry.POLICY_ALGORITHMS:
+            for policy in registry.REANCHOR_POLICIES:
+                assert registry.make_algorithm(name, policy=policy) is not None
+
+    def test_unknown_breakdown_adversary(self):
+        with pytest.raises(ValueError, match="random-breakdowns"):
+            registry.make_breakdown_adversary("nope", {})
+
+    def test_unknown_breakdown_param(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            registry.make_breakdown_adversary("random-breakdowns", {"x": 1})
+
+    def test_unknown_reactive_adversary(self):
+        with pytest.raises(ValueError, match="block-explorers"):
+            registry.make_reactive_adversary("nope", {})
+
+    def test_unknown_game_player(self):
+        with pytest.raises(ValueError, match="balanced"):
+            registry.make_game_player("nope")
+
+    def test_unknown_game_adversary(self):
+        with pytest.raises(ValueError, match="greedy"):
+            registry.make_game_adversary("nope", k=2, delta=2)
+
+    def test_unknown_graph_family(self):
+        with pytest.raises(ValueError, match="maze"):
+            registry.make_graph("nope", 64)
+
+    def test_every_graph_family_builds(self):
+        for family in registry.GRAPHS:
+            assert registry.make_graph(family, 64).n >= 1
+
+    def test_every_adversary_name_has_valid_kind(self):
+        for name, kind in registry.ADVERSARIES.items():
+            assert kind in ("tree", "reactive"), name
+
+    def test_workload_kind_covers_entry_points(self):
+        assert registry.workload_kind("bfdn") == "tree"
+        assert registry.workload_kind("graph-bfdn") == "graph"
+        assert registry.workload_kind("urn-game") == "game"

@@ -25,14 +25,25 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analysis import EXPERIMENTS, run_experiment, save_rows
+from repro.analysis.experiments import ExperimentContext
 from repro.bounds import compute_region_map
-from repro.orchestrator import ProgressTracker, run_tasks
+from repro.orchestrator import ProgressTracker, ResultStore, run_tasks
 from repro.viz import region_map_svg
 
 
 def _run_one(exp_id: str) -> str:
-    """Worker: produce one experiment report (picklable top-level fn)."""
-    return run_experiment(exp_id)
+    """Worker: produce one experiment report (picklable top-level fn).
+
+    Workers are separate processes, so the scenario cache location
+    travels via ``REPRO_CACHE_DIR`` (set by ``main`` before the fork);
+    the store's append-only log tolerates concurrent single-line
+    appends from sibling workers.
+    """
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    ctx = ExperimentContext(
+        store=ResultStore(cache_dir) if cache_dir else None
+    )
+    return run_experiment(exp_id, ctx)
 
 
 def main(argv=None) -> int:
@@ -50,9 +61,23 @@ def main(argv=None) -> int:
         "--retries", type=int, default=1,
         help="additional attempts for a failed experiment",
     )
+    parser.add_argument(
+        "--cache-dir", default=None, dest="cache_dir",
+        help="scenario result cache (default <outdir>/cache); re-running "
+        "the archive serves unchanged experiments from the cache",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", dest="no_cache",
+        help="bypass the scenario result cache entirely",
+    )
     args = parser.parse_args(argv)
 
     os.makedirs(args.outdir, exist_ok=True)
+    if args.no_cache:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        cache_dir = args.cache_dir or os.path.join(args.outdir, "cache")
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
     exp_ids = sorted(EXPERIMENTS, key=lambda s: int(s[1:]))
     tracker = ProgressTracker()
     outcomes = run_tasks(
