@@ -71,6 +71,9 @@ class ExperimentContext:
     scale: str = field(default_factory=_default_scale)
     max_workers: int = 0
     timeout: Optional[float] = None
+    #: A :class:`repro.obs.TelemetryConfig` to stream every experiment
+    #: batch into one JSONL trace (``None`` = no telemetry).
+    telemetry: object = None
 
     def pick(self, full, tiny):
         """``full`` or ``tiny`` depending on the context's scale."""
@@ -84,6 +87,7 @@ class ExperimentContext:
             tracker=self.tracker,
             max_workers=self.max_workers,
             timeout=self.timeout,
+            telemetry=self.telemetry,
         )
         if run.failures:
             first = run.failures[0]

@@ -17,8 +17,11 @@ Two entry points:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+logger = logging.getLogger(__name__)
 
 from ..baselines.offline import offline_lower_bound, offline_split_runtime
 from ..bounds.guarantees import bfdn_bound, competitive_overhead, competitive_ratio
@@ -201,6 +204,7 @@ def run_scenarios_cached(
     timeout: Optional[float] = None,
     retries: int = 1,
     tracker: Optional[ProgressTracker] = None,
+    telemetry=None,
 ) -> ScenarioRun:
     """Run an explicit list of scenario specs through the cached pool.
 
@@ -208,9 +212,13 @@ def run_scenarios_cached(
     experiment enumerates :class:`~repro.scenario.ScenarioSpec` values,
     the orchestrator dedupes them by fingerprint, serves cache hits from
     the store and fans the misses over the worker pool.  ``rows`` come
-    back in spec order (failed jobs omitted).
+    back in spec order (failed jobs omitted).  ``telemetry`` (a
+    :class:`repro.obs.TelemetryConfig`) streams the batch into a JSONL
+    trace; see :func:`repro.orchestrator.run_jobspecs`.
     """
     tracker = tracker if tracker is not None else ProgressTracker()
+    logger.info("running %d scenario spec(s) (cache %s)",
+                len(specs), "on" if store is not None else "off")
     outcomes = run_jobspecs(
         specs,
         store=store,
@@ -218,6 +226,7 @@ def run_scenarios_cached(
         timeout=timeout,
         retries=retries,
         tracker=tracker,
+        telemetry=telemetry,
     )
     rows = [outcome.row for outcome in outcomes if outcome.ok]
     return ScenarioRun(rows=rows, outcomes=outcomes, tracker=tracker)
@@ -237,6 +246,7 @@ def run_sweep_cached(
     policy: Optional[str] = None,
     adversary: Optional[str] = None,
     adversary_params: Optional[Dict[str, object]] = None,
+    telemetry=None,
 ) -> SweepRun:
     """Run every named algorithm on every (tree, k) pair, orchestrated.
 
@@ -268,6 +278,10 @@ def run_sweep_cached(
         compute_bounds=True,
     )
     tracker = tracker if tracker is not None else ProgressTracker()
+    logger.info(
+        "sweep: %d algorithm(s) x %d workload(s) x %d team size(s) = %d jobs",
+        len(algorithms), len(workload_list), len(team_sizes), len(specs),
+    )
     outcomes = run_jobspecs(
         specs,
         store=store,
@@ -275,6 +289,7 @@ def run_sweep_cached(
         timeout=timeout,
         retries=retries,
         tracker=tracker,
+        telemetry=telemetry,
     )
     records = [
         record_from_row(outcome.row) for outcome in outcomes if outcome.ok

@@ -6,23 +6,32 @@ Commands
 ``compare``   sweep several algorithms over the standard tree families
 ``sweep``     orchestrated (cached, fault-tolerant, resumable) grid sweep
 ``bench``     run the pinned engine micro-benchmarks / compare snapshots
+``tail``      summarise a telemetry trace (rounds/sec, budget margins)
 ``figure1``   draw the Figure 1 region chart
 ``game``      play the balls-in-urns game and report Theorem 3's numbers
 ``demo``      animate BFDN on a small tree, frame by frame
+
+Global flags: ``-v``/``-q`` (repeatable) raise/lower the stdlib logging
+level; ``--telemetry DIR`` on ``explore``/``sweep``/``experiment``
+streams a structured JSONL event trace (see ``repro tail``).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
 
+from . import registry
 from .analysis import render_table, run_experiment, run_sweep_cached, save_rows
 from .analysis.experiments import ExperimentContext
 from .bounds import bfdn_bound, compute_region_map, render_ascii, theorem3_bound
 from .core import BFDN
 from .game import BalancedPlayer, GreedyAdversary, UrnBoard, game_value, play_game
 from .mission import run_mission
+from .obs import TelemetryConfig, TelemetryJob, configure_logging, run_telemetry_job
+from .obs import tail as obs_tail
 from .orchestrator import ProgressTracker, ResultStore, TreeSpec
 from .orchestrator.store import DEFAULT_CACHE_DIR
 from .perf import bench as perf_bench
@@ -33,68 +42,38 @@ from .registry import (
     GAME_FAMILY,
     GRAPHS,
     REANCHOR_POLICIES,
+    ROUND_OBSERVERS,
     TREES,
     workload_kind,
 )
 from .scenario import ScenarioSpec
-from .sim import (
-    ProgressEvents,
-    Simulator,
-    TimeSeriesObserver,
-    TraceObserver,
-    TraceRecorder,
-    replay,
-)
+from .sim import Simulator, TraceRecorder
 from .sim.render import animate
 from .trees import generators as gen
 
+logger = logging.getLogger(__name__)
 
-def _build_observers(spec: str, tree, shared: bool):
-    """Parse ``--observe trace,metrics,progress`` into round observers.
 
-    Returns ``(observers, reporters)``: the observers to hand the
-    simulator, and zero-argument callbacks that print each observer's
-    summary after the run.
+def _build_observers(spec: str, **context):
+    """Parse ``--observe trace,metrics,...`` into round observers.
+
+    Observer names resolve through :func:`repro.registry.
+    make_round_observer` — the same single name authority the rest of
+    the CLI validates against.  Returns ``(observers, reporters)``: the
+    observers to hand the simulator, and zero-argument callbacks that
+    print each observer's summary after the run.
     """
     observers, reporters = [], []
     for kind in [s.strip() for s in spec.split(",") if s.strip()]:
-        if kind == "trace":
-            obs = TraceObserver()
-
-            def report_trace(obs=obs):
-                rounds, _ = replay(obs.trace, tree, allow_shared_reveal=shared)
-                print(
-                    f"trace: {len(obs.trace.rounds)} rounds recorded, "
-                    f"replay-validated ({rounds} billed rounds)"
-                )
-
-            reporters.append(report_trace)
-        elif kind == "metrics":
-            obs = TimeSeriesObserver()
-
-            def report_metrics(obs=obs):
-                series = obs.series
-                print(
-                    f"metrics: {len(series.samples)} samples, "
-                    f"exploration rate {series.exploration_rate():.2f} "
-                    "nodes/round, working depth monotone: "
-                    f"{series.working_depth_is_monotone()}"
-                )
-
-            reporters.append(report_metrics)
-        elif kind == "progress":
-            obs = ProgressEvents(
-                lambda e: print(
-                    f"progress[{e['wall_round']}]: billed={e['billed_round']} "
-                    f"{e['detail']}"
-                ),
-                label="explore",
-            )
-        else:
+        try:
+            obs, reporter = registry.make_round_observer(kind, **context)
+        except ValueError as exc:
             raise SystemExit(
-                f"unknown observer {kind!r} (known: trace, metrics, progress)"
-            )
+                f"--observe: {exc}"
+            ) from None
         observers.append(obs)
+        if reporter is not None:
+            reporters.append(reporter)
     return observers, reporters
 
 
@@ -145,9 +124,22 @@ def cmd_explore(args) -> int:
         return 2
     tree = built.tree
     observers, reporters = _build_observers(
-        args.observe or "", tree, spec.shared_reveal()
+        args.observe or "",
+        tree=tree,
+        shared_reveal=spec.shared_reveal(),
+        scenario=built,
+        label=spec.label,
     )
-    row = built.run(observers)
+    if args.telemetry:
+        config = TelemetryConfig.create(args.telemetry)
+        row = run_telemetry_job(
+            TelemetryJob(spec=spec, config=config),
+            extra_observers=observers,
+            built=built,
+        )
+        print(f"telemetry: trace {config.trace_id} -> {config.path}")
+    else:
+        row = built.run(observers)
     bound = bfdn_bound(tree.n, tree.depth, args.k, tree.max_degree)
     print(f"tree: n={tree.n} D={tree.depth} max_degree={tree.max_degree}")
     setup = args.algorithm
@@ -224,6 +216,9 @@ def cmd_sweep(args) -> int:
     except ValueError as exc:
         print(f"sweep: {exc}")
         return 2
+    telemetry = None
+    if args.telemetry:
+        telemetry = TelemetryConfig.create(args.telemetry)
     tracker = ProgressTracker()
     records, failures = [], []
     for kind in ("tree", "graph", "game"):
@@ -258,6 +253,7 @@ def cmd_sweep(args) -> int:
                 policy=args.policy if kind == "tree" else None,
                 adversary=args.adversary if kind == "tree" else None,
                 adversary_params=adversary_params if kind == "tree" else None,
+                telemetry=telemetry,
             )
         except ValueError as exc:
             print(f"sweep: {exc}")
@@ -276,6 +272,8 @@ def cmd_sweep(args) -> int:
         )
     print(tracker.bar())
     print(tracker.summary())
+    if telemetry is not None:
+        print(f"telemetry: trace {telemetry.trace_id} -> {telemetry.path}")
     if args.out:
         save_rows(rows, args.out)
         print(f"wrote {args.out}")
@@ -400,12 +398,18 @@ def cmd_experiment(args) -> int:
     store = None
     if args.cache_dir and not args.no_cache:
         store = ResultStore(args.cache_dir)
-    ctx = ExperimentContext(store=store, max_workers=args.jobs)
+    telemetry = None
+    if args.telemetry:
+        telemetry = TelemetryConfig.create(args.telemetry)
+    ctx = ExperimentContext(store=store, max_workers=args.jobs,
+                            telemetry=telemetry)
     for exp_id in args.ids:
         print(run_experiment(exp_id, ctx))
         print()
     if store is not None:
         print(ctx.tracker.summary())
+    if telemetry is not None:
+        print(f"telemetry: trace {telemetry.trace_id} -> {telemetry.path}")
     if args.min_hit_rate is not None and ctx.tracker.hit_rate() < args.min_hit_rate:
         print(
             f"cache hit rate {ctx.tracker.hit_rate():.1%} below required "
@@ -413,6 +417,17 @@ def cmd_experiment(args) -> int:
         )
         return 1
     return 0
+
+
+def cmd_tail(args) -> int:
+    """Summarise a telemetry trace: rounds/sec, margins, violations."""
+    try:
+        summary_text = obs_tail(args.path, slowest=args.slowest)
+    except OSError as exc:
+        print(f"tail: {exc}")
+        return 2
+    print(summary_text)
+    return 1 if "VIOLATION" in summary_text else 0
 
 
 def cmd_demo(args) -> int:
@@ -431,6 +446,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="BFDN collaborative tree exploration"
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more logging (-v = INFO, -vv = DEBUG); goes before the command",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less logging (-q = ERROR, -qq = CRITICAL)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("explore", help="run one exploration")
@@ -440,7 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=8, help="team size")
     p.add_argument(
         "--observe", default=None, metavar="KINDS",
-        help="comma list of round observers: trace, metrics, progress",
+        help="comma list of round observers: " + ", ".join(ROUND_OBSERVERS),
+    )
+    p.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="write a JSONL telemetry trace under DIR (see 'repro tail')",
     )
     p.add_argument("--seed", type=int, default=0, help="run seed")
     p.add_argument(
@@ -514,6 +541,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted sweep from --cache-dir (must exist)",
     )
     p.add_argument("--out", default=None, help="write rows to .csv/.json")
+    p.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="stream a JSONL telemetry trace (spans, rounds, theorem "
+        "budgets) under DIR; summarise it with 'repro tail DIR'",
+    )
     p.add_argument(
         "--min-hit-rate", type=float, default=None, dest="min_hit_rate",
         help="exit non-zero if the cache hit rate falls below this fraction",
@@ -612,7 +644,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-hit-rate", type=float, default=None, dest="min_hit_rate",
         help="exit non-zero if the cache hit rate falls below this fraction",
     )
+    p.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="stream a JSONL telemetry trace under DIR",
+    )
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "tail", help="summarise a telemetry trace (margins, violations)"
+    )
+    p.add_argument(
+        "path", metavar="DIR_OR_FILE",
+        help="telemetry directory (trace-*.jsonl) or one .jsonl file",
+    )
+    p.add_argument(
+        "--slowest", type=int, default=5,
+        help="how many slowest spans to list",
+    )
+    p.set_defaults(func=cmd_tail)
 
     p = sub.add_parser("demo", help="animate BFDN on a small tree")
     p.add_argument("--tree", choices=sorted(TREES), default="random")
@@ -626,6 +675,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
+    logger.debug("dispatching command %r", args.command)
     return args.func(args)
 
 

@@ -1,0 +1,73 @@
+"""Unified telemetry: event log, metrics registry, theorem budgets.
+
+One subsystem, four pieces (see DESIGN.md "Telemetry" for the schema):
+
+* :mod:`~repro.obs.schema` / :mod:`~repro.obs.writer` — the append-only
+  JSONL event log with trace/span correlation ids;
+* :mod:`~repro.obs.metrics` — Counter/Gauge/Histogram primitives and the
+  :class:`MetricsObserver` bridge from the round engine;
+* :mod:`~repro.obs.budget` — the paper's theorem bounds as live runtime
+  budgets (:class:`BudgetObserver`);
+* :mod:`~repro.obs.logconf` / :mod:`~repro.obs.tail` — stdlib logging
+  setup and the ``repro tail`` summary renderer.
+"""
+
+from .budget import (
+    Budget,
+    BudgetObserver,
+    BudgetViolation,
+    budgets_for_scenario,
+)
+from .logconf import configure_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsObserver,
+    MetricsRegistry,
+)
+from .runner import TelemetryJob, run_telemetry_job
+from .schema import (
+    EVENT_TYPES,
+    TELEMETRY_SCHEMA,
+    TelemetryEvent,
+    new_span_id,
+    new_trace_id,
+    validate_events,
+)
+from .tail import summarize, tail
+from .writer import (
+    NullWriter,
+    TelemetryConfig,
+    TelemetryWriter,
+    load_trace,
+    read_events,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetObserver",
+    "BudgetViolation",
+    "Counter",
+    "EVENT_TYPES",
+    "Gauge",
+    "Histogram",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "NullWriter",
+    "TELEMETRY_SCHEMA",
+    "TelemetryConfig",
+    "TelemetryEvent",
+    "TelemetryJob",
+    "TelemetryWriter",
+    "budgets_for_scenario",
+    "configure_logging",
+    "load_trace",
+    "new_span_id",
+    "new_trace_id",
+    "read_events",
+    "run_telemetry_job",
+    "summarize",
+    "tail",
+    "validate_events",
+]

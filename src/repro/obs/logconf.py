@@ -1,0 +1,64 @@
+"""Package-wide stdlib logging configuration.
+
+Every ``repro`` module gets its logger via the stdlib idiom
+(``logging.getLogger(__name__)``); this module owns the single place
+that attaches a handler.  :func:`configure_logging` maps the CLI's
+``-v`` / ``-q`` count onto a level for the ``repro`` package logger and
+installs one stderr handler, leaving the root logger alone so embedding
+applications keep control of their own logging tree.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Verbosity count → logging level.  0 is the CLI default.
+_LEVELS = {
+    -2: logging.CRITICAL,
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_HANDLER_NAME = "repro-obs-handler"
+
+
+def level_for(verbosity: int) -> int:
+    """The logging level for a ``-v``/``-q`` count (clamped)."""
+    clamped = max(min(_LEVELS), min(verbosity, max(_LEVELS)))
+    return _LEVELS[clamped]
+
+
+def configure_logging(
+    verbosity: int = 0, stream=None, fmt: Optional[str] = None
+) -> logging.Logger:
+    """Configure the ``repro`` package logger and return it.
+
+    ``verbosity`` counts ``-v`` flags (positive) minus ``-q`` flags
+    (negative): 0 → WARNING, 1 → INFO, 2+ → DEBUG, -1 → ERROR,
+    -2- → CRITICAL.  Idempotent: reinvoking replaces the level of the
+    existing handler instead of stacking duplicates.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level_for(verbosity))
+    handler = next(
+        (h for h in logger.handlers if h.get_name() == _HANDLER_NAME), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.set_name(_HANDLER_NAME)
+        handler.setFormatter(logging.Formatter(fmt or _FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(logging.NOTSET)  # defer to the logger's level
+    return logger
+
+
+__all__ = ["configure_logging", "level_for"]

@@ -1,0 +1,175 @@
+"""Render a human-readable summary of a telemetry trace.
+
+This backs ``python -m repro tail DIR``: it folds a JSONL event log
+(one file or a directory of ``trace-*.jsonl``) into per-span summaries —
+duration, rounds/sec, final theorem-budget margins, violation count —
+plus trace-level aggregates (total runs, slowest spans, whether every
+span closed cleanly).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .schema import TelemetryEvent, validate_events
+from .writer import load_trace
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class SpanSummary:
+    """Everything the tail view knows about one span (job/run)."""
+
+    trace_id: str
+    span_id: str
+    label: str = ""
+    fingerprint: str = ""
+    start_ts: Optional[float] = None
+    end_ts: Optional[float] = None
+    rounds: int = 0
+    billed_rounds: int = 0
+    margins: Dict[str, float] = field(default_factory=dict)
+    violations: int = 0
+    outcome: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Wall seconds between run_start and run_end (None if open)."""
+        if self.start_ts is None or self.end_ts is None:
+            return None
+        return max(0.0, self.end_ts - self.start_ts)
+
+    @property
+    def rounds_per_sec(self) -> float:
+        """Engine rounds per wall second (0.0 when unknowable)."""
+        duration = self.duration
+        if not duration or duration <= 0 or self.rounds <= 0:
+            return 0.0
+        return self.rounds / duration
+
+
+@dataclass
+class TraceSummary:
+    """A whole trace folded into span summaries and aggregates."""
+
+    spans: Dict[Tuple[str, str], SpanSummary] = field(default_factory=dict)
+    events: int = 0
+    violations: int = 0
+    problem: Optional[str] = None
+
+    def closed_spans(self) -> List[SpanSummary]:
+        """Spans with both a run_start and a run_end, slowest first."""
+        done = [s for s in self.spans.values() if s.duration is not None]
+        return sorted(done, key=lambda s: s.duration or 0.0, reverse=True)
+
+    def open_spans(self) -> List[SpanSummary]:
+        """Spans that started but never ended (crash or still running)."""
+        return [s for s in self.spans.values() if s.duration is None]
+
+
+def summarize(events: Iterable[TelemetryEvent]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary`."""
+    events = list(events)
+    summary = TraceSummary(events=len(events))
+    summary.problem = validate_events(events)
+    for ev in events:
+        key = (ev.trace_id, ev.span_id)
+        span = summary.spans.get(key)
+        if span is None:
+            span = summary.spans[key] = SpanSummary(
+                trace_id=ev.trace_id, span_id=ev.span_id
+            )
+        if ev.label and not span.label:
+            span.label = ev.label
+        if ev.fingerprint and not span.fingerprint:
+            span.fingerprint = ev.fingerprint
+        if ev.event == "run_start":
+            span.start_ts = ev.ts
+        elif ev.event == "run_end":
+            span.end_ts = ev.ts
+            span.outcome = dict(ev.data)
+        elif ev.event == "round":
+            span.rounds = int(ev.data.get("wall_round", span.rounds) or 0)
+            span.billed_rounds = int(
+                ev.data.get("billed_rounds", span.billed_rounds) or 0
+            )
+        elif ev.event == "budget":
+            margins = ev.data.get("margins")
+            if isinstance(margins, dict):
+                span.margins = {
+                    str(name): float(value) for name, value in margins.items()
+                }
+        elif ev.event == "violation":
+            span.violations += 1
+            summary.violations += 1
+    return summary
+
+
+def _fmt_margin(margins: Dict[str, float]) -> str:
+    if not margins:
+        return "-"
+    return " ".join(
+        f"{name}={value:+.1f}" for name, value in sorted(margins.items())
+    )
+
+
+def render(summary: TraceSummary, slowest: int = 5) -> List[str]:
+    """Render a trace summary as display lines (no trailing newlines)."""
+    lines: List[str] = []
+    closed = summary.closed_spans()
+    # A span whose id equals its trace id is the sweep itself, not a job.
+    job_spans = [s for s in closed if s.span_id and s.span_id != s.trace_id]
+    lines.append(
+        f"trace: {summary.events} events, {len(summary.spans)} spans "
+        f"({len(closed)} closed), {summary.violations} violations"
+    )
+    if summary.problem:
+        lines.append(f"WARNING: {summary.problem}")
+    for span in summary.open_spans():
+        lines.append(
+            f"OPEN  {span.span_id or '<trace>'}  {span.label or '-'} "
+            f"(run_start without run_end)"
+        )
+    if job_spans:
+        total_rounds = sum(s.rounds for s in job_spans)
+        total_secs = sum(s.duration or 0.0 for s in job_spans)
+        rate = total_rounds / total_secs if total_secs > 0 else 0.0
+        lines.append(
+            f"rounds: {total_rounds} over {total_secs:.3f}s "
+            f"({rate:,.0f} rounds/sec aggregate)"
+        )
+        lines.append("")
+        lines.append(f"slowest spans (top {min(slowest, len(job_spans))}):")
+        header = (
+            f"  {'span':<14} {'label':<24} {'secs':>8} {'rounds':>8} "
+            f"{'viol':>4}  margins"
+        )
+        lines.append(header)
+        for span in job_spans[:slowest]:
+            lines.append(
+                f"  {span.span_id:<14} {(span.label or '-')[:24]:<24} "
+                f"{span.duration or 0.0:>8.3f} {span.rounds:>8} "
+                f"{span.violations:>4}  {_fmt_margin(span.margins)}"
+            )
+    if summary.violations == 0:
+        lines.append("budget: all margins non-negative (0 violations)")
+    else:
+        lines.append(
+            f"budget: {summary.violations} VIOLATION(S) — a theorem bound "
+            "was crossed; inspect the violation events"
+        )
+    return lines
+
+
+def tail(dir_or_file: str, slowest: int = 5) -> str:
+    """Load a telemetry trace and return the rendered summary text."""
+    events = load_trace(dir_or_file)
+    if not events:
+        return f"no telemetry events under {dir_or_file}"
+    return "\n".join(render(summarize(events), slowest=slowest))
+
+
+__all__ = ["SpanSummary", "TraceSummary", "render", "summarize", "tail"]

@@ -1,0 +1,195 @@
+"""Append-only JSONL event log, safe for multi-process sweeps.
+
+:class:`TelemetryWriter` serialises each :class:`~repro.obs.schema.
+TelemetryEvent` as one JSON line and appends it to a single per-trace
+file.  Worker processes open their *own* writer on the same path (the
+picklable :class:`TelemetryConfig` travels to them, never a file
+handle); every event is written in one unbuffered ``write`` call in
+append mode, so lines from concurrent processes interleave whole, never
+torn.
+
+:class:`NullWriter` is the zero-overhead default: it satisfies the same
+interface and does nothing, so instrumented code never branches on
+"telemetry enabled?" in its hot path.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+from .schema import TelemetryEvent, new_trace_id
+
+logger = logging.getLogger(__name__)
+
+
+def telemetry_path(dir_or_file: str, trace_id: str) -> str:
+    """Resolve a ``--telemetry`` argument to a concrete JSONL path.
+
+    A path ending in ``.jsonl`` is used verbatim; anything else is
+    treated as a directory (created on demand by the writer) holding one
+    ``trace-<id>.jsonl`` file per sweep.
+    """
+    if dir_or_file.endswith(".jsonl"):
+        return dir_or_file
+    return os.path.join(dir_or_file, f"trace-{trace_id}.jsonl")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Everything a worker process needs to join a trace's event log.
+
+    Picklable by construction — it crosses the worker-pool boundary
+    inside job payloads.  ``round_every`` paces per-round ``round`` and
+    ``budget`` events (1 = every engine round).
+    """
+
+    path: str
+    trace_id: str
+    round_every: int = 100
+
+    def __post_init__(self) -> None:
+        if self.round_every < 1:
+            raise ValueError("round_every must be >= 1")
+
+    @classmethod
+    def create(cls, dir_or_file: str, round_every: int = 100) -> "TelemetryConfig":
+        """A fresh config with a new trace id under ``dir_or_file``."""
+        trace_id = new_trace_id()
+        return cls(
+            path=telemetry_path(dir_or_file, trace_id),
+            trace_id=trace_id,
+            round_every=round_every,
+        )
+
+    def open(self) -> "TelemetryWriter":
+        """Open a writer for this trace (one per process)."""
+        return TelemetryWriter(self.path, self.trace_id)
+
+
+class NullWriter:
+    """The do-nothing default writer; keeps uninstrumented runs free."""
+
+    trace_id = ""
+    path = ""
+
+    def write(self, event: TelemetryEvent) -> None:
+        """Discard the event."""
+
+    def emit(self, event: str, **kwargs: Any) -> None:
+        """Discard the event without even constructing it."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+    def __enter__(self) -> "NullWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class TelemetryWriter:
+    """Appends telemetry events to one JSONL file.
+
+    The file is opened lazily on the first event and every line is
+    flushed through a single unbuffered write, so a crashed worker loses
+    at most the event it was writing and concurrent appenders do not
+    tear each other's lines.
+    """
+
+    def __init__(self, path: str, trace_id: Optional[str] = None):
+        self.path = path
+        self.trace_id = trace_id or new_trace_id()
+        self._file = None
+        self._seq = 0
+
+    def _ensure_open(self):
+        if self._file is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            # Unbuffered binary append: one write syscall per event line.
+            self._file = open(self.path, "ab", buffering=0)
+            logger.debug("telemetry: appending to %s (trace %s)",
+                         self.path, self.trace_id)
+        return self._file
+
+    def write(self, event: TelemetryEvent) -> None:
+        """Append one already-built event (its ids are kept verbatim)."""
+        self._seq += 1
+        self._ensure_open().write((event.to_json() + "\n").encode("utf-8"))
+
+    def emit(self, event: str, **kwargs: Any) -> TelemetryEvent:
+        """Build an event stamped with this writer's trace id and the
+        next sequence number, write it, and return it."""
+        record = TelemetryEvent(
+            event=event, trace_id=self.trace_id, seq=self._seq + 1, **kwargs
+        )
+        self.write(record)
+        return record
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                self._file = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_events(path: str) -> Iterator[TelemetryEvent]:
+    """Iterate the events of one JSONL telemetry file.
+
+    Blank lines are skipped; a torn/corrupt trailing line (interrupted
+    writer) is ignored with a warning rather than aborting the read.
+    """
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield TelemetryEvent.from_json(line)
+            except (ValueError, KeyError) as exc:
+                logger.warning("telemetry: skipping bad line %s:%d (%s)",
+                               path, lineno, exc)
+
+
+def load_trace(dir_or_file: str) -> List[TelemetryEvent]:
+    """Load every event under a telemetry directory or file, in order.
+
+    Directories may hold several ``trace-*.jsonl`` files (one per
+    sweep); events are concatenated file-by-file and ordered by
+    ``(trace_id, ts, seq)`` so interleaved worker appends read coherently.
+    """
+    paths: List[str] = []
+    if os.path.isdir(dir_or_file):
+        for name in sorted(os.listdir(dir_or_file)):
+            if name.endswith(".jsonl"):
+                paths.append(os.path.join(dir_or_file, name))
+    else:
+        paths.append(dir_or_file)
+    events: List[TelemetryEvent] = []
+    for path in paths:
+        events.extend(read_events(path))
+    events.sort(key=lambda ev: (ev.trace_id, ev.ts, ev.seq))
+    return events
+
+
+__all__ = [
+    "NullWriter",
+    "TelemetryConfig",
+    "TelemetryWriter",
+    "load_trace",
+    "read_events",
+    "telemetry_path",
+]

@@ -11,10 +11,13 @@ draws a plain-text progress bar.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
+
+logger = logging.getLogger(__name__)
 
 #: Event kinds, in rough lifecycle order.  ``progress`` events are
 #: emitted mid-run by the round engine's
@@ -34,7 +37,14 @@ EVENT_KINDS = (
 
 @dataclass(frozen=True)
 class SweepEvent:
-    """One state transition of one job."""
+    """One state transition of one job.
+
+    ``trace_id``/``span_id`` are the telemetry correlation ids (empty
+    when the sweep runs without telemetry); :meth:`to_telemetry` /
+    :meth:`from_telemetry` round-trip the event through the
+    :mod:`repro.obs.schema` event shape so orchestrator transitions land
+    in the same JSONL stream as engine rounds.
+    """
 
     kind: str
     label: str = ""
@@ -42,10 +52,54 @@ class SweepEvent:
     attempt: int = 0
     elapsed: float = 0.0
     detail: str = ""
+    trace_id: str = ""
+    span_id: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {self.kind!r}")
+
+    def to_telemetry(self):
+        """The equivalent ``span`` telemetry event.
+
+        Requires a non-empty ``trace_id`` (telemetry events must belong
+        to a trace).  The sweep-level fields that have no envelope slot
+        (kind, attempt, elapsed, detail) travel in ``data``.
+        """
+        from ..obs.schema import TelemetryEvent  # local: keep obs optional
+
+        return TelemetryEvent(
+            event="span",
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            fingerprint=self.fingerprint,
+            label=self.label,
+            data={
+                "kind": self.kind,
+                "attempt": self.attempt,
+                "elapsed": round(self.elapsed, 6),
+                "detail": self.detail,
+            },
+        )
+
+    @classmethod
+    def from_telemetry(cls, event) -> "SweepEvent":
+        """Rebuild a sweep event from its ``span`` telemetry form."""
+        if event.event != "span":
+            raise ValueError(
+                f"expected a 'span' telemetry event, got {event.event!r}"
+            )
+        data = event.data
+        return cls(
+            kind=str(data.get("kind", "progress")),
+            label=event.label,
+            fingerprint=event.fingerprint,
+            attempt=int(data.get("attempt", 0)),
+            elapsed=float(data.get("elapsed", 0.0)),
+            detail=str(data.get("detail", "")),
+            trace_id=event.trace_id,
+            span_id=event.span_id,
+        )
 
 
 @dataclass
@@ -72,7 +126,17 @@ class ProgressTracker:
             self.sink(event)
 
     def add_rounds(self, rounds: int, sim_seconds: float = 0.0) -> None:
-        """Accumulate simulated-rounds and simulation-time totals."""
+        """Accumulate simulated-rounds and simulation-time totals.
+
+        Negative contributions (a worker reporting garbage after a
+        crash-retry) are dropped rather than corrupting the totals.
+        """
+        if rounds < 0 or sim_seconds < 0:
+            logger.debug(
+                "dropping negative progress contribution: rounds=%s sim_seconds=%s",
+                rounds, sim_seconds,
+            )
+            return
         self.rounds_total += rounds
         self.sim_seconds += sim_seconds
 
@@ -91,17 +155,23 @@ class ProgressTracker:
 
     def hit_rate(self) -> float:
         """Cache hits over finished jobs (0.0 when nothing finished)."""
-        return self.counts["cache-hit"] / self.finished if self.finished else 0.0
+        finished = self.finished
+        if finished <= 0:
+            return 0.0
+        return self.counts["cache-hit"] / finished
 
     def wall_time(self) -> float:
-        """Seconds since the tracker was created."""
-        return time.perf_counter() - self.started_at
+        """Seconds since the tracker was created (clamped to >= 0)."""
+        return max(0.0, time.perf_counter() - self.started_at)
 
     def rounds_per_sec(self) -> float:
         """Aggregate simulated throughput over all finished jobs (rounds
         per second of engine time, not of sweep wall time — cache hits
-        and pool overhead don't dilute it)."""
-        return self.rounds_total / self.sim_seconds if self.sim_seconds > 0 else 0.0
+        and pool overhead don't dilute it).  0.0 whenever the rate is
+        undefined: no rounds yet, or zero/absurd accumulated sim time."""
+        if self.rounds_total <= 0 or self.sim_seconds <= 0.0:
+            return 0.0
+        return self.rounds_total / self.sim_seconds
 
     # -- rendering -----------------------------------------------------
     def as_rows(self) -> List[Dict[str, object]]:

@@ -21,16 +21,19 @@ Every state transition is reported to a
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .events import ProgressTracker, SweepEvent
 from .jobspec import JobSpec, run_jobspec
 from .store import ResultStore
+
+logger = logging.getLogger(__name__)
 
 #: Upper bound on the default pool size (per-job processes are cheap but
 #: sweeps gain little beyond this on the benchmark machines).
@@ -109,6 +112,18 @@ def _emit(tracker: Optional[ProgressTracker], **kwargs) -> None:
         tracker.emit(SweepEvent(**kwargs))
 
 
+class _SpanIds:
+    """Maps a task index to its (trace_id, span_id) stamp for events."""
+
+    def __init__(self, spans: Optional[Sequence[str]], trace_id: str):
+        self.spans = list(spans) if spans is not None else None
+        self.trace_id = trace_id
+
+    def for_index(self, index: int) -> Dict[str, str]:
+        span = self.spans[index] if self.spans is not None else ""
+        return {"trace_id": self.trace_id, "span_id": span}
+
+
 def run_tasks(
     payloads: Sequence[Any],
     worker: Callable[[Any], Any],
@@ -121,6 +136,8 @@ def run_tasks(
     tracker: Optional[ProgressTracker] = None,
     emit_queued: bool = True,
     on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+    spans: Optional[Sequence[str]] = None,
+    trace_id: str = "",
 ) -> List[TaskOutcome]:
     """Run ``worker(payload)`` for every payload, resiliently.
 
@@ -146,6 +163,11 @@ def run_tasks(
         (completion order, not input order) — the cache layer uses this
         to persist results immediately, so an interrupted run keeps
         every job that finished before the interrupt.
+    spans / trace_id:
+        Telemetry correlation ids stamped into every emitted
+        :class:`SweepEvent`: ``spans`` aligns with ``payloads`` (one
+        span id per task), ``trace_id`` tags the whole call.  Both
+        default to empty (no telemetry).
 
     Returns outcomes in input order; never raises for task failures.
     """
@@ -154,22 +176,30 @@ def run_tasks(
     ]
     if len(labels) != len(payloads):
         raise ValueError("labels and payloads must have the same length")
+    if spans is not None and len(spans) != len(payloads):
+        raise ValueError("spans and payloads must have the same length")
     if retries < 0:
         raise ValueError("retries must be >= 0")
     tracker_obj = tracker
+    ids = _SpanIds(spans, trace_id)
     if emit_queued:
-        for label in labels:
-            _emit(tracker_obj, kind="queued", label=label)
+        for i, label in enumerate(labels):
+            _emit(tracker_obj, kind="queued", label=label, **ids.for_index(i))
 
     if max_workers is None:
         max_workers = _default_workers()
+    logger.info(
+        "run_tasks: %d tasks on %d worker(s) (timeout=%s, retries=%d)",
+        len(payloads), max_workers, timeout, retries,
+    )
     if max_workers <= 1:
         return _run_inline(
-            payloads, worker, labels, retries, backoff, tracker_obj, on_outcome
+            payloads, worker, labels, retries, backoff, tracker_obj,
+            on_outcome, ids,
         )
     return _run_pooled(
         payloads, worker, labels, max_workers, timeout, retries, backoff,
-        tracker_obj, on_outcome,
+        tracker_obj, on_outcome, ids,
     )
 
 
@@ -181,24 +211,30 @@ def _run_inline(
     backoff: float,
     tracker: Optional[ProgressTracker],
     on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+    ids: Optional[_SpanIds] = None,
 ) -> List[TaskOutcome]:
+    ids = ids if ids is not None else _SpanIds(None, "")
     outcomes: List[TaskOutcome] = []
     for index, payload in enumerate(payloads):
         label = labels[index]
+        stamp = ids.for_index(index)
         error = ""
         outcome = None
         for attempt in range(1, retries + 2):
-            _emit(tracker, kind="started", label=label, attempt=attempt)
+            _emit(tracker, kind="started", label=label, attempt=attempt,
+                  **stamp)
             start = time.perf_counter()
             try:
                 result = worker(payload)
             except Exception as exc:  # crash isolation, inline flavour
                 error = f"{type(exc).__name__}: {exc}"
                 elapsed = time.perf_counter() - start
+                logger.warning("task %s attempt %d failed: %s",
+                               label, attempt, error)
                 if attempt <= retries:
                     _emit(
                         tracker, kind="retry", label=label,
-                        attempt=attempt, detail=error,
+                        attempt=attempt, detail=error, **stamp,
                     )
                     time.sleep(backoff * (2 ** (attempt - 1)))
                     continue
@@ -208,7 +244,7 @@ def _run_inline(
                 )
                 _emit(
                     tracker, kind="failed", label=label,
-                    attempt=attempt, elapsed=elapsed, detail=error,
+                    attempt=attempt, elapsed=elapsed, detail=error, **stamp,
                 )
                 break
             elapsed = time.perf_counter() - start
@@ -218,7 +254,7 @@ def _run_inline(
             )
             _emit(
                 tracker, kind="done", label=label,
-                attempt=attempt, elapsed=elapsed,
+                attempt=attempt, elapsed=elapsed, **stamp,
             )
             break
         assert outcome is not None
@@ -238,7 +274,9 @@ def _run_pooled(
     backoff: float,
     tracker: Optional[ProgressTracker],
     on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
+    ids: Optional[_SpanIds] = None,
 ) -> List[TaskOutcome]:
+    ids = ids if ids is not None else _SpanIds(None, "")
     ctx = _mp_context()
     outcomes: List[Optional[TaskOutcome]] = [None] * len(payloads)
     now = time.monotonic()
@@ -260,7 +298,8 @@ def _run_pooled(
             _Running(item=item, process=process, conn=parent_conn,
                      started=time.monotonic())
         )
-        _emit(tracker, kind="started", label=item.label, attempt=item.attempt)
+        _emit(tracker, kind="started", label=item.label, attempt=item.attempt,
+              **ids.for_index(item.index))
 
     def reap(slot: _Running) -> None:
         try:
@@ -278,6 +317,7 @@ def _run_pooled(
         running.remove(slot)
         elapsed = time.monotonic() - slot.started
         item = slot.item
+        stamp = ids.for_index(item.index)
         if status == "done":
             outcome = TaskOutcome(
                 index=item.index, label=item.label, status="done",
@@ -285,16 +325,18 @@ def _run_pooled(
             )
             outcomes[item.index] = outcome
             _emit(tracker, kind="done", label=item.label,
-                  attempt=item.attempt, elapsed=elapsed)
+                  attempt=item.attempt, elapsed=elapsed, **stamp)
             if on_outcome is not None:
                 on_outcome(outcome)
             return
+        logger.warning("task %s attempt %d %s: %s", item.label, item.attempt,
+                       "timed out" if timed_out else "failed", error)
         if timed_out:
             _emit(tracker, kind="timeout", label=item.label,
-                  attempt=item.attempt, elapsed=elapsed, detail=error)
+                  attempt=item.attempt, elapsed=elapsed, detail=error, **stamp)
         if item.attempt <= retries:
             _emit(tracker, kind="retry", label=item.label,
-                  attempt=item.attempt, detail=error)
+                  attempt=item.attempt, detail=error, **stamp)
             delayed.append(
                 _Pending(
                     index=item.index, payload=item.payload, label=item.label,
@@ -310,7 +352,7 @@ def _run_pooled(
         )
         outcomes[item.index] = outcome
         _emit(tracker, kind="failed", label=item.label,
-              attempt=item.attempt, elapsed=elapsed, detail=error)
+              attempt=item.attempt, elapsed=elapsed, detail=error, **stamp)
         if on_outcome is not None:
             on_outcome(outcome)
 
@@ -405,6 +447,7 @@ def run_jobspecs(
     retries: int = 1,
     backoff: float = 0.1,
     tracker: Optional[ProgressTracker] = None,
+    telemetry=None,
 ) -> List[JobOutcome]:
     """Run a sweep of job specs through the cache and the resilient pool.
 
@@ -414,13 +457,89 @@ def run_jobspecs(
     the unique misses over :func:`run_tasks`; insert fresh rows back into
     the store.  Outcomes come back in input order and job failures are
     *reported*, never raised — one pathological job cannot abort a sweep.
+
+    ``telemetry`` (a :class:`repro.obs.TelemetryConfig`, or ``None``)
+    switches the sweep onto the instrumented path: every spec gets a
+    span id, workers run under :func:`repro.obs.run_telemetry_job`
+    (engine rounds and theorem-budget margins stream into the shared
+    JSONL trace), orchestrator :class:`SweepEvent` transitions are
+    mirrored into the trace as ``span`` events, and the whole sweep is
+    bracketed by a trace-level ``run_start``/``run_end`` pair.
     """
+    if telemetry is None:
+        return _run_jobspecs(
+            specs, store=store, use_cache=use_cache, max_workers=max_workers,
+            timeout=timeout, retries=retries, backoff=backoff, tracker=tracker,
+        )
+
+    from ..obs.schema import new_span_id
+
     tracker = tracker if tracker is not None else ProgressTracker()
+    span_ids = [new_span_id() for _ in specs]
+    writer = telemetry.open()
+    original_sink = tracker.sink
+
+    def sink(event: SweepEvent) -> None:
+        if original_sink is not None:
+            original_sink(event)
+        stamped = event if event.trace_id else _dc_replace(
+            event, trace_id=telemetry.trace_id
+        )
+        writer.write(stamped.to_telemetry())
+
+    tracker.sink = sink
+    writer.emit(
+        "run_start",
+        span_id=telemetry.trace_id,  # trace-level span: the sweep itself
+        data={"jobs": len(specs)},
+    )
+    try:
+        outcomes = _run_jobspecs(
+            specs, store=store, use_cache=use_cache, max_workers=max_workers,
+            timeout=timeout, retries=retries, backoff=backoff, tracker=tracker,
+            telemetry=telemetry, span_ids=span_ids,
+        )
+        writer.emit(
+            "run_end",
+            span_id=telemetry.trace_id,
+            data={
+                "jobs": len(specs),
+                "done": sum(1 for o in outcomes if o.status == "done"),
+                "cache_hits": sum(
+                    1 for o in outcomes if o.status == "cache-hit"
+                ),
+                "failed": sum(1 for o in outcomes if o.status == "failed"),
+            },
+        )
+        return outcomes
+    finally:
+        tracker.sink = original_sink
+        writer.close()
+
+
+def _run_jobspecs(
+    specs: Sequence[JobSpec],
+    *,
+    store: Optional[ResultStore],
+    use_cache: bool,
+    max_workers: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    tracker: Optional[ProgressTracker],
+    telemetry=None,
+    span_ids: Optional[List[str]] = None,
+) -> List[JobOutcome]:
+    tracker = tracker if tracker is not None else ProgressTracker()
+    trace_id = telemetry.trace_id if telemetry is not None else ""
+    if span_ids is None:
+        span_ids = [""] * len(specs)
     fingerprints = [spec.fingerprint() for spec in specs]
     outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
-    for spec, fingerprint in zip(specs, fingerprints):
+    for i, (spec, fingerprint) in enumerate(zip(specs, fingerprints)):
         tracker.emit(SweepEvent(kind="queued", label=spec.label or spec.algorithm,
-                                fingerprint=fingerprint))
+                                fingerprint=fingerprint,
+                                trace_id=trace_id, span_id=span_ids[i]))
 
     # Cache lookups.
     misses: List[int] = []
@@ -434,7 +553,8 @@ def run_jobspecs(
             )
             tracker.emit(SweepEvent(kind="cache-hit",
                                     label=spec.label or spec.algorithm,
-                                    fingerprint=fingerprint))
+                                    fingerprint=fingerprint,
+                                    trace_id=trace_id, span_id=span_ids[i]))
         else:
             misses.append(i)
 
@@ -462,9 +582,21 @@ def run_jobspecs(
         tracker.add_rounds(int(row.get("rounds", 0)),
                            float(row.get("elapsed", 0.0)))
 
+    if telemetry is not None:
+        from ..obs.runner import TelemetryJob, run_telemetry_job
+
+        payloads: List[Any] = [
+            TelemetryJob(spec=specs[i], config=telemetry, span_id=span_ids[i])
+            for i in runners
+        ]
+        worker: Callable[[Any], Any] = run_telemetry_job
+    else:
+        payloads = [specs[i] for i in runners]
+        worker = run_jobspec
+
     task_outcomes = run_tasks(
-        [specs[i] for i in runners],
-        run_jobspec,
+        payloads,
+        worker,
         labels=[specs[i].label or specs[i].algorithm for i in runners],
         max_workers=max_workers,
         timeout=timeout,
@@ -473,6 +605,8 @@ def run_jobspecs(
         tracker=tracker,
         emit_queued=False,
         on_outcome=persist,
+        spans=[span_ids[i] for i in runners],
+        trace_id=trace_id,
     )
 
     for spec_index, task in zip(runners, task_outcomes):
@@ -499,6 +633,7 @@ def run_jobspecs(
                 tracker.emit(SweepEvent(
                     kind="cache-hit", label=dup_spec.label or dup_spec.algorithm,
                     fingerprint=fingerprint, detail="deduplicated within sweep",
+                    trace_id=trace_id, span_id=span_ids[dup_index],
                 ))
                 outcomes[dup_index] = JobOutcome(
                     spec=dup_spec, fingerprint=fingerprint, status="cache-hit",
@@ -508,6 +643,7 @@ def run_jobspecs(
                 tracker.emit(SweepEvent(
                     kind="failed", label=dup_spec.label or dup_spec.algorithm,
                     fingerprint=fingerprint, detail=base.error,
+                    trace_id=trace_id, span_id=span_ids[dup_index],
                 ))
                 outcomes[dup_index] = JobOutcome(
                     spec=dup_spec, fingerprint=fingerprint, status="failed",

@@ -20,12 +20,15 @@ Design constraints:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
 from .jobspec import SCHEMA_VERSION
+
+logger = logging.getLogger(__name__)
 
 Row = Dict[str, object]
 
@@ -83,6 +86,13 @@ class ResultStore:
                     self._skipped_lines += 1
                     continue
                 self._index[fingerprint] = row
+        if self._skipped_lines:
+            logger.warning(
+                "result store %s: ignored %d corrupt/foreign-schema line(s)",
+                self.results_path, self._skipped_lines,
+            )
+        logger.debug("result store %s: %d cached row(s)",
+                     self.results_path, len(self._index))
 
     # -- queries -------------------------------------------------------
     def __contains__(self, fingerprint: str) -> bool:

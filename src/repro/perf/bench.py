@@ -19,6 +19,7 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import logging
 import platform
 import pstats
 import time
@@ -26,6 +27,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .timing import TimingObserver
+
+logger = logging.getLogger(__name__)
 
 #: Schema tag written into (and required of) every snapshot.
 BENCH_SCHEMA = "repro-bench-v1"
@@ -217,10 +220,14 @@ def run_suite(
 ) -> Dict[str, Any]:
     """Run the pinned suite and return a validated snapshot dict."""
     results = []
-    for case in select_cases(quick=quick, only=only):
+    cases = select_cases(quick=quick, only=only)
+    logger.info("benchmark suite: %d case(s), repeats=%d, quick=%s",
+                len(cases), repeats, quick)
+    for case in cases:
         if progress is not None:
             progress(f"bench {case.name} ...")
         results.append(run_case(case, repeats=repeats))
+        logger.debug("bench case %s done", case.name)
     snapshot = {
         "schema": BENCH_SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),

@@ -319,6 +319,133 @@ def make_reanchor_policy(name: str, seed: int = 0):
     return make_policy(name, seed=seed)
 
 
+#: Round observers selectable by name (``--observe`` and programmatic
+#: attachment).  ``trace``/``metrics``/``progress`` are the historical
+#: CLI observers; ``telemetry`` is the obs-layer
+#: :class:`~repro.obs.metrics.MetricsObserver`, ``budget`` the live
+#: theorem monitor :class:`~repro.obs.budget.BudgetObserver`.
+ROUND_OBSERVERS = ("trace", "metrics", "progress", "telemetry", "budget")
+
+
+def make_round_observer(name: str, **context):
+    """Build a named round observer; returns ``(observer, reporter)``.
+
+    ``reporter`` is a zero-argument callback that prints the observer's
+    post-run summary (or ``None`` when the observer has nothing to say).
+    Recognised context keys (all optional unless noted):
+
+    ``tree``            the materialised tree (required by ``trace``);
+    ``shared_reveal``   bool, the run's reveal model (``trace`` replay);
+    ``scenario``        the :class:`~repro.scenario.BuiltScenario`
+                        (required by ``budget`` — budgets derive from it);
+    ``writer``          a telemetry writer for ``telemetry``/``budget``;
+    ``span_id`` / ``fingerprint`` / ``label``  correlation ids;
+    ``every``           flush cadence for ``telemetry``/``budget``;
+    ``printer``         output callable (default :func:`print`).
+    """
+    printer = context.get("printer", print)
+    label = str(context.get("label", ""))
+    if name == "trace":
+        from .sim import TraceObserver, replay
+
+        tree = context.get("tree")
+        if tree is None:
+            raise ValueError("the 'trace' observer needs tree= context")
+        shared = bool(context.get("shared_reveal", False))
+        obs = TraceObserver()
+
+        def report_trace() -> None:
+            rounds, _ = replay(obs.trace, tree, allow_shared_reveal=shared)
+            printer(
+                f"trace: {len(obs.trace.rounds)} rounds recorded, "
+                f"replay-validated ({rounds} billed rounds)"
+            )
+
+        return obs, report_trace
+    if name == "metrics":
+        from .sim import TimeSeriesObserver
+
+        obs = TimeSeriesObserver()
+
+        def report_metrics() -> None:
+            series = obs.series
+            printer(
+                f"metrics: {len(series.samples)} samples, "
+                f"exploration rate {series.exploration_rate():.2f} "
+                "nodes/round, working depth monotone: "
+                f"{series.working_depth_is_monotone()}"
+            )
+
+        return obs, report_metrics
+    if name == "progress":
+        from .sim import ProgressEvents
+
+        obs = ProgressEvents(
+            lambda e: printer(
+                f"progress[{e['wall_round']}]: billed={e['billed_round']} "
+                f"{e['detail']}"
+            ),
+            label=label or "explore",
+        )
+        return obs, None
+    if name == "telemetry":
+        from .obs.metrics import MetricsObserver
+
+        obs = MetricsObserver(
+            writer=context.get("writer"),
+            span_id=str(context.get("span_id", "")),
+            fingerprint=str(context.get("fingerprint", "")),
+            label=label,
+            every=int(context.get("every", 100)),
+        )
+
+        def report_telemetry() -> None:
+            snap = obs.snapshot()
+            printer(
+                f"telemetry: {snap['moves']} moves, {snap['idle']} idle, "
+                f"{snap['reveals']} reveals, {snap['reanchors']} re-anchors, "
+                f"{snap['blocked']} blocked"
+            )
+
+        return obs, report_telemetry
+    if name == "budget":
+        from .obs.budget import BudgetObserver, budgets_for_scenario
+
+        scenario = context.get("scenario")
+        if scenario is None:
+            raise ValueError(
+                "the 'budget' observer needs scenario= context (a "
+                "BuiltScenario) to derive its theorem budgets"
+            )
+        budgets = budgets_for_scenario(scenario)
+        obs = BudgetObserver(
+            budgets,
+            writer=context.get("writer"),
+            span_id=str(context.get("span_id", "")),
+            fingerprint=str(context.get("fingerprint", "")),
+            label=label,
+            every=int(context.get("every", 100)),
+        )
+
+        def report_budget() -> None:
+            if not budgets:
+                printer("budget: no theorem budget applies to this scenario")
+                return
+            margins = " ".join(
+                f"{n}={m:+.1f}" for n, m in sorted(obs.margins().items())
+            )
+            printer(
+                f"budget: {len(obs.violations)} violation(s), "
+                f"margins {margins}"
+            )
+
+        return obs, report_budget
+    raise ValueError(
+        f"unknown round observer {name!r} "
+        f"(known: {', '.join(ROUND_OBSERVERS)})"
+    )
+
+
 #: Urn-game player strategies by name (Section 3).
 GAME_PLAYERS = ("balanced", "greedy-worst", "random")
 
@@ -381,6 +508,7 @@ __all__ = [
     "GRAPHS",
     "POLICY_ALGORITHMS",
     "REANCHOR_POLICIES",
+    "ROUND_OBSERVERS",
     "SHARED_REVEAL",
     "TREES",
     "make_algorithm",
@@ -390,6 +518,7 @@ __all__ = [
     "make_graph",
     "make_reactive_adversary",
     "make_reanchor_policy",
+    "make_round_observer",
     "make_tree",
     "shared_reveal_default",
     "tree_families",

@@ -30,11 +30,14 @@ same spec are cached under its :meth:`~ScenarioSpec.fingerprint`.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from . import registry
 from .orchestrator.jobspec import SCHEMA_VERSION, TreeSpec
+
+logger = logging.getLogger(__name__)
 
 #: Workload kinds a scenario can describe.
 KINDS = ("tree", "graph", "game", "reactive")
@@ -295,6 +298,11 @@ class BuiltScenario:
         else:  # game
             self.delta = max(1, spec.substrate.n)
             self.size = self.delta
+        logger.debug(
+            "built %s scenario %s (algorithm=%s, k=%d, size=%d)",
+            kind, spec.label or spec.fingerprint()[:12], spec.algorithm,
+            spec.k, self.size,
+        )
 
     # -- per-kind runners ---------------------------------------------
 

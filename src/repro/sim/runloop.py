@@ -33,6 +33,7 @@ fifth hand-rolled loop.
 
 from __future__ import annotations
 
+import logging
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -45,6 +46,8 @@ from typing import (
     Sequence,
     Set,
 )
+
+logger = logging.getLogger(__name__)
 
 # Stop reasons reported in :class:`RunOutcome`.
 STOP_COMPLETE = "complete"
@@ -321,6 +324,11 @@ class RoundEngine:
                 and state.billed_rounds() >= self.billed_stop
             ):
                 reason = STOP_CAP
+                logger.warning(
+                    "round cap hit: %d billed rounds >= cap %d "
+                    "(run did not finish on its own)",
+                    state.billed_rounds(), self.billed_stop,
+                )
                 break
 
             if timed:

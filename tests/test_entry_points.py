@@ -153,5 +153,5 @@ class TestSweepCLI:
         assert "working depth monotone: True" in out
 
     def test_explore_rejects_unknown_observer(self):
-        with pytest.raises(SystemExit, match="unknown observer"):
+        with pytest.raises(SystemExit, match="unknown round observer"):
             main(["explore", "-n", "20", "--observe", "sparkles"])

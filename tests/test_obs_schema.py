@@ -1,0 +1,147 @@
+"""Telemetry event schema: construction, validation, JSON round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    EVENT_TYPES,
+    TELEMETRY_SCHEMA,
+    TelemetryEvent,
+    new_span_id,
+    new_trace_id,
+    validate_events,
+)
+
+
+class TestIds:
+    def test_trace_ids_are_16_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(50)}
+        assert len(ids) == 50
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+    def test_span_ids_are_12_hex_and_unique(self):
+        ids = {new_span_id() for _ in range(50)}
+        assert len(ids) == 50
+        assert all(len(i) == 12 and int(i, 16) >= 0 for i in ids)
+
+
+class TestConstruction:
+    def test_rejects_unknown_event_type(self):
+        with pytest.raises(ValueError, match="unknown telemetry event"):
+            TelemetryEvent(event="nope", trace_id="abc")
+
+    def test_rejects_empty_trace_id(self):
+        with pytest.raises(ValueError, match="trace_id"):
+            TelemetryEvent(event="round", trace_id="")
+
+    def test_rejects_negative_ts_and_seq(self):
+        with pytest.raises(ValueError):
+            TelemetryEvent(event="round", trace_id="t", ts=-1.0)
+        with pytest.raises(ValueError):
+            TelemetryEvent(event="round", trace_id="t", seq=-1)
+
+    def test_data_is_copied_defensively(self):
+        payload = {"a": 1}
+        ev = TelemetryEvent(event="round", trace_id="t", data=payload)
+        payload["a"] = 2
+        assert ev.data["a"] == 1
+
+    def test_ts_defaults_to_monotonic_now(self):
+        a = TelemetryEvent(event="round", trace_id="t")
+        b = TelemetryEvent(event="round", trace_id="t")
+        assert 0 <= a.ts <= b.ts
+
+
+# JSON-safe payload values for the round-trip property.  Floats are
+# bounded because to_dict rounds ts to 6 decimals, not data values —
+# data must survive json.dumps/loads verbatim.
+_json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=12), _json_scalars, max_size=5
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        event=st.sampled_from(EVENT_TYPES),
+        span_id=st.text(alphabet="0123456789abcdef", max_size=12),
+        ts=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        seq=st.integers(min_value=0, max_value=10**9),
+        fingerprint=st.text(max_size=16),
+        label=st.text(max_size=16),
+        data=_payloads,
+    )
+    def test_json_round_trip_preserves_everything(
+        self, event, span_id, ts, seq, fingerprint, label, data
+    ):
+        original = TelemetryEvent(
+            event=event,
+            trace_id=new_trace_id(),
+            span_id=span_id,
+            ts=ts,
+            seq=seq,
+            fingerprint=fingerprint,
+            label=label,
+            data=data,
+        )
+        restored = TelemetryEvent.from_json(original.to_json())
+        assert restored.event == original.event
+        assert restored.trace_id == original.trace_id
+        assert restored.span_id == original.span_id
+        assert restored.ts == pytest.approx(original.ts, abs=1e-6)
+        assert restored.seq == original.seq
+        assert restored.fingerprint == original.fingerprint
+        assert restored.label == original.label
+        assert dict(restored.data) == dict(original.data)
+
+    def test_json_line_is_compact_and_schema_tagged(self):
+        ev = TelemetryEvent(event="run_start", trace_id="t" * 16)
+        line = ev.to_json()
+        assert "\n" not in line
+        assert json.loads(line)["schema"] == TELEMETRY_SCHEMA
+
+    def test_from_dict_rejects_foreign_schema(self):
+        payload = TelemetryEvent(event="round", trace_id="t").to_dict()
+        payload["schema"] = "other-v9"
+        with pytest.raises(ValueError, match="schema"):
+            TelemetryEvent.from_dict(payload)
+
+
+class TestValidateEvents:
+    def _ev(self, event, span="s", trace="t"):
+        return TelemetryEvent(event=event, trace_id=trace, span_id=span)
+
+    def test_balanced_stream_is_clean(self):
+        events = [
+            self._ev("run_start"),
+            self._ev("round"),
+            self._ev("run_end"),
+        ]
+        assert validate_events(events) is None
+
+    def test_unfinished_span_is_reported(self):
+        problem = validate_events([self._ev("run_start", span="abc")])
+        assert problem is not None and "abc" in problem
+
+    def test_end_without_start_is_reported(self):
+        problem = validate_events([self._ev("run_end", span="xyz")])
+        assert problem is not None and "without a run_start" in problem
+
+    def test_spans_are_keyed_per_trace(self):
+        # The same span id under two traces is two distinct spans.
+        events = [
+            self._ev("run_start", span="s", trace="t1"),
+            self._ev("run_end", span="s", trace="t1"),
+            self._ev("run_start", span="s", trace="t2"),
+        ]
+        assert validate_events(events) is not None

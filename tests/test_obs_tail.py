@@ -1,0 +1,84 @@
+"""The ``repro tail`` trace summariser."""
+
+from repro.obs import TelemetryEvent, summarize, tail
+from repro.obs.tail import render
+
+TRACE = "ab" * 8
+SPAN_A = "aa" * 6
+SPAN_B = "bb" * 6
+
+
+def _ev(event, span, ts, **kw):
+    return TelemetryEvent(
+        event=event, trace_id=TRACE, span_id=span, ts=ts, **kw
+    )
+
+
+def _demo_events():
+    return [
+        _ev("run_start", TRACE, 0.0, label="sweep"),
+        _ev("run_start", SPAN_A, 1.0, label="job-a"),
+        _ev("round", SPAN_A, 1.5,
+            data={"wall_round": 120, "billed_rounds": 110}),
+        _ev("budget", SPAN_A, 1.6,
+            data={"margins": {"theorem1": 42.5}, "violations": 0}),
+        _ev("run_end", SPAN_A, 2.0, data={"status": "ok"}),
+        _ev("run_start", SPAN_B, 1.0, label="job-b"),
+        _ev("violation", SPAN_B, 3.0,
+            data={"budget": "theorem1", "margin": -1.0}),
+        _ev("run_end", SPAN_B, 4.0, data={"status": "ok"}),
+        _ev("run_end", TRACE, 5.0, data={"jobs": 2}),
+    ]
+
+
+class TestSummarize:
+    def test_folds_spans_and_margins(self):
+        summary = summarize(_demo_events())
+        assert summary.events == 9
+        assert summary.problem is None
+        assert summary.violations == 1
+        span_a = summary.spans[(TRACE, SPAN_A)]
+        assert span_a.label == "job-a"
+        assert span_a.rounds == 120
+        assert span_a.billed_rounds == 110
+        assert span_a.margins == {"theorem1": 42.5}
+        assert span_a.duration == 1.0
+        assert span_a.rounds_per_sec == 120.0
+        span_b = summary.spans[(TRACE, SPAN_B)]
+        assert span_b.violations == 1
+        assert span_b.duration == 3.0
+
+    def test_slowest_first_and_open_spans(self):
+        events = _demo_events()[:-3]  # drop span B's end and trace end
+        summary = summarize(events)
+        closed = summary.closed_spans()
+        assert [s.span_id for s in closed] == [SPAN_A]
+        assert {s.span_id for s in summary.open_spans()} == {SPAN_B, TRACE}
+        assert summary.problem is not None  # unfinished spans flagged
+
+    def test_unknown_duration_yields_zero_rate(self):
+        summary = summarize([_ev("run_start", SPAN_A, 1.0)])
+        span = summary.spans[(TRACE, SPAN_A)]
+        assert span.duration is None
+        assert span.rounds_per_sec == 0.0
+
+
+class TestRender:
+    def test_clean_trace_reports_zero_violations(self):
+        events = [e for e in _demo_events() if e.event != "violation"]
+        text = "\n".join(render(summarize(events)))
+        assert "0 violations" in text
+        assert "VIOLATION" not in text.replace("violations", "")
+        assert "job-a" in text
+
+    def test_violations_are_loud(self):
+        text = "\n".join(render(summarize(_demo_events())))
+        assert "1 VIOLATION" in text
+
+    def test_sweep_span_is_not_a_job_row(self):
+        lines = render(summarize(_demo_events()))
+        table = [li for li in lines if li.startswith("  " + TRACE)]
+        assert table == []  # the trace-level span never lists as a job
+
+    def test_tail_handles_empty_dir(self, tmp_path):
+        assert "no telemetry events" in tail(str(tmp_path))

@@ -142,3 +142,50 @@ def test_game_runs_match_pre_refactor(golden, pn, an):
         rec.final_loads,
         [list(h) for h in rec.history],
     ] == golden[f"game/{pn}/{an}"]
+
+
+# ---------------------------------------------------------------------
+# Telemetry must be a pure observer: attaching the full instrumented
+# observer stack with the zero-overhead NullWriter cannot change a
+# single golden value.
+# ---------------------------------------------------------------------
+
+INSTRUMENTED_GRID = [
+    (family, n, k, alg)
+    for family in ("random", "comb")
+    for n in (60, 150)
+    for k in (2, 5)
+    for alg in ("bfdn", "cte")
+]
+
+
+@pytest.mark.parametrize("family,n,k,alg", INSTRUMENTED_GRID)
+def test_null_telemetry_preserves_golden_results(golden, family, n, k, alg):
+    from repro.obs import Budget, BudgetObserver, MetricsObserver, NullWriter
+
+    tree = make_tree(family, n, seed=3)
+    observers = [
+        MetricsObserver(writer=NullWriter(), every=7),
+        BudgetObserver(
+            [Budget(name="b", limit=1e12, value=lambda s, r: float(r.billed))],
+            writer=NullWriter(),
+            every=7,
+        ),
+    ]
+    result = Simulator(
+        tree,
+        make_algorithm(alg),
+        k,
+        allow_shared_reveal=(alg == "cte"),
+        observers=observers,
+    ).run()
+    m = result.metrics
+    assert [
+        result.rounds,
+        result.wall_rounds,
+        result.complete,
+        result.all_home,
+        m.total_moves,
+        m.idle_rounds,
+        m.reveals,
+    ] == golden[f"sim/{family}/{n}/{k}/{alg}"]
