@@ -9,6 +9,8 @@ Commands
 ``tail``      summarise a telemetry trace (rounds/sec, budget margins)
 ``figure1``   draw the Figure 1 region chart
 ``game``      play the balls-in-urns game and report Theorem 3's numbers
+``serve``     long-running scenario server (HTTP + unix socket, cached)
+``load``      closed-loop load generator against a running server
 ``demo``      animate BFDN on a small tree, frame by frame
 
 Global flags: ``-v``/``-q`` (repeatable) raise/lower the stdlib logging
@@ -33,6 +35,7 @@ from .mission import run_mission
 from .obs import TelemetryConfig, TelemetryJob, configure_logging, run_telemetry_job
 from .obs import tail as obs_tail
 from .orchestrator import ProgressTracker, ResultStore, TreeSpec
+from .orchestrator.signals import INTERRUPT_EXIT_CODE, graceful_shutdown
 from .orchestrator.store import DEFAULT_CACHE_DIR
 from .perf import bench as perf_bench
 from .registry import (
@@ -221,45 +224,53 @@ def cmd_sweep(args) -> int:
         telemetry = TelemetryConfig.create(args.telemetry)
     tracker = ProgressTracker()
     records, failures = [], []
-    for kind in ("tree", "graph", "game"):
-        algorithms = [a for a in args.algorithms if workload_kind(a) == kind]
-        if not algorithms:
-            continue
-        families = families_by_kind[kind]
-        if not families:
-            print(
-                f"skipping {', '.join(algorithms)}: no {kind} workload "
-                "family in --trees"
-            )
-            continue
-        workloads = []
-        for family in families:
-            for n in args.n:
-                for seed in args.seeds:
-                    label = f"{family}-n{n}" + (
-                        f"-s{seed}" if len(args.seeds) > 1 else ""
-                    )
-                    workloads.append((label, TreeSpec.named(family, n, seed)))
-        try:
-            run = run_sweep_cached(
-                algorithms,
-                workloads,
-                team_sizes=args.k,
-                store=store,
-                max_workers=args.jobs,
-                timeout=args.timeout,
-                retries=args.retries,
-                tracker=tracker,
-                policy=args.policy if kind == "tree" else None,
-                adversary=args.adversary if kind == "tree" else None,
-                adversary_params=adversary_params if kind == "tree" else None,
-                telemetry=telemetry,
-            )
-        except ValueError as exc:
-            print(f"sweep: {exc}")
-            return 2
-        records.extend(run.records)
-        failures.extend(run.failures)
+    interrupted = False
+    # SIGINT/SIGTERM drain the sweep cooperatively: the pool starts no
+    # new jobs, terminates running workers (no orphans), and every
+    # result that settled before the signal is already in the cache.
+    with graceful_shutdown() as stop:
+        for kind in ("tree", "graph", "game"):
+            algorithms = [a for a in args.algorithms if workload_kind(a) == kind]
+            if not algorithms:
+                continue
+            families = families_by_kind[kind]
+            if not families:
+                print(
+                    f"skipping {', '.join(algorithms)}: no {kind} workload "
+                    "family in --trees"
+                )
+                continue
+            workloads = []
+            for family in families:
+                for n in args.n:
+                    for seed in args.seeds:
+                        label = f"{family}-n{n}" + (
+                            f"-s{seed}" if len(args.seeds) > 1 else ""
+                        )
+                        workloads.append((label, TreeSpec.named(family, n, seed)))
+            try:
+                run = run_sweep_cached(
+                    algorithms,
+                    workloads,
+                    team_sizes=args.k,
+                    store=store,
+                    max_workers=args.jobs,
+                    timeout=args.timeout,
+                    retries=args.retries,
+                    tracker=tracker,
+                    policy=args.policy if kind == "tree" else None,
+                    adversary=args.adversary if kind == "tree" else None,
+                    adversary_params=adversary_params if kind == "tree" else None,
+                    telemetry=telemetry,
+                )
+            except ValueError as exc:
+                print(f"sweep: {exc}")
+                return 2
+            records.extend(run.records)
+            failures.extend(run.failures)
+            if stop.is_set():
+                break
+        interrupted = stop.is_set()
 
     rows = [record.as_row() for record in records]
     if rows:
@@ -277,6 +288,12 @@ def cmd_sweep(args) -> int:
     if args.out:
         save_rows(rows, args.out)
         print(f"wrote {args.out}")
+    if interrupted:
+        print(
+            "sweep interrupted — partial results are flushed"
+            + (" (resume with --resume)" if store is not None else "")
+        )
+        return INTERRUPT_EXIT_CODE
     if args.min_hit_rate is not None and tracker.hit_rate() < args.min_hit_rate:
         print(
             f"cache hit rate {tracker.hit_rate():.1%} below required "
@@ -422,12 +439,124 @@ def cmd_experiment(args) -> int:
 def cmd_tail(args) -> int:
     """Summarise a telemetry trace: rounds/sec, margins, violations."""
     try:
-        summary_text = obs_tail(args.path, slowest=args.slowest)
+        summary_text = obs_tail(
+            args.path, slowest=args.slowest, latency=args.latency
+        )
     except OSError as exc:
         print(f"tail: {exc}")
         return 2
     print(summary_text)
     return 1 if "VIOLATION" in summary_text else 0
+
+
+def cmd_serve(args) -> int:
+    """Run the scenario server until SIGINT/SIGTERM drains it."""
+    import asyncio
+
+    from .serve import ScenarioServer
+
+    # HTTP is on by default; ``--host none`` serves the unix socket only.
+    host: Optional[str] = args.host or "127.0.0.1"
+    if args.host == "none":
+        host = None
+        if args.socket is None:
+            print("serve: --host none needs --socket")
+            return 2
+    telemetry = (
+        TelemetryConfig.create(args.telemetry) if args.telemetry else None
+    )
+    store = (
+        None if args.no_cache
+        else ResultStore(args.cache_dir or DEFAULT_CACHE_DIR)
+    )
+    server = ScenarioServer(
+        store,
+        workers=args.jobs,
+        queue_depth=args.queue_depth,
+        isolate=args.isolate,
+        timeout=args.timeout,
+        rate=args.rate,
+        burst=args.burst,
+        telemetry=telemetry,
+        snapshot_every=args.snapshot_every,
+    )
+
+    async def _run() -> None:
+        endpoints = await server.start(
+            host=host, port=args.port, socket_path=args.socket
+        )
+        if "http" in endpoints:
+            bound_host, bound_port = endpoints["http"]
+            print(
+                f"serving http://{bound_host}:{bound_port} "
+                "(POST /run, GET /healthz, GET /stats)"
+            )
+        if "unix" in endpoints:
+            print(
+                f"serving unix socket {endpoints['unix']} "
+                "(one JSON request per line)"
+            )
+        if telemetry is not None:
+            print(f"telemetry: {telemetry.path}")
+        print("press Ctrl-C to drain and exit", flush=True)
+        server.install_signal_handlers()
+        await server.serve_until_drained(args.drain_timeout)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        return INTERRUPT_EXIT_CODE
+    print(
+        f"served {server.requests} requests ({server.errors} errors, "
+        f"{server.pool.executions} executions, "
+        f"{server.inflight.coalesced} coalesced)"
+    )
+    return 0
+
+
+def cmd_load(args) -> int:
+    """Drive a closed-loop load run against a running server."""
+    import asyncio
+
+    from .serve import ServeClient, default_payloads, run_load
+
+    payloads = default_payloads(
+        kinds=args.kinds,
+        distinct=args.distinct,
+        n=args.n,
+        k=args.k,
+        base_seed=args.seed,
+    )
+
+    def make_client(index: int) -> ServeClient:
+        name = f"load-{index}"
+        if args.socket:
+            return ServeClient.unix(args.socket, name=name,
+                                    timeout=args.timeout)
+        return ServeClient.http(args.host, args.port, name=name,
+                                timeout=args.timeout)
+
+    try:
+        report = asyncio.run(run_load(
+            make_client, payloads,
+            clients=args.clients, requests=args.requests,
+        ))
+    except OSError as exc:
+        target = args.socket or f"{args.host}:{args.port}"
+        print(f"load: cannot reach server at {target}: {exc}")
+        return 2
+    for line in report.render():
+        print(line)
+    if report.errors:
+        print(f"load: FAILED ({report.errors} non-ok responses)")
+        return 1
+    if args.min_hit_rate is not None and report.hit_rate < args.min_hit_rate:
+        print(
+            f"load: FAILED (hit rate {report.hit_rate:.1%} below required "
+            f"{args.min_hit_rate:.1%})"
+        )
+        return 1
+    return 0
 
 
 def cmd_demo(args) -> int:
@@ -661,7 +790,116 @@ def build_parser() -> argparse.ArgumentParser:
         "--slowest", type=int, default=5,
         help="how many slowest spans to list",
     )
+    p.add_argument(
+        "--latency", action="store_true",
+        help="render the serving layer's request-latency p50/p95/p99 and "
+        "queue-depth gauges (from 'repro serve' request/queue/latency events)",
+    )
     p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived scenario server (cache, dedup, backpressure)",
+    )
+    p.add_argument(
+        "--host", default=None,
+        help="HTTP bind address (default 127.0.0.1; 'none' disables HTTP "
+        "and serves only the --socket)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8642,
+        help="HTTP port (0 = ephemeral; the bound port is printed)",
+    )
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="also serve newline-delimited JSON on this unix socket",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, dest="cache_dir",
+        help="shared content-addressed result cache directory",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a store (every request computes; tests only)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=4,
+        help="concurrent scenario executions",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=64, dest="queue_depth",
+        help="bounded execution queue; beyond it requests get 503",
+    )
+    p.add_argument(
+        "--isolate", action="store_true",
+        help="run scenarios in worker processes (crash isolation, "
+        "enforced --timeout) instead of in-process threads",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-scenario timeout in seconds (only enforced with --isolate)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-client sustained requests/sec (0 = unlimited)",
+    )
+    p.add_argument(
+        "--burst", type=float, default=None,
+        help="per-client burst allowance (default 2x --rate)",
+    )
+    p.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="stream request/queue/latency events under DIR "
+        "(see 'repro tail --latency')",
+    )
+    p.add_argument(
+        "--snapshot-every", type=int, default=500, dest="snapshot_every",
+        help="emit latency/queue telemetry snapshots every N requests",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0, dest="drain_timeout",
+        help="seconds to let queued work finish after SIGINT/SIGTERM",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "load", help="closed-loop load generator against a running server"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="server HTTP address")
+    p.add_argument("--port", type=int, default=8642, help="server HTTP port")
+    p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="talk to the server's unix socket instead of HTTP",
+    )
+    p.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent closed-loop clients",
+    )
+    p.add_argument(
+        "--requests", type=int, default=200,
+        help="total requests across all clients",
+    )
+    p.add_argument(
+        "--distinct", type=int, default=8,
+        help="distinct scenarios cycled through (controls the hit rate)",
+    )
+    p.add_argument(
+        "--kinds", nargs="+", choices=["tree", "graph", "game"],
+        default=["tree", "graph", "game"],
+        help="scenario kinds mixed into the batch",
+    )
+    p.add_argument("-n", type=int, default=400, help="scenario size knob")
+    p.add_argument("-k", type=int, default=2, help="team size")
+    p.add_argument("--seed", type=int, default=0, help="base scenario seed")
+    p.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-request client timeout in seconds",
+    )
+    p.add_argument(
+        "--min-hit-rate", type=float, default=None, dest="min_hit_rate",
+        help="exit 1 unless cache+dedup hit rate reaches this fraction",
+    )
+    p.set_defaults(func=cmd_load)
 
     p = sub.add_parser("demo", help="animate BFDN on a small tree")
     p.add_argument("--tree", choices=sorted(TREES), default="random")

@@ -22,6 +22,16 @@ with the same six-kind vocabulary:
 ``violation``
     A theorem bound was crossed — the paper's guarantees as runtime
     assertions; emitted at the exact round the margin goes negative.
+``request``
+    One scenario request served by the ``repro serve`` daemon
+    (client id, outcome source ``cache``/``dedup``/``fresh``, status,
+    latency in milliseconds).
+``queue``
+    A periodic queue-depth/in-flight gauge sample from the server's
+    bounded execution queue.
+``latency``
+    A periodic request-latency percentile snapshot (p50/p95/p99 per
+    outcome source), rendered by ``repro tail --latency``.
 
 Correlation model: a *trace* is one sweep / CLI invocation
 (``trace_id``), a *span* is one job or run within it (``span_id``).
@@ -38,11 +48,16 @@ from dataclasses import dataclass, field
 from time import monotonic
 from typing import Any, Dict, Iterable, Mapping, Optional
 
-#: Event kinds, in rough lifecycle order.
+#: Event kinds, in rough lifecycle order.  The ``request``/``queue``/
+#: ``latency`` trio is emitted by the serving layer (``repro serve``);
+#: additions here are backward compatible — readers skip unknown kinds.
 EVENT_TYPES = (
     "run_start",
+    "request",
     "round",
     "span",
+    "queue",
+    "latency",
     "budget",
     "violation",
     "run_end",

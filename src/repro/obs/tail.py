@@ -52,6 +52,59 @@ class SpanSummary:
 
 
 @dataclass
+class ServingSummary:
+    """The serving layer's slice of a trace: requests, queue, latency.
+
+    Folded from the ``request``/``queue``/``latency`` events the
+    ``repro serve`` daemon emits; empty when the trace came from a
+    batch sweep.
+    """
+
+    #: Requests by outcome source (cache / dedup / fresh / error codes).
+    by_source: Dict[str, int] = field(default_factory=dict)
+    #: Requests by response status (ok / rate_limited / saturated / ...).
+    by_status: Dict[str, int] = field(default_factory=dict)
+    requests: int = 0
+    errors: int = 0
+    #: Last latency percentile snapshot per source, straight from the
+    #: server's ``latency`` events: {source: {count, p50_ms, ...}}.
+    percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    queue_depth: int = 0
+    queue_depth_max: int = 0
+    queue_capacity: int = 0
+    inflight: int = 0
+
+    @property
+    def seen(self) -> bool:
+        """Whether the trace contains any serving-layer events."""
+        return bool(self.requests or self.percentiles or self.queue_capacity)
+
+    def fold(self, ev: TelemetryEvent) -> None:
+        """Fold one request/queue/latency event into the aggregates."""
+        data = ev.data
+        if ev.event == "request":
+            self.requests += 1
+            source = str(data.get("source", "?"))
+            status = str(data.get("status", "?"))
+            self.by_source[source] = self.by_source.get(source, 0) + 1
+            self.by_status[status] = self.by_status.get(status, 0) + 1
+            if status != "ok":
+                self.errors += 1
+        elif ev.event == "queue":
+            self.queue_depth = int(data.get("depth", 0) or 0)
+            self.queue_depth_max = max(self.queue_depth_max, self.queue_depth)
+            self.queue_capacity = int(data.get("capacity", 0) or 0)
+            self.inflight = int(data.get("inflight", 0) or 0)
+        elif ev.event == "latency":
+            source = str(data.get("source", "all"))
+            self.percentiles[source] = {
+                key: float(value)
+                for key, value in data.items()
+                if isinstance(value, (int, float)) and key != "final"
+            }
+
+
+@dataclass
 class TraceSummary:
     """A whole trace folded into span summaries and aggregates."""
 
@@ -59,6 +112,7 @@ class TraceSummary:
     events: int = 0
     violations: int = 0
     problem: Optional[str] = None
+    serving: ServingSummary = field(default_factory=ServingSummary)
 
     def closed_spans(self) -> List[SpanSummary]:
         """Spans with both a run_start and a run_end, slowest first."""
@@ -66,8 +120,15 @@ class TraceSummary:
         return sorted(done, key=lambda s: s.duration or 0.0, reverse=True)
 
     def open_spans(self) -> List[SpanSummary]:
-        """Spans that started but never ended (crash or still running)."""
-        return [s for s in self.spans.values() if s.duration is None]
+        """Spans that started but never ended (crash or still running).
+
+        Spans that only ever carried span-less events (e.g. the serving
+        layer's per-request events) are not "open" — they never started.
+        """
+        return [
+            s for s in self.spans.values()
+            if s.start_ts is not None and s.end_ts is None
+        ]
 
 
 def summarize(events: Iterable[TelemetryEvent]) -> TraceSummary:
@@ -105,6 +166,8 @@ def summarize(events: Iterable[TelemetryEvent]) -> TraceSummary:
         elif ev.event == "violation":
             span.violations += 1
             summary.violations += 1
+        elif ev.event in ("request", "queue", "latency"):
+            summary.serving.fold(ev)
     return summary
 
 
@@ -116,7 +179,48 @@ def _fmt_margin(margins: Dict[str, float]) -> str:
     )
 
 
-def render(summary: TraceSummary, slowest: int = 5) -> List[str]:
+def render_latency(serving: ServingSummary) -> List[str]:
+    """Render the serving layer's latency/queue section.
+
+    One line per outcome source with the server-computed p50/p95/p99
+    (milliseconds), plus the queue-depth and in-flight gauges.
+    """
+    lines: List[str] = []
+    if not serving.seen:
+        return ["serving: no request/queue/latency events in this trace"]
+    sources = " ".join(
+        f"{source}={count}" for source, count in sorted(serving.by_source.items())
+    )
+    lines.append(
+        f"serving: {serving.requests} requests ({sources}), "
+        f"{serving.errors} errors"
+    )
+    if serving.percentiles:
+        lines.append(
+            f"  {'source':<8} {'n':>7} {'p50ms':>8} {'p95ms':>8} "
+            f"{'p99ms':>8} {'maxms':>8}"
+        )
+        for source in sorted(serving.percentiles):
+            snap = serving.percentiles[source]
+            lines.append(
+                f"  {source:<8} {int(snap.get('count', 0)):>7} "
+                f"{snap.get('p50_ms', 0.0):>8.2f} "
+                f"{snap.get('p95_ms', 0.0):>8.2f} "
+                f"{snap.get('p99_ms', 0.0):>8.2f} "
+                f"{snap.get('max_ms', 0.0):>8.2f}"
+            )
+    if serving.queue_capacity:
+        lines.append(
+            f"queue: depth {serving.queue_depth} "
+            f"(max {serving.queue_depth_max}) of {serving.queue_capacity}, "
+            f"{serving.inflight} in flight"
+        )
+    return lines
+
+
+def render(
+    summary: TraceSummary, slowest: int = 5, latency: bool = False
+) -> List[str]:
     """Render a trace summary as display lines (no trailing newlines)."""
     lines: List[str] = []
     closed = summary.closed_spans()
@@ -154,6 +258,9 @@ def render(summary: TraceSummary, slowest: int = 5) -> List[str]:
                 f"{span.duration or 0.0:>8.3f} {span.rounds:>8} "
                 f"{span.violations:>4}  {_fmt_margin(span.margins)}"
             )
+    if latency:
+        lines.append("")
+        lines.extend(render_latency(summary.serving))
     if summary.violations == 0:
         lines.append("budget: all margins non-negative (0 violations)")
     else:
@@ -164,12 +271,20 @@ def render(summary: TraceSummary, slowest: int = 5) -> List[str]:
     return lines
 
 
-def tail(dir_or_file: str, slowest: int = 5) -> str:
+def tail(dir_or_file: str, slowest: int = 5, latency: bool = False) -> str:
     """Load a telemetry trace and return the rendered summary text."""
     events = load_trace(dir_or_file)
     if not events:
         return f"no telemetry events under {dir_or_file}"
-    return "\n".join(render(summarize(events), slowest=slowest))
+    return "\n".join(render(summarize(events), slowest=slowest, latency=latency))
 
 
-__all__ = ["SpanSummary", "TraceSummary", "render", "summarize", "tail"]
+__all__ = [
+    "ServingSummary",
+    "SpanSummary",
+    "TraceSummary",
+    "render",
+    "render_latency",
+    "summarize",
+    "tail",
+]

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .events import ProgressTracker, SweepEvent
 from .jobspec import JobSpec, run_jobspec
+from .signals import DEFAULT_FLAG, ShutdownFlag
 from .store import ResultStore
 
 logger = logging.getLogger(__name__)
@@ -112,6 +113,14 @@ def _emit(tracker: Optional[ProgressTracker], **kwargs) -> None:
         tracker.emit(SweepEvent(**kwargs))
 
 
+def _interrupted_outcome(index: int, label: str) -> TaskOutcome:
+    """The terminal state of a task pre-empted by a shutdown request."""
+    return TaskOutcome(
+        index=index, label=label, status="failed", attempts=0,
+        elapsed=0.0, error="interrupted by shutdown",
+    )
+
+
 class _SpanIds:
     """Maps a task index to its (trace_id, span_id) stamp for events."""
 
@@ -138,6 +147,7 @@ def run_tasks(
     on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
     spans: Optional[Sequence[str]] = None,
     trace_id: str = "",
+    stop: Optional[ShutdownFlag] = None,
 ) -> List[TaskOutcome]:
     """Run ``worker(payload)`` for every payload, resiliently.
 
@@ -168,6 +178,16 @@ def run_tasks(
         :class:`SweepEvent`: ``spans`` aligns with ``payloads`` (one
         span id per task), ``trace_id`` tags the whole call.  Both
         default to empty (no telemetry).
+    stop:
+        A :class:`~repro.orchestrator.signals.ShutdownFlag` polled
+        between scheduling decisions (default: the process-wide flag
+        that :func:`~repro.orchestrator.signals.graceful_shutdown`
+        binds to SIGINT/SIGTERM).  Once set, no new attempt starts,
+        running worker processes are terminated and reaped, and every
+        task that never produced a result is returned as failed with
+        an "interrupted by shutdown" error — results that settled
+        before the interrupt are kept (and were already flushed via
+        ``on_outcome``).
 
     Returns outcomes in input order; never raises for task failures.
     """
@@ -192,14 +212,15 @@ def run_tasks(
         "run_tasks: %d tasks on %d worker(s) (timeout=%s, retries=%d)",
         len(payloads), max_workers, timeout, retries,
     )
+    stop = stop if stop is not None else DEFAULT_FLAG
     if max_workers <= 1:
         return _run_inline(
             payloads, worker, labels, retries, backoff, tracker_obj,
-            on_outcome, ids,
+            on_outcome, ids, stop,
         )
     return _run_pooled(
         payloads, worker, labels, max_workers, timeout, retries, backoff,
-        tracker_obj, on_outcome, ids,
+        tracker_obj, on_outcome, ids, stop,
     )
 
 
@@ -212,12 +233,22 @@ def _run_inline(
     tracker: Optional[ProgressTracker],
     on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
     ids: Optional[_SpanIds] = None,
+    stop: Optional[ShutdownFlag] = None,
 ) -> List[TaskOutcome]:
     ids = ids if ids is not None else _SpanIds(None, "")
+    stop = stop if stop is not None else DEFAULT_FLAG
     outcomes: List[TaskOutcome] = []
     for index, payload in enumerate(payloads):
         label = labels[index]
         stamp = ids.for_index(index)
+        if stop.is_set():
+            outcome = _interrupted_outcome(index, label)
+            _emit(tracker, kind="failed", label=label, detail=outcome.error,
+                  **stamp)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            outcomes.append(outcome)
+            continue
         error = ""
         outcome = None
         for attempt in range(1, retries + 2):
@@ -275,8 +306,10 @@ def _run_pooled(
     tracker: Optional[ProgressTracker],
     on_outcome: Optional[Callable[[TaskOutcome], None]] = None,
     ids: Optional[_SpanIds] = None,
+    stop: Optional[ShutdownFlag] = None,
 ) -> List[TaskOutcome]:
     ids = ids if ids is not None else _SpanIds(None, "")
+    stop = stop if stop is not None else DEFAULT_FLAG
     ctx = _mp_context()
     outcomes: List[Optional[TaskOutcome]] = [None] * len(payloads)
     now = time.monotonic()
@@ -358,6 +391,15 @@ def _run_pooled(
 
     try:
         while pending or delayed or running:
+            if stop.is_set():
+                # Graceful drain: start nothing new, kill what's running
+                # (the finally block reaps), report the rest interrupted.
+                logger.warning(
+                    "run_tasks: shutdown requested — terminating %d running, "
+                    "dropping %d pending task(s)",
+                    len(running), len(pending) + len(delayed),
+                )
+                break
             now = time.monotonic()
             if delayed:
                 still: List[_Pending] = []
@@ -404,12 +446,24 @@ def _run_pooled(
                     settle(slot, "timeout", None,
                            f"timed out after {timeout:.1f}s", timed_out=True)
     finally:
-        for slot in running:  # pragma: no cover - interrupt cleanup
+        for slot in running:
             try:
                 slot.process.terminate()
             except Exception:
                 pass
             reap(slot)
+
+    # Tasks pre-empted by a shutdown request (still pending, delayed, or
+    # terminated while running) settle as interrupted failures; every
+    # result that finished before the interrupt is already in place.
+    for index, outcome in enumerate(outcomes):
+        if outcome is None:
+            interrupted = _interrupted_outcome(index, labels[index])
+            outcomes[index] = interrupted
+            _emit(tracker, kind="failed", label=labels[index],
+                  detail=interrupted.error, **ids.for_index(index))
+            if on_outcome is not None:
+                on_outcome(interrupted)
 
     assert all(outcome is not None for outcome in outcomes)
     return [outcome for outcome in outcomes if outcome is not None]
@@ -448,6 +502,7 @@ def run_jobspecs(
     backoff: float = 0.1,
     tracker: Optional[ProgressTracker] = None,
     telemetry=None,
+    stop: Optional[ShutdownFlag] = None,
 ) -> List[JobOutcome]:
     """Run a sweep of job specs through the cache and the resilient pool.
 
@@ -470,6 +525,7 @@ def run_jobspecs(
         return _run_jobspecs(
             specs, store=store, use_cache=use_cache, max_workers=max_workers,
             timeout=timeout, retries=retries, backoff=backoff, tracker=tracker,
+            stop=stop,
         )
 
     from ..obs.schema import new_span_id
@@ -497,7 +553,7 @@ def run_jobspecs(
         outcomes = _run_jobspecs(
             specs, store=store, use_cache=use_cache, max_workers=max_workers,
             timeout=timeout, retries=retries, backoff=backoff, tracker=tracker,
-            telemetry=telemetry, span_ids=span_ids,
+            telemetry=telemetry, span_ids=span_ids, stop=stop,
         )
         writer.emit(
             "run_end",
@@ -529,6 +585,7 @@ def _run_jobspecs(
     tracker: Optional[ProgressTracker],
     telemetry=None,
     span_ids: Optional[List[str]] = None,
+    stop: Optional[ShutdownFlag] = None,
 ) -> List[JobOutcome]:
     tracker = tracker if tracker is not None else ProgressTracker()
     trace_id = telemetry.trace_id if telemetry is not None else ""
@@ -607,6 +664,7 @@ def _run_jobspecs(
         on_outcome=persist,
         spans=[span_ids[i] for i in runners],
         trace_id=trace_id,
+        stop=stop,
     )
 
     for spec_index, task in zip(runners, task_outcomes):

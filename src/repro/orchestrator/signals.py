@@ -1,0 +1,111 @@
+"""Cooperative shutdown for sweeps and the worker pool.
+
+A :class:`ShutdownFlag` is a thread-safe latch the resilient pool polls
+between scheduling decisions: once set, :func:`~repro.orchestrator.
+executor.run_tasks` starts no new attempts, terminates and reaps every
+running worker process (no orphans), marks the tasks that never got to
+run as interrupted, and returns — which lets the content-addressed
+layer above it keep every result that settled before the interrupt
+(they were flushed to the store *as they settled*).
+
+:func:`graceful_shutdown` binds the flag to SIGINT/SIGTERM for the
+duration of a ``with`` block: the first signal requests a graceful
+drain, a second one falls through to Python's default handling
+(``KeyboardInterrupt`` / process death) so a wedged sweep can still be
+killed from the keyboard.  The ``repro serve`` daemon reuses the same
+drain discipline through asyncio's signal handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import signal as _signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+logger = logging.getLogger(__name__)
+
+
+class ShutdownFlag:
+    """A latch that marks "stop starting new work, drain and exit"."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason = ""
+
+    def request(self, reason: str = "") -> None:
+        """Set the latch (idempotent); ``reason`` aids log messages."""
+        if not self._event.is_set():
+            self._reason = reason
+            logger.info("shutdown requested%s", f" ({reason})" if reason else "")
+        self._event.set()
+
+    def is_set(self) -> bool:
+        """Whether shutdown has been requested."""
+        return self._event.is_set()
+
+    def clear(self) -> None:
+        """Re-arm the latch (used between CLI commands and in tests)."""
+        self._event.clear()
+        self._reason = ""
+
+    @property
+    def reason(self) -> str:
+        """Why shutdown was requested ("" if it wasn't)."""
+        return self._reason
+
+
+#: The process-wide flag the pool consults when no explicit one is given.
+DEFAULT_FLAG = ShutdownFlag()
+
+#: Conventional exit code for "terminated by signal" (128 + SIGINT).
+INTERRUPT_EXIT_CODE = 130
+
+
+@contextmanager
+def graceful_shutdown(
+    flag: Optional[ShutdownFlag] = None,
+    signals: Tuple[int, ...] = (_signal.SIGINT, _signal.SIGTERM),
+) -> Iterator[ShutdownFlag]:
+    """Bind ``flag`` (default: the process-wide one) to Unix signals.
+
+    Inside the block the first matching signal merely sets the flag —
+    the sweep drains cooperatively — while a second signal restores the
+    previous handlers mid-flight and re-raises through them (default
+    ``KeyboardInterrupt`` for SIGINT), so an unresponsive run can still
+    be stopped.  Handlers are always restored and the flag re-armed on
+    exit.  Only usable from the main thread (a CPython restriction on
+    ``signal.signal``); callers on other threads should pass an explicit
+    flag and trip it themselves.
+    """
+    flag = flag if flag is not None else DEFAULT_FLAG
+    previous = {}
+
+    def handler(signum, frame):
+        if flag.is_set():  # second signal: give up on graceful
+            for num, old in previous.items():
+                _signal.signal(num, old)
+            raise KeyboardInterrupt
+        try:
+            name = _signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        flag.request(name)
+
+    for signum in signals:
+        previous[signum] = _signal.signal(signum, handler)
+    try:
+        yield flag
+    finally:
+        for signum, old in previous.items():
+            _signal.signal(signum, old)
+        flag.clear()
+
+
+__all__ = [
+    "DEFAULT_FLAG",
+    "INTERRUPT_EXIT_CODE",
+    "ShutdownFlag",
+    "graceful_shutdown",
+]

@@ -9,12 +9,24 @@ Design constraints:
 
 * **append-only writes** — a ``put`` appends one line and fsyncs, so a
   sweep killed mid-run loses at most the line being written;
-* **tolerant reads** — corrupt/truncated lines (the tail of an
-  interrupted write) and rows under a foreign schema tag are skipped on
-  load, which is exactly what makes ``--resume`` safe;
+* **concurrent-writer safety** — every mutation takes an advisory
+  ``flock`` on a sidecar lock file (``store.lock``), so several
+  processes (sweeps, the ``repro serve`` daemon, pool workers) may
+  share one cache directory without tearing or interleaving rows, and
+  the manifest is always replaced by atomic rename;
+* **tolerant reads** — corrupt/truncated lines (the tail of a crashed
+  writer) and rows under a foreign schema tag are skipped on load,
+  which is exactly what makes ``--resume`` safe; an appender that finds
+  a torn tail first terminates it so the fragment can never swallow the
+  next good row;
 * **last-write-wins** — re-inserting a fingerprint appends a newer row
   that shadows the old one at load time; :meth:`ResultStore.compact`
   rewrites the log to drop shadowed and evicted rows.
+
+:meth:`ResultStore.refresh` folds rows appended by *other* processes
+into the in-memory index incrementally (it scans only the bytes added
+since the last scan), which is what lets a long-running server answer
+from a cache that batch sweeps keep growing underneath it.
 """
 
 from __future__ import annotations
@@ -23,8 +35,14 @@ import json
 import logging
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
+
+try:  # pragma: no cover - platform gate
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from .jobspec import SCHEMA_VERSION
 
@@ -58,41 +76,108 @@ class ResultStore:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.results_path = self.cache_dir / "results.jsonl"
         self.manifest_path = self.cache_dir / "manifest.json"
+        self.lock_path = self.cache_dir / "store.lock"
         self._index: Dict[str, Row] = {}
         self._skipped_lines = 0
+        #: Byte offset up to which ``results.jsonl`` has been folded into
+        #: the index (always sits on a line boundary).
+        self._offset = 0
+        #: Whether the scanned region ends in a torn (newline-less) tail
+        #: left by a crashed writer; the next append terminates it.
+        self._torn_tail = False
         self._load()
+
+    # -- locking -------------------------------------------------------
+    @contextmanager
+    def _locked(self, shared: bool = False):
+        """Advisory inter-process lock around log/manifest mutation.
+
+        A sidecar file is locked (never the log itself) so
+        :meth:`compact`'s atomic rename of ``results.jsonl`` cannot
+        invalidate a lock another process is blocked on.  On platforms
+        without ``fcntl`` this degrades to no locking — single-process
+        semantics, exactly the pre-lock behaviour.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        with open(self.lock_path, "a+b") as handle:
+            fcntl.flock(
+                handle.fileno(), fcntl.LOCK_SH if shared else fcntl.LOCK_EX
+            )
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     # -- loading -------------------------------------------------------
     def _load(self) -> None:
         self._index.clear()
         self._skipped_lines = 0
-        if not self.results_path.exists():
-            return
-        with self.results_path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except (ValueError, TypeError):
-                    self._skipped_lines += 1  # truncated tail of a crash
-                    continue
-                if not isinstance(row, dict) or row.get("schema") != self.schema:
-                    self._skipped_lines += 1
-                    continue
-                fingerprint = row.get("fingerprint")
-                if not isinstance(fingerprint, str):
-                    self._skipped_lines += 1
-                    continue
-                self._index[fingerprint] = row
-        if self._skipped_lines:
+        self._offset = 0
+        self._torn_tail = False
+        self._scan_from(0)
+        if self.skipped_lines:
             logger.warning(
                 "result store %s: ignored %d corrupt/foreign-schema line(s)",
-                self.results_path, self._skipped_lines,
+                self.results_path, self.skipped_lines,
             )
         logger.debug("result store %s: %d cached row(s)",
                      self.results_path, len(self._index))
+
+    def _scan_from(self, offset: int) -> None:
+        """Fold complete log lines from ``offset`` onward into the index.
+
+        Only whole (newline-terminated) lines are consumed; a trailing
+        fragment — a writer crashed mid-append — is left unconsumed and
+        flagged so the next append can terminate it.
+        """
+        if not self.results_path.exists():
+            self._offset = 0
+            self._torn_tail = False
+            return
+        with open(self.results_path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size < offset:
+                # The log shrank underneath us: another process ran
+                # compact().  Start over from a clean slate.
+                self._load()
+                return
+            handle.seek(offset)
+            data = handle.read()
+        end = data.rfind(b"\n") + 1
+        self._offset = offset + end
+        self._torn_tail = end < len(data)
+        for raw in data[:end].split(b"\n"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                row = json.loads(raw.decode("utf-8"))
+            except (ValueError, TypeError, UnicodeDecodeError):
+                self._skipped_lines += 1  # terminated torn line of a crash
+                continue
+            if not isinstance(row, dict) or row.get("schema") != self.schema:
+                self._skipped_lines += 1
+                continue
+            fingerprint = row.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                self._skipped_lines += 1
+                continue
+            self._index[fingerprint] = row
+
+    def refresh(self) -> int:
+        """Fold rows appended by other processes into the index.
+
+        Incremental — scans only the bytes added since the last scan —
+        and cheap enough for a serving loop to call on every cache miss.
+        Returns the number of *new* fingerprints discovered.
+        """
+        before = len(self._index)
+        with self._locked(shared=True):
+            self._scan_from(self._offset)
+        return len(self._index) - before
 
     # -- queries -------------------------------------------------------
     def __contains__(self, fingerprint: str) -> bool:
@@ -112,22 +197,39 @@ class ResultStore:
 
     @property
     def skipped_lines(self) -> int:
-        """Corrupt or foreign-schema lines ignored at load time."""
-        return self._skipped_lines
+        """Corrupt or foreign-schema lines ignored at load time (a torn
+        newline-less tail counts as one)."""
+        return self._skipped_lines + (1 if self._torn_tail else 0)
 
     # -- mutation ------------------------------------------------------
     def put(self, fingerprint: str, row: Row) -> None:
-        """Insert (or overwrite) the row stored under ``fingerprint``."""
+        """Insert (or overwrite) the row stored under ``fingerprint``.
+
+        Appends one line under the advisory lock: concurrent writers
+        serialize, rows appended by them since the last scan are folded
+        into this process's index first, and a torn tail left by a
+        crashed writer is newline-terminated so it cannot swallow this
+        row.
+        """
         stored = dict(row)
         stored["fingerprint"] = fingerprint
         stored["schema"] = self.schema
         line = json.dumps(stored, sort_keys=True, default=str)
-        with self.results_path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._index[fingerprint] = stored
-        self._write_manifest()
+        with self._locked():
+            self._scan_from(self._offset)
+            payload = line.encode("utf-8") + b"\n"
+            if self._torn_tail:
+                payload = b"\n" + payload
+            with open(self.results_path, "ab") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+                self._offset = handle.tell()
+            if self._torn_tail:
+                self._torn_tail = False
+                self._skipped_lines += 1  # the fragment is now a dead line
+            self._index[fingerprint] = stored
+            self._write_manifest()
 
     def evict(self, fingerprint: str) -> bool:
         """Remove one entry; returns whether it existed."""
@@ -143,21 +245,33 @@ class ResultStore:
         self.compact()
 
     def compact(self) -> None:
-        """Rewrite the log atomically, keeping only live entries."""
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.cache_dir), prefix="results.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                for row in self._index.values():
-                    handle.write(json.dumps(row, sort_keys=True, default=str) + "\n")
-            os.replace(tmp_name, self.results_path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
-        self._skipped_lines = 0
-        self._write_manifest()
+        """Rewrite the log atomically, keeping only live entries.
+
+        Runs under the advisory lock (rows appended concurrently by
+        other processes are folded in first, never dropped) and swaps
+        the new log in by atomic rename.
+        """
+        with self._locked():
+            self._scan_from(self._offset)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.cache_dir), prefix="results.", suffix=".tmp"
+            )
+            try:
+                size = 0
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    for row in self._index.values():
+                        text = json.dumps(row, sort_keys=True, default=str) + "\n"
+                        handle.write(text)
+                        size += len(text.encode("utf-8"))
+                os.replace(tmp_name, self.results_path)
+            except BaseException:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+                raise
+            self._offset = size
+            self._torn_tail = False
+            self._skipped_lines = 0
+            self._write_manifest()
 
     def _write_manifest(self) -> None:
         manifest = {

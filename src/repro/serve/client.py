@@ -1,0 +1,179 @@
+"""Async clients for the scenario server (HTTP and unix socket).
+
+One :class:`ServeClient` holds one persistent connection — keep-alive
+HTTP or a unix-socket JSONL stream — and issues closed-loop requests
+over it.  The load generator runs many of these concurrently; tests use
+a single one to talk to an in-process server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Dict, Optional
+
+from .protocol import PROTOCOL_VERSION
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One persistent connection to a running scenario server.
+
+    Build with :meth:`http` or :meth:`unix`, then ``await connect()``.
+    ``run_scenario`` sends one request and awaits its response payload;
+    requests on one client are sequential (closed loop) by design.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: Optional[str] = None,
+        port: int = 0,
+        socket_path: Optional[str] = None,
+        name: str = "client",
+        timeout: float = 60.0,
+    ):
+        if (host is None) == (socket_path is None):
+            raise ValueError("need exactly one of host/port or socket_path")
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.name = name
+        self.timeout = timeout
+        self._reader: Optional["asyncio.StreamReader"] = None
+        self._writer: Optional["asyncio.StreamWriter"] = None
+        self._ids = itertools.count(1)
+
+    @classmethod
+    def http(cls, host: str, port: int, name: str = "client",
+             timeout: float = 60.0) -> "ServeClient":
+        """A keep-alive HTTP client for ``host:port``."""
+        return cls(host=host, port=port, name=name, timeout=timeout)
+
+    @classmethod
+    def unix(cls, socket_path: str, name: str = "client",
+             timeout: float = 60.0) -> "ServeClient":
+        """A JSONL client for the unix socket at ``socket_path``."""
+        return cls(socket_path=socket_path, name=name, timeout=timeout)
+
+    @property
+    def transport(self) -> str:
+        """``"http"`` or ``"unix"``."""
+        return "unix" if self.socket_path is not None else "http"
+
+    async def connect(self) -> "ServeClient":
+        """Open the connection (idempotent); returns ``self``."""
+        if self._writer is not None:
+            return self
+        if self.socket_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.socket_path
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    # -- requests ------------------------------------------------------
+    async def run_scenario(
+        self, scenario: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Submit one scenario object; returns the response payload.
+
+        ``scenario`` is the object form of ``ScenarioSpec.to_json()``
+        (the schema field may be omitted — the server injects it).
+        """
+        envelope = {
+            "v": PROTOCOL_VERSION,
+            "scenario": scenario,
+            "client": self.name,
+            "id": f"{self.name}-{next(self._ids)}",
+        }
+        if self.transport == "unix":
+            return await self._request_unix(envelope)
+        return await self._request_http("POST", "/run", envelope)
+
+    async def get(self, path: str) -> Dict[str, Any]:
+        """``GET`` a server endpoint (``/healthz``, ``/stats``); HTTP only."""
+        if self.transport != "http":
+            raise ValueError("GET endpoints exist only over HTTP")
+        return await self._request_http("GET", path, None)
+
+    # -- HTTP wire -----------------------------------------------------
+    async def _request_http(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        body = (
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            if payload is not None else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"X-Repro-Client: {self.name}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        self._writer.write(head + body)
+        await self._writer.drain()
+        return await asyncio.wait_for(
+            self._read_http_response(), self.timeout
+        )
+
+    async def _read_http_response(self) -> Dict[str, Any]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await self._reader.readexactly(length) if length else b""
+        payload = json.loads(body.decode("utf-8")) if body else {}
+        payload.setdefault("http_status", status)
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return payload
+
+    # -- unix wire -----------------------------------------------------
+    async def _request_unix(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(
+            json.dumps(envelope, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        await self._writer.drain()
+        line = await asyncio.wait_for(self._reader.readline(), self.timeout)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        payload = json.loads(line.decode("utf-8"))
+        payload.setdefault(
+            "http_status", 200 if payload.get("ok") else 500
+        )
+        return payload

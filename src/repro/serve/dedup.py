@@ -1,0 +1,76 @@
+"""In-flight request deduplication: one computation, N waiters.
+
+When several clients ask for the same fingerprint while it is being
+computed, only the first (*leader*) submits work to the pool; the rest
+(*followers*) await the same :class:`asyncio.Future`.  The map is keyed
+by scenario fingerprint, so "the same request" means *semantically*
+identical — two clients sending specs with different labels but equal
+canonical encodings coalesce.
+
+Lifecycle: the leader ``lease()``\\ s the fingerprint, attaches the
+future that will carry the result, and ``release()``\\ s the entry once
+the future is resolved *and* the row is in the store — never before,
+or a third client arriving in the gap would miss both the store and the
+map and trigger a duplicate computation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+__all__ = ["InflightMap"]
+
+
+class InflightMap:
+    """Fingerprint → in-flight future, with coalescing statistics.
+
+    Single-event-loop use only (no locks needed: every mutation happens
+    between awaits on the loop thread).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        #: Requests that joined an existing computation instead of
+        #: starting their own.
+        self.coalesced = 0
+        #: Leases taken (distinct computations started).
+        self.leases = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._inflight
+
+    def lease(
+        self, fingerprint: str
+    ) -> Tuple[bool, "asyncio.Future"]:
+        """Join or start the in-flight computation for ``fingerprint``.
+
+        Returns ``(leader, future)``: the leader must eventually resolve
+        the future (directly or via :meth:`fail`) and then
+        :meth:`release` the entry; followers just await it.
+        """
+        existing = self._inflight.get(fingerprint)
+        if existing is not None:
+            self.coalesced += 1
+            return False, existing
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        self._inflight[fingerprint] = future
+        self.leases += 1
+        return True, future
+
+    def fail(self, fingerprint: str, exc: BaseException) -> None:
+        """Resolve the in-flight future exceptionally and drop the entry.
+
+        Used when the leader cannot even submit (queue saturated): the
+        followers all observe the same failure.
+        """
+        future = self._inflight.pop(fingerprint, None)
+        if future is not None and not future.done():
+            future.set_exception(exc)
+
+    def release(self, fingerprint: str) -> Optional["asyncio.Future"]:
+        """Drop the entry once its result is durably visible elsewhere."""
+        return self._inflight.pop(fingerprint, None)

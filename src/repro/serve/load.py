@@ -1,0 +1,187 @@
+"""Closed-loop load generator for the scenario server (``repro load``).
+
+``--clients`` concurrent closed-loop clients share one global request
+budget (``--requests`` total) and a fixed batch of ``--distinct``
+scenario payloads, cycled round-robin.  Closed loop means each client
+waits for its response before sending the next request, so concurrency
+is exactly the client count and the measured latency distribution is
+honest (no coordinated-omission inflation from open-loop bursts).
+
+The report aggregates client-observed latency percentiles, the
+source/status mix, and the *hit rate* — the fraction of successful
+requests answered without a fresh computation (``cache`` + ``dedup``).
+The CI smoke job runs the same batch twice and asserts a warm-pass hit
+rate ≥ 0.9 with zero errors (``--min-hit-rate`` sets the exit code).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..orchestrator.jobspec import TreeSpec
+from ..scenario import ScenarioSpec
+from .client import ServeClient
+from .server import percentile
+
+__all__ = ["LoadReport", "default_payloads", "run_load"]
+
+#: Kinds the default mixed batch cycles through.
+DEFAULT_KINDS = ("tree", "graph", "game")
+
+
+def default_payloads(
+    kinds: Sequence[str] = DEFAULT_KINDS,
+    distinct: int = 8,
+    n: int = 400,
+    k: int = 2,
+    base_seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """A mixed-kind batch of ``distinct`` scenario payload objects.
+
+    Seeds vary per payload so each is a distinct fingerprint; the batch
+    is deterministic for fixed arguments, which is what lets a second
+    pass hit the cache the first pass filled.
+    """
+    if distinct < 1:
+        raise ValueError("need at least one distinct scenario")
+    payloads: List[Dict[str, Any]] = []
+    for i in range(distinct):
+        kind = kinds[i % len(kinds)]
+        seed = base_seed + i
+        if kind == "tree":
+            spec = ScenarioSpec(
+                kind="tree", algorithm="bfdn",
+                substrate=TreeSpec.named("random", n, seed=seed),
+                k=k, seed=seed, label=f"load-tree-{i}",
+            )
+        elif kind == "graph":
+            spec = ScenarioSpec(
+                kind="graph", algorithm="graph-bfdn",
+                substrate=TreeSpec.named("maze", max(64, n // 4), seed=seed),
+                k=k, seed=seed, label=f"load-graph-{i}",
+            )
+        elif kind == "game":
+            spec = ScenarioSpec(
+                kind="game", algorithm="urn-game",
+                substrate=TreeSpec.named("path", max(8, n // 16), seed=seed),
+                k=k, seed=seed, label=f"load-game-{i}",
+            )
+        else:
+            raise ValueError(f"unknown load kind {kind!r}")
+        payloads.append(json.loads(spec.to_json()))
+    return payloads
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    total: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    by_source: Dict[str, int] = field(default_factory=dict)
+    by_status: Dict[str, int] = field(default_factory=dict)
+    latencies_ms: List[float] = field(default_factory=list)
+    clients: int = 0
+
+    @property
+    def ok(self) -> int:
+        """Successful requests."""
+        return self.total - self.errors
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of successful requests served without computing."""
+        if not self.ok:
+            return 0.0
+        hits = self.by_source.get("cache", 0) + self.by_source.get("dedup", 0)
+        return hits / self.ok
+
+    @property
+    def throughput(self) -> float:
+        """Requests per wall second."""
+        return self.total / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        """Client-observed latency percentile in milliseconds."""
+        return percentile(self.latencies_ms, q)
+
+    def record(self, payload: Dict[str, Any], latency_ms: float) -> None:
+        """Fold one response payload into the aggregates."""
+        self.total += 1
+        self.latencies_ms.append(latency_ms)
+        status = str(payload.get("status", "?"))
+        source = str(payload.get("source", "") or status)
+        self.by_source[source] = self.by_source.get(source, 0) + 1
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        if not payload.get("ok", False):
+            self.errors += 1
+
+    def render(self) -> List[str]:
+        """Human-readable report lines."""
+        sources = " ".join(
+            f"{name}={count}" for name, count in sorted(self.by_source.items())
+        )
+        return [
+            f"load: {self.total} requests from {self.clients} clients "
+            f"in {self.elapsed_s:.3f}s ({self.throughput:,.0f} req/s)",
+            f"outcomes: {sources or '-'}; {self.errors} errors",
+            f"hit rate: {self.hit_rate:.1%} (cache+dedup of ok responses)",
+            f"latency ms: p50={self.percentile_ms(50):.2f} "
+            f"p95={self.percentile_ms(95):.2f} "
+            f"p99={self.percentile_ms(99):.2f} "
+            f"max={max(self.latencies_ms):.2f}"
+            if self.latencies_ms else "latency ms: no samples",
+        ]
+
+
+async def run_load(
+    make_client: Callable[[int], ServeClient],
+    payloads: Sequence[Dict[str, Any]],
+    clients: int = 8,
+    requests: int = 200,
+    on_error: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> LoadReport:
+    """Drive ``requests`` total requests through ``clients`` closed loops.
+
+    ``make_client(i)`` builds (not connects) the i-th client; payload
+    ``j`` of the global request counter is ``payloads[j % len(payloads)]``
+    so the distinct-scenario mix is independent of client scheduling.
+    """
+    if clients < 1 or requests < 1:
+        raise ValueError("need at least one client and one request")
+    if not payloads:
+        raise ValueError("need at least one payload")
+    report = LoadReport(clients=clients)
+    counter = {"next": 0}
+
+    async def one_client(index: int) -> None:
+        client = make_client(index)
+        async with client:
+            while True:
+                j = counter["next"]
+                if j >= requests:
+                    return
+                counter["next"] = j + 1
+                payload = payloads[j % len(payloads)]
+                t0 = perf_counter()
+                try:
+                    response = await client.run_scenario(payload)
+                except (ConnectionError, asyncio.TimeoutError) as exc:
+                    response = {"ok": False, "status": "transport_error",
+                                "error": str(exc)}
+                latency_ms = (perf_counter() - t0) * 1000.0
+                report.record(response, latency_ms)
+                if not response.get("ok", False) and on_error is not None:
+                    on_error(response)
+
+    started = perf_counter()
+    await asyncio.gather(
+        *(one_client(i) for i in range(min(clients, requests)))
+    )
+    report.elapsed_s = perf_counter() - started
+    return report

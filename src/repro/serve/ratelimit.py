@@ -1,0 +1,96 @@
+"""Per-client token-bucket rate limiting.
+
+Each client identity (the envelope's ``client`` field, falling back to
+the transport peer) gets its own :class:`TokenBucket`: ``burst`` tokens
+capacity, refilled at ``rate`` tokens/second.  A request costs one
+token; an empty bucket means ``rate_limited`` (HTTP 429) *without*
+queueing — the limiter protects the queue, so it must never feed it.
+
+The limiter is bounded: client buckets are kept in insertion-refreshed
+LRU order and the oldest is evicted past ``max_clients``, so a client
+id per request (a misbehaving load generator) cannot grow server memory
+without bound.  ``rate <= 0`` disables limiting entirely — the default,
+because a private benchmarking daemon usually wants raw throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = ["RateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """One client's bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.updated = now
+
+    def allow(self, now: float) -> bool:
+        """Take one token if available, refilling for elapsed time."""
+        elapsed = max(0.0, now - self.updated)
+        self.updated = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class RateLimiter:
+    """Per-client buckets behind one ``allow(client)`` call.
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens/second per client; ``<= 0`` disables limiting.
+    burst:
+        Bucket capacity (momentary burst allowance), default ``2 * rate``.
+    max_clients:
+        Bound on distinct tracked client ids (LRU eviction beyond it).
+    clock:
+        Injectable monotonic clock for tests.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: Optional[float] = None,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, 2 * rate)
+        self.max_clients = max(1, max_clients)
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        #: Requests refused since construction.
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether limiting is active (``rate > 0``)."""
+        return self.rate > 0
+
+    def allow(self, client: str) -> bool:
+        """Whether ``client`` may proceed right now (consumes a token)."""
+        if not self.enabled:
+            return True
+        now = self._clock()
+        bucket = self._buckets.pop(client, None)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+        self._buckets[client] = bucket  # re-append: LRU refresh
+        while len(self._buckets) > self.max_clients:
+            self._buckets.popitem(last=False)
+        if bucket.allow(now):
+            return True
+        self.rejected += 1
+        return False

@@ -1,0 +1,134 @@
+"""Golden fingerprint pins: the cache key must never drift silently.
+
+The content-addressed store, the in-flight dedup map, and every
+long-lived cache directory on disk key rows by
+:meth:`~repro.scenario.ScenarioSpec.fingerprint`.  A change to the
+canonical encoding — field order, a resolved default, a renamed key —
+would orphan every existing cache entry and split dedup across server
+versions *without any test failing*, because fingerprints would still
+be internally consistent.
+
+These tests pin the actual sha256 hex digests for one representative
+spec per scenario kind.  If one fails, either revert the encoding
+change or (if it is intentional) bump
+:data:`~repro.orchestrator.jobspec.SCHEMA_VERSION` — which re-keys the
+world explicitly — and re-pin.
+"""
+
+import json
+import subprocess
+import sys
+
+from repro.orchestrator import TreeSpec
+from repro.orchestrator.jobspec import SCHEMA_VERSION
+from repro.scenario import ScenarioSpec
+
+#: Pinned under schema "repro-orchestrator-v3"; re-pin on schema bumps.
+GOLDEN = {
+    "tree": "042f9a34d84d001ad83e90ee9c37bab605db87beca7003af70d2ff88515f667f",
+    "reactive": "50f8d4f221cf6856d2bb7a8db6ddb76ca9aabf01caa46f0c3544506f7f03dc73",
+    "graph": "c09759377588eeca0ca4f0d4474b3887a8f9106a37f0219988e33f72e4c342e3",
+    "game": "d63549bb780e9740029e9e42de25e6c716379d0d2769236f0ecd925a77a1f020",
+    "explicit-parents":
+        "065c125f042a5ff3a6e4e48ad4abb2000209c35dcc31048034b03435e4c33e51",
+    "with-policy-bounds":
+        "1dc479be30bb93d36e6063ad2d6f80a2b54308ecfe0cfc6d5ff56cebad7f835e",
+}
+
+
+def golden_specs():
+    """One representative spec per pinned name (kept in sync with GOLDEN)."""
+    return {
+        "tree": ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("comb", 100, seed=7), k=4, seed=7,
+        ),
+        "reactive": ScenarioSpec(
+            kind="reactive", algorithm="bfdn",
+            substrate=TreeSpec.named("random", 50, seed=3), k=2, seed=3,
+            adversary="block-explorers", adversary_params={"budget": 1},
+        ),
+        "graph": ScenarioSpec(
+            kind="graph", algorithm="graph-bfdn",
+            substrate=TreeSpec.named("maze", 81, seed=1), k=3, seed=1,
+        ),
+        "game": ScenarioSpec(
+            kind="game", algorithm="urn-game",
+            substrate=TreeSpec.named("path", 16, seed=0), k=2, seed=0,
+        ),
+        "explicit-parents": ScenarioSpec(
+            kind="tree", algorithm="dfs",
+            substrate=TreeSpec(parents=(-1, 0, 0, 1, 1)), k=2,
+        ),
+        "with-policy-bounds": ScenarioSpec(
+            kind="tree", algorithm="bfdn-shortcut",
+            substrate=TreeSpec.named("spider", 60, seed=2), k=8, seed=2,
+            policy="least-loaded", compute_bounds=True,
+        ),
+    }
+
+
+class TestGoldenFingerprints:
+    def test_schema_version_matches_pins(self):
+        # The pins in GOLDEN encode this schema tag; a bump must re-pin.
+        assert SCHEMA_VERSION == "repro-orchestrator-v3"
+
+    def test_fingerprints_match_pins(self):
+        specs = golden_specs()
+        assert set(specs) == set(GOLDEN)
+        computed = {name: spec.fingerprint() for name, spec in specs.items()}
+        assert computed == GOLDEN
+
+    def test_label_is_not_fingerprinted(self):
+        spec = golden_specs()["tree"]
+        relabeled = spec.with_label("a totally different label")
+        assert relabeled.fingerprint() == GOLDEN["tree"]
+
+    def test_json_roundtrip_preserves_fingerprint(self):
+        for name, spec in golden_specs().items():
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            assert rebuilt.fingerprint() == GOLDEN[name], name
+
+    def test_param_order_is_canonical(self):
+        a = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("comb", 40), k=2,
+            params={"alpha": 1, "beta": 2},
+        )
+        b = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("comb", 40), k=2,
+            params={"beta": 2, "alpha": 1},
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestCrossProcessStability:
+    def test_fresh_interpreter_reproduces_pins(self, tmp_path):
+        """Fingerprints must not depend on any in-process state.
+
+        A fresh interpreter (new hash randomisation seed, no warm
+        registry) must reproduce the same digests, or cross-process
+        cache sharing (sweep writers + the serve daemon) silently breaks.
+        """
+        program = (
+            "import json, sys\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from test_fingerprint_golden import golden_specs\n"
+            "print(json.dumps({name: spec.fingerprint()"
+            " for name, spec in golden_specs().items()}))\n"
+        )
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(os.path.dirname(__file__), "..", "src")
+            + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        env["PYTHONHASHSEED"] = "random"
+        out = subprocess.run(
+            [sys.executable, "-c", program, os.path.dirname(__file__)],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        assert json.loads(out.stdout) == GOLDEN
