@@ -12,8 +12,6 @@ import math
 from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
-import numpy as np
-
 
 @dataclass
 class PowerLawFit:
@@ -38,12 +36,17 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
         raise ValueError("need at least two (x, y) points")
     if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
         raise ValueError("power-law fitting needs positive data")
-    lx = np.log(np.asarray(xs, dtype=float))
-    ly = np.log(np.asarray(ys, dtype=float))
-    slope, intercept = np.polyfit(lx, ly, 1)
-    predicted = slope * lx + intercept
-    ss_res = float(np.sum((ly - predicted) ** 2))
-    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    lx = [math.log(float(x)) for x in xs]
+    ly = [math.log(float(y)) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        raise ValueError("power-law fitting needs at least two distinct x")
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly)) / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(lx, ly))
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
     r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
     return PowerLawFit(
         exponent=float(slope),

@@ -247,6 +247,7 @@ def run_sweep_cached(
     adversary: Optional[str] = None,
     adversary_params: Optional[Dict[str, object]] = None,
     telemetry=None,
+    backend: str = "reference",
 ) -> SweepRun:
     """Run every named algorithm on every (tree, k) pair, orchestrated.
 
@@ -261,7 +262,9 @@ def run_sweep_cached(
     ``adversary_params``) a break-down or reactive adversary from the
     registry — the scenario kind is inferred per algorithm, so one call
     can sweep adversarial tree scenarios next to graph/game entry
-    points.
+    points.  ``backend`` selects the round-engine backend for the
+    ``tree``-kind jobs (non-default backends fingerprint separately, so
+    cached reference rows are never reused for an array sweep).
     """
     workload_list = [
         (label, tree if isinstance(tree, TreeSpec) else TreeSpec.from_tree(tree))
@@ -276,6 +279,7 @@ def run_sweep_cached(
         adversary_params=adversary_params,
         max_rounds=max_rounds,
         compute_bounds=True,
+        backend=backend,
     )
     tracker = tracker if tracker is not None else ProgressTracker()
     logger.info(

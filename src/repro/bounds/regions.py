@@ -19,8 +19,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-import numpy as np
-
 from .guarantees import (
     best_bfdn_ell_simplified,
     bfdn_simplified,
@@ -68,8 +66,8 @@ class RegionMap:
     """A computed Figure 1 grid."""
 
     k: int
-    log2_n: np.ndarray  # grid columns (log2 n)
-    log2_d: np.ndarray  # grid rows (log2 D)
+    log2_n: List[float]  # grid columns (log2 n)
+    log2_d: List[float]  # grid rows (log2 D)
     winners: List[List[str]]  # winners[row][col]
 
     def counts(self) -> Dict[str, int]:
@@ -86,6 +84,14 @@ class RegionMap:
         return region_winner(n, depth, self.k)
 
 
+def _linspace(lo: float, hi: float, num: int) -> List[float]:
+    """``num`` evenly spaced samples over ``[lo, hi]``, endpoints included."""
+    if num < 2:
+        return [lo]
+    step = (hi - lo) / (num - 1)
+    return [lo + i * step for i in range(num)]
+
+
 def compute_region_map(
     k: int,
     log2_n_max: float = 40.0,
@@ -95,8 +101,8 @@ def compute_region_map(
     """Evaluate all guarantees over a log-log grid, like Figure 1."""
     if k < 2:
         raise ValueError("the multi-robot comparison needs k >= 2")
-    log2_n = np.linspace(1.0, log2_n_max, resolution)
-    log2_d = np.linspace(0.0, log2_d_max, resolution)
+    log2_n = _linspace(1.0, log2_n_max, resolution)
+    log2_d = _linspace(0.0, log2_d_max, resolution)
     winners: List[List[str]] = []
     for ld in log2_d:
         row = []

@@ -51,6 +51,7 @@ from .registry import (
 )
 from .scenario import ScenarioSpec
 from .sim import Simulator, TraceRecorder
+from .sim.backend import BACKENDS, DEFAULT_BACKEND
 from .sim.render import animate
 from .trees import generators as gen
 
@@ -114,6 +115,7 @@ def _explore_spec(args) -> ScenarioSpec:
         adversary=args.adversary,
         adversary_params=_parse_params(args.adversary_param),
         label=f"{args.tree}-n{args.n}",
+        backend=args.backend,
     )
 
 
@@ -262,6 +264,7 @@ def cmd_sweep(args) -> int:
                     adversary=args.adversary if kind == "tree" else None,
                     adversary_params=adversary_params if kind == "tree" else None,
                     telemetry=telemetry,
+                    backend=args.backend if kind == "tree" else "reference",
                 )
             except ValueError as exc:
                 print(f"sweep: {exc}")
@@ -351,14 +354,16 @@ def cmd_bench(args) -> int:
             repeats=args.repeats,
             only=args.only,
             progress=print,
+            backend=args.backend,
         )
     except ValueError as exc:
         print(f"bench: {exc}")
         return 2
     for case in snapshot["cases"]:
         fractions = case["phase_fractions"]
+        tag = "" if case["backend"] == "reference" else f" [{case['backend']}]"
         print(
-            f"{case['name']}: {case['elapsed']:.4f}s  "
+            f"{case['name']}{tag}: {case['elapsed']:.4f}s  "
             f"{case['rounds']} rounds  "
             f"{case['rounds_per_sec']:.0f} rounds/s  "
             f"{case['reveals_per_sec']:.0f} reveals/s  "
@@ -479,6 +484,7 @@ def cmd_serve(args) -> int:
         burst=args.burst,
         telemetry=telemetry,
         snapshot_every=args.snapshot_every,
+        backend=args.backend,
     )
 
     async def _run() -> None:
@@ -613,6 +619,10 @@ def build_parser() -> argparse.ArgumentParser:
         dest="adversary_param",
         help="adversary parameter, repeatable (e.g. p=0.5 horizon_per_n=100)",
     )
+    p.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="round-engine backend (array = flat-array fast path)",
+    )
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("compare", help="sweep algorithms over families")
@@ -693,6 +703,10 @@ def build_parser() -> argparse.ArgumentParser:
         dest="adversary_param",
         help="adversary parameter, repeatable (e.g. p=0.5 horizon_per_n=100)",
     )
+    p.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="round-engine backend for the tree-kind jobs",
+    )
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -731,6 +745,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--top", type=int, default=25,
         help="--profile: number of functions to print",
+    )
+    p.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="round-engine backend for the tree-kind cases",
     )
     p.set_defaults(func=cmd_bench)
 
@@ -859,6 +877,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--drain-timeout", type=float, default=30.0, dest="drain_timeout",
         help="seconds to let queued work finish after SIGINT/SIGTERM",
+    )
+    p.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="default round-engine backend applied to tree requests "
+        "that do not name one",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -24,9 +24,16 @@ from ..sim.runloop import RoundObserver, RoundRecord, RoundState, RunOutcome
 
 
 class TimingObserver(RoundObserver):
-    """Accumulates per-phase wall time and throughput for one run."""
+    """Accumulates per-phase wall time and throughput for one run.
+
+    Batch-capable: a batch-mode backend (``backend=array``) reports one
+    whole-run summary through :meth:`on_batch` instead of per-round
+    records; the fused loop has no select/observe phases, so the
+    backend attributes its simulation time to ``apply``.
+    """
 
     wants_phase_timing = True
+    supports_batch = True
 
     def __init__(self) -> None:
         self.reset()
@@ -36,6 +43,10 @@ class TimingObserver(RoundObserver):
         self.rounds = 0
         self.billed_rounds = 0
         self.reveals = 0
+        #: The backend that actually ran: batch backends announce
+        #: themselves via ``on_batch``; the per-round path means the
+        #: reference loop (including a declined fast-path request).
+        self.backend = "reference"
         self.select_s = 0.0
         self.apply_s = 0.0
         self.observe_s = 0.0
@@ -67,6 +78,18 @@ class TimingObserver(RoundObserver):
                 self.reveals += len(events)
             except TypeError:
                 pass
+
+    def on_batch(self, state: RoundState, summary: Dict[str, Any]) -> None:
+        """Fold a batch backend's whole-run summary into the counters."""
+        self.rounds = summary.get("rounds", 0)
+        self.billed_rounds = summary.get("billed", 0)
+        self.reveals = summary.get("reveals", 0)
+        self.backend = summary.get("backend", "reference")
+        phases = summary.get("phases")
+        if phases:
+            self.select_s = phases.get("select", 0.0)
+            self.apply_s = phases.get("apply", 0.0)
+            self.observe_s = phases.get("observe", 0.0)
 
     def on_stop(self, state: RoundState, outcome: RunOutcome) -> None:
         """Freeze the totals."""
@@ -105,6 +128,7 @@ class TimingObserver(RoundObserver):
             "rounds": self.rounds,
             "billed_rounds": self.billed_rounds,
             "reveals": self.reveals,
+            "backend": self.backend,
             "elapsed": self.elapsed,
             "rounds_per_sec": self.rounds_per_sec(),
             "reveals_per_sec": self.reveals_per_sec(),

@@ -306,6 +306,11 @@ def make_reactive_adversary(
 #: Re-anchor policy names (Algorithm 1 line 28 and its ablations).
 REANCHOR_POLICIES = ("least-loaded", "most-loaded", "random", "round-robin")
 
+# Engine backend names live next to the other registries so callers can
+# enumerate every run-shaping name from one module; the authority (and
+# the "known names" ValueError) is repro.sim.backend.
+from .sim.backend import BACKENDS, validate_backend  # noqa: E402
+
 
 def make_reanchor_policy(name: str, seed: int = 0):
     """Build a named re-anchor policy; ``ValueError`` lists known names."""
@@ -501,6 +506,7 @@ def make_game_adversary(name: str, seed: int = 0, *, k: int = 1, delta: int = 1)
 __all__ = [
     "ADVERSARIES",
     "ALGORITHMS",
+    "BACKENDS",
     "ENTRY_POINTS",
     "GAME_ADVERSARIES",
     "GAME_FAMILY",
@@ -522,5 +528,6 @@ __all__ = [
     "make_tree",
     "shared_reveal_default",
     "tree_families",
+    "validate_backend",
     "workload_kind",
 ]

@@ -97,6 +97,10 @@ class ScenarioSpec:
     #: Also compute the theoretical bounds in the worker, so a cache hit
     #: skips *all* recomputation.
     compute_bounds: bool = False
+    #: Round-engine backend for tree scenarios.  The default
+    #: (``reference``) is omitted from the canonical encoding so
+    #: fingerprints of pre-backend specs are unchanged.
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -109,6 +113,14 @@ class ScenarioSpec:
             )
         if self.k < 1:
             raise ValueError("team size k must be >= 1")
+        from .sim.backend import DEFAULT_BACKEND, validate_backend
+
+        validate_backend(self.backend)
+        if self.backend != DEFAULT_BACKEND and self.kind != "tree":
+            raise ValueError(
+                f"backend overrides apply to tree scenarios only, "
+                f"got backend={self.backend!r} for kind={self.kind!r}"
+            )
         self._validate_names()
 
     # -- validation ----------------------------------------------------
@@ -186,8 +198,14 @@ class ScenarioSpec:
         return registry.shared_reveal_default(self.algorithm)
 
     def canonical(self) -> Dict[str, object]:
-        """Canonical encoding: resolved defaults, no presentation fields."""
-        return {
+        """Canonical encoding: resolved defaults, no presentation fields.
+
+        ``backend`` enters the encoding only when it differs from the
+        default, so every fingerprint minted before backends existed
+        (cache namespaces, pinned golden fingerprints) still resolves to
+        the same run.
+        """
+        data = {
             "schema": SCHEMA_VERSION,
             "kind": self.kind,
             "algorithm": self.algorithm,
@@ -202,6 +220,9 @@ class ScenarioSpec:
             "adversary_params": dict(self.adversary_params),
             "params": dict(self.params),
         }
+        if self.backend != "reference":
+            data["backend"] = self.backend
+        return data
 
     def fingerprint(self) -> str:
         """Stable sha256 hex digest of the canonical encoding."""
@@ -252,6 +273,7 @@ class ScenarioSpec:
             max_rounds=data.get("max_rounds"),
             allow_shared_reveal=data.get("allow_shared_reveal"),
             compute_bounds=data.get("compute_bounds", False),
+            backend=data.get("backend", "reference"),
         )
 
     def with_label(self, label: str) -> "ScenarioSpec":
@@ -340,6 +362,7 @@ class BuiltScenario:
             "seed": spec.seed,
             "policy": spec.policy or "",
             "adversary": spec.adversary or "",
+            "backend": spec.backend,
         }
 
     def _run_tree(self, observers, timing) -> Dict[str, object]:
@@ -366,6 +389,7 @@ class BuiltScenario:
             allow_shared_reveal=spec.shared_reveal(),
             max_rounds=spec.max_rounds,
             observers=observers,
+            backend=spec.backend,
         ).run()
         interior = {
             d: c
@@ -384,6 +408,9 @@ class BuiltScenario:
             max_interior_reanchors=max(interior.values(), default=0),
             elapsed=round(timing.elapsed, 6),
             rounds_per_sec=round(timing.rounds_per_sec(), 1),
+            # The backend that actually ran (a declined fast-path
+            # request falls back to the reference loop).
+            backend=getattr(timing, "backend", spec.backend),
         )
         if adversary is not None:
             from .bounds.guarantees import adversarial_bound
@@ -555,6 +582,7 @@ def scenario_grid(
     adversary_params: Union[Mapping[str, object], Params, None] = None,
     max_rounds: Optional[int] = None,
     compute_bounds: bool = True,
+    backend: str = "reference",
 ) -> "list[ScenarioSpec]":
     """Enumerate the ``(workload × k × algorithm)`` grid as scenario specs.
 
@@ -563,6 +591,9 @@ def scenario_grid(
     scenarios, with a break-down adversary ``tree`` scenarios; graph and
     game entry points keep their kinds.  This is the shared enumeration
     behind ``run_sweep_cached`` and the ``repro sweep`` CLI.
+
+    ``backend`` selects the round engine for the ``tree``-kind specs in
+    the grid; other kinds have no backend choice and keep the default.
     """
     frozen = freeze_params(adversary_params)
     specs = []
@@ -586,6 +617,7 @@ def scenario_grid(
                         adversary_params=frozen if kind in ("tree", "reactive") else (),
                         max_rounds=max_rounds,
                         compute_bounds=compute_bounds,
+                        backend=backend if kind == "tree" else "reference",
                     )
                 )
     return specs

@@ -95,7 +95,13 @@ class ScenarioServer:
         telemetry: Optional[TelemetryConfig] = None,
         snapshot_every: int = 500,
         label: str = "serve",
+        backend: str = "reference",
     ):
+        from ..sim.backend import validate_backend
+
+        #: Round-engine default applied to incoming tree scenarios that
+        #: do not name a backend themselves.
+        self.backend = validate_backend(backend)
         self.store = store
         self.pool = pool or ScenarioPool(
             store,
@@ -448,7 +454,9 @@ class ScenarioServer:
                 return 400, {"ok": False, "status": "bad_request",
                              "error": f"invalid JSON body: {exc}"}
             try:
-                request = ServeRequest.from_payload(payload, client=peer)
+                request = ServeRequest.from_payload(
+                    payload, client=peer, default_backend=self.backend
+                )
             except ProtocolError as exc:
                 response = ServeResponse.failure(exc.status, exc.message)
                 self._finish(_anonymous_request(peer), response, perf_counter())
@@ -527,7 +535,9 @@ class ScenarioServer:
             self._finish(_anonymous_request("unix"), response, perf_counter())
             return await self._write_unix(writer, write_lock, response)
         try:
-            request = ServeRequest.from_payload(payload, client="unix")
+            request = ServeRequest.from_payload(
+                payload, client="unix", default_backend=self.backend
+            )
         except ProtocolError as exc:
             response = ServeResponse.failure(
                 exc.status, exc.message,

@@ -49,6 +49,11 @@ from typing import (
 
 logger = logging.getLogger(__name__)
 
+#: Version tag of the round-stepping kernel, recorded per bench row so a
+#: snapshot can be traced to the engine that produced it.  Bump on any
+#: change to round semantics or the backend dispatch.
+ENGINE_VERSION = "engine-v2"
+
 # Stop reasons reported in :class:`RunOutcome`.
 STOP_COMPLETE = "complete"
 STOP_QUIESCENT = "quiescent"
@@ -217,11 +222,25 @@ class RoundObserver:
     #: attached observer asks for them, so the default path stays free.
     wants_phase_timing = False
 
+    #: Observers that set this to True accept a single :meth:`on_batch`
+    #: call summarising a whole run instead of per-round ``on_round``
+    #: records.  A fast backend may only skip materialising per-round
+    #: records when *every* attached observer is batch-capable; with any
+    #: per-round observer attached the engine routes through the
+    #: reference loop, so such observers see identical round events from
+    #: either backend.
+    supports_batch = False
+
     def on_attach(self, state: RoundState) -> None:
         """Called once before the first round."""
 
     def on_round(self, state: RoundState, record: RoundRecord) -> None:
         """Called after every round with its :class:`RoundRecord`."""
+
+    def on_batch(self, state: RoundState, summary: Dict[str, Any]) -> None:
+        """Whole-run summary from a batch-mode backend (only when
+        ``supports_batch``): a dict with at least ``rounds``, ``billed``
+        and ``reveals``.  ``on_stop`` still follows."""
 
     def on_phase_times(
         self, select_s: float, apply_s: float, observe_s: float
@@ -286,6 +305,12 @@ class RoundEngine:
     bill_quiescent_round:
         Whether the final quiescent round advances the wall clock
         (``False`` matches Algorithm 1's unbilled final all-stay round).
+    backend:
+        Which engine backend drives the run (see
+        :mod:`repro.sim.backend`).  ``"reference"`` is the dict-based
+        loop below; ``"array"`` is the flat-array fast path, which
+        silently falls back here for configurations outside its
+        envelope.  Results are backend-independent by contract.
     """
 
     state: RoundState
@@ -299,9 +324,20 @@ class RoundEngine:
     quiescence_grace: int = 0
     bill_quiescent_round: bool = False
     cap_message: Optional[Callable[[int, int], str]] = None
+    backend: str = "reference"
 
     def run(self) -> RunOutcome:
         """Drive the state to termination and return the accounting."""
+        if self.backend != "reference":
+            from .backend import resolve_backend
+
+            outcome = resolve_backend(self.backend).execute(self)
+            if outcome is not None:
+                return outcome
+        return self._run_reference()
+
+    def _run_reference(self) -> RunOutcome:
+        """The dict-based per-round loop (the semantics oracle)."""
         state = self.state
         policy = self.policy
         interference = self.interference
@@ -533,6 +569,7 @@ class ProgressEvents(RoundObserver):
 
 
 __all__ = [
+    "ENGINE_VERSION",
     "STOP_CAP",
     "STOP_COMPLETE",
     "STOP_OBSERVER",

@@ -12,7 +12,45 @@ Nodes are integers ``0 .. n-1`` and the root is always node ``0``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+try:  # numpy is the optional ``repro[fast]`` extra
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the masked-numpy test
+    _np = None
+
+
+@dataclass(frozen=True)
+class TreeArrays:
+    """Flat-array view of a tree's topology (the array backend's substrate).
+
+    Children are stored CSR-style: the children of ``v`` are
+    ``child_list[child_ptr[v]:child_ptr[v + 1]]``, in port order (the
+    ``j``-th entry is behind port ``j + 1`` for ``v != root`` and port
+    ``j`` at the root).  ``parent``/``depth``/``num_children`` are
+    indexed by node id.  When numpy is available the same buffers are
+    additionally exposed as ``np_*`` ndarrays for batched operations;
+    the plain-list fields always exist, so pure-python consumers need no
+    guard.  Instances are built once per :class:`Tree` and cached — the
+    view is shared (zero-copy) across repeated runs on the same tree.
+    """
+
+    n: int
+    parent: Sequence[int]
+    depth: Sequence[int]
+    num_children: Sequence[int]
+    child_ptr: Sequence[int]
+    child_list: Sequence[int]
+    np_parent: Optional[object] = None
+    np_depth: Optional[object] = None
+    np_num_children: Optional[object] = None
+    np_child_list: Optional[object] = None
+
+    @property
+    def has_numpy(self) -> bool:
+        """Whether the ``np_*`` ndarray mirrors are populated."""
+        return self.np_child_list is not None
 
 
 class Tree:
@@ -38,6 +76,7 @@ class Tree:
         "max_degree",
         "_ports",
         "_port_of_parent",
+        "_arrays",
     )
 
     def __init__(self, parents: Sequence[Optional[int]]):
@@ -88,6 +127,8 @@ class Tree:
                 neighbours = [self._parents[v]] + list(self._children[v])
             self._ports.append(neighbours)
             self._port_of_parent.append({u: j for j, u in enumerate(neighbours)})
+
+        self._arrays: Optional[TreeArrays] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -143,6 +184,47 @@ class Tree:
     def ports(self, v: int) -> Sequence[int]:
         """Neighbours of ``v`` indexed by port number."""
         return self._ports[v]
+
+    # ------------------------------------------------------------------
+    # Array view
+    # ------------------------------------------------------------------
+    def as_arrays(self) -> TreeArrays:
+        """The flat CSR view of the topology, built once and cached.
+
+        Repeated calls return the same :class:`TreeArrays` instance, so
+        repeated runs on one tree (benchmark repeats, sweeps over ``k``)
+        share the buffers instead of rebuilding them.
+        """
+        arrays = self._arrays
+        if arrays is not None:
+            return arrays
+        n = self.n
+        num_children = [len(self._children[v]) for v in range(n)]
+        child_ptr = [0] * (n + 1)
+        for v in range(n):
+            child_ptr[v + 1] = child_ptr[v] + num_children[v]
+        child_list: List[int] = []
+        for v in range(n):
+            child_list.extend(self._children[v])
+        np_kwargs = {}
+        if _np is not None:
+            np_kwargs = {
+                "np_parent": _np.asarray(self._parents, dtype=_np.int64),
+                "np_depth": _np.asarray(self._depth, dtype=_np.int64),
+                "np_num_children": _np.asarray(num_children, dtype=_np.int64),
+                "np_child_list": _np.asarray(child_list, dtype=_np.int64),
+            }
+        arrays = TreeArrays(
+            n=n,
+            parent=self._parents,
+            depth=self._depth,
+            num_children=num_children,
+            child_ptr=child_ptr,
+            child_list=child_list,
+            **np_kwargs,
+        )
+        self._arrays = arrays
+        return arrays
 
     # ------------------------------------------------------------------
     # Paths and ancestry

@@ -1,0 +1,314 @@
+"""The array round-engine backend: parity, fallback, validation, reporting.
+
+Four contracts pinned here, complementing the golden-trace grid in
+``tests/test_runloop_regression.py``:
+
+* **Parity** — on its supported envelope (BFDN on trees, standard
+  model) the array backend's full observable result — rounds, wall
+  rounds, positions, metrics down to the ordered re-anchor log, and the
+  rebuilt partial tree — is indistinguishable from the reference loop,
+  including under ``stop_when_complete`` and round caps (hypothesis
+  hunts for divergence on random trees).
+* **Fallback honesty** — out-of-envelope configurations decline to the
+  reference loop and *report* ``reference`` as the effective backend;
+  with numpy masked out the array backend still runs (pure-python
+  aggregation path) and warns exactly once per process.
+* **Validation** — unknown backend names raise the registry-style
+  "known names" ValueError from every entry point (``validate_backend``,
+  ``Simulator``, ``ScenarioSpec``) and surface as a clean
+  ``bad_scenario`` protocol error from the serve layer.
+* **Fingerprints** — ``backend`` enters the canonical encoding only
+  when non-default, so every fingerprint minted before backends existed
+  still resolves to the same cache entry.
+"""
+
+import json
+import logging
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BFDN
+from repro.orchestrator.jobspec import TreeSpec
+from repro.registry import make_algorithm, make_tree
+from repro.scenario import ScenarioSpec
+from repro.serve.protocol import ProtocolError, parse_scenario
+from repro.sim import Simulator
+from repro.sim import array_backend
+from repro.sim.backend import (
+    BACKENDS,
+    available_backends,
+    validate_backend,
+)
+from repro.sim.runloop import RoundCapExceeded
+
+BOTH = sorted(BACKENDS)
+
+
+def run_pair(tree, k, **kwargs):
+    """The same exploration under both backends."""
+    ref = Simulator(tree, BFDN(), k, backend="reference", **kwargs).run()
+    arr = Simulator(tree, BFDN(), k, backend="array", **kwargs).run()
+    return ref, arr
+
+
+def assert_identical(ref, arr):
+    """Full observable-result equality across backends."""
+    assert arr.rounds == ref.rounds
+    assert arr.wall_rounds == ref.wall_rounds
+    assert arr.complete == ref.complete
+    assert arr.all_home == ref.all_home
+    assert arr.positions == ref.positions
+    rm, am = ref.metrics, arr.metrics
+    assert am.total_moves == rm.total_moves
+    assert am.idle_rounds == rm.idle_rounds
+    assert am.reveals == rm.reveals
+    assert dict(am.moves_per_robot) == dict(rm.moves_per_robot)
+    assert dict(am.idle_per_robot) == dict(rm.idle_per_robot)
+    assert list(am.reanchors) == list(rm.reanchors)
+    assert am.reanchors_per_depth() == rm.reanchors_per_depth()
+    assert arr.ptree.num_explored == ref.ptree.num_explored
+    assert arr.ptree.num_dangling == ref.ptree.num_dangling
+    assert arr.ptree.is_complete() == ref.ptree.is_complete()
+
+
+class TestParity:
+    @pytest.mark.parametrize("family", ["random", "comb", "star", "spider", "path"])
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_families(self, family, k):
+        tree = make_tree(family, 120, seed=11)
+        ref, arr = run_pair(tree, k)
+        assert_identical(ref, arr)
+
+    @pytest.mark.parametrize("k", [2, 5])
+    def test_stop_when_complete(self, k):
+        tree = make_tree("random", 150, seed=4)
+        ref, arr = run_pair(tree, k, stop_when_complete=True)
+        assert_identical(ref, arr)
+
+    def test_single_node_tree(self):
+        from repro.trees import Tree
+
+        ref, arr = run_pair(Tree([-1]), 3)
+        assert_identical(ref, arr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 90),
+        seed=st.integers(0, 10**6),
+        k=st.integers(1, 7),
+        swc=st.booleans(),
+    )
+    def test_hypothesis_random_trees(self, n, seed, k, swc):
+        tree = make_tree("random", n, seed=seed)
+        ref, arr = run_pair(tree, k, stop_when_complete=swc)
+        assert_identical(ref, arr)
+
+
+class TestAccountingInvariants:
+    """Round accounting holds identically under both backends."""
+
+    @pytest.mark.parametrize("backend", BOTH)
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 80), seed=st.integers(0, 10**6), k=st.integers(1, 6))
+    def test_moves_plus_idle_equals_rounds(self, backend, n, seed, k):
+        tree = make_tree("random", n, seed=seed)
+        res = Simulator(tree, BFDN(), k, backend=backend).run()
+        m = res.metrics
+        # Billed never exceeds wall; without an adversary they coincide.
+        assert res.rounds <= res.wall_rounds == res.rounds
+        # Per-robot ledger: every billed round is a move or an idle.
+        for i in range(k):
+            assert m.moves_per_robot[i] + m.idle_per_robot[i] == res.rounds
+        assert sum(m.moves_per_robot.values()) == m.total_moves
+        # Every edge revealed exactly once.
+        assert m.reveals == tree.n - 1
+
+    @pytest.mark.parametrize("backend", BOTH)
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(20, 80), seed=st.integers(0, 10**6), cap=st.integers(1, 30))
+    def test_round_cap_raises_identically(self, backend, n, seed, cap):
+        tree = make_tree("random", n, seed=seed)
+        try:
+            Simulator(
+                tree, BFDN(), 2, max_rounds=cap, backend="reference"
+            ).run()
+            expected = None
+        except RoundCapExceeded as exc:
+            expected = str(exc)
+        if expected is None:
+            res = Simulator(tree, BFDN(), 2, max_rounds=cap, backend=backend).run()
+            assert res.done
+        else:
+            with pytest.raises(RoundCapExceeded) as info:
+                Simulator(tree, BFDN(), 2, max_rounds=cap, backend=backend).run()
+            assert str(info.value) == expected
+
+
+class TestFallback:
+    def test_out_of_envelope_algorithm_falls_back(self):
+        tree = make_tree("random", 80, seed=0)
+        ref = Simulator(
+            tree, make_algorithm("cte"), 3, allow_shared_reveal=True,
+            backend="reference",
+        ).run()
+        arr = Simulator(
+            tree, make_algorithm("cte"), 3, allow_shared_reveal=True,
+            backend="array",
+        ).run()
+        assert (arr.rounds, arr.positions) == (ref.rounds, ref.positions)
+
+    def test_scenario_row_reports_effective_backend(self):
+        # cte declines the array fast path at runtime; the result row
+        # must say so instead of claiming an array run.
+        spec = ScenarioSpec(
+            kind="tree", algorithm="cte",
+            substrate=TreeSpec.named("random", 80, seed=0),
+            k=3, seed=0, backend="array", label="fallback",
+        )
+        row = spec.build().run()
+        assert row["backend"] == "reference"
+
+    def test_scenario_row_reports_array_when_it_runs(self):
+        spec = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("random", 80, seed=0),
+            k=3, seed=0, backend="array", label="fast",
+        )
+        row = spec.build().run()
+        assert row["backend"] == "array"
+
+    def test_numpy_masked_runs_pure_python(self, monkeypatch, caplog):
+        monkeypatch.setattr(array_backend, "_np", None)
+        monkeypatch.setattr(array_backend, "_numpy_noticed", False)
+        tree = make_tree("random", 100, seed=7)
+        with caplog.at_level(logging.WARNING, logger="repro.sim.array_backend"):
+            ref, arr = run_pair(tree, 4)
+            run_pair(tree, 4)  # second run must not warn again
+        assert_identical(ref, arr)
+        warnings = [
+            r for r in caplog.records if "pure-python" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+
+
+class TestValidation:
+    def test_validate_backend_lists_known_names(self):
+        assert validate_backend("array") == "array"
+        with pytest.raises(ValueError, match="known: array, reference"):
+            validate_backend("gpu")
+
+    def test_simulator_rejects_unknown_backend(self):
+        tree = make_tree("random", 10, seed=0)
+        with pytest.raises(ValueError, match="unknown backend 'gpu'"):
+            Simulator(tree, BFDN(), 2, backend="gpu")
+
+    def test_scenario_spec_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend 'gpu'"):
+            ScenarioSpec(
+                kind="tree", algorithm="bfdn",
+                substrate=TreeSpec.named("random", 10, seed=0),
+                k=2, seed=0, backend="gpu",
+            )
+
+    def test_scenario_spec_rejects_backend_on_non_tree_kinds(self):
+        with pytest.raises(ValueError, match="tree scenarios only"):
+            ScenarioSpec(
+                kind="game", algorithm="urn-game",
+                substrate=TreeSpec.named("path", 16, seed=0),
+                k=2, seed=0, backend="array",
+            )
+
+    def test_round_trip_preserves_backend(self):
+        spec = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("random", 10, seed=0),
+            k=2, seed=0, backend="array",
+        )
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again.backend == "array"
+
+    def test_round_trip_rejects_unknown_backend(self):
+        spec = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("random", 10, seed=0),
+            k=2, seed=0,
+        )
+        payload = json.loads(spec.to_json())
+        payload["backend"] = "cuda"
+        with pytest.raises(ValueError, match="unknown backend 'cuda'"):
+            ScenarioSpec.from_json(json.dumps(payload))
+
+
+class TestServeRefusal:
+    def _payload(self, **extra):
+        spec = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("random", 20, seed=0),
+            k=2, seed=0,
+        )
+        payload = json.loads(spec.to_json())
+        payload.update(extra)
+        return payload
+
+    def test_unknown_backend_is_bad_scenario(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_scenario(self._payload(backend="gpu"))
+        assert info.value.status == "bad_scenario"
+        assert "gpu" in info.value.message
+
+    def test_unavailable_backend_is_bad_scenario(self, monkeypatch):
+        # A backend this *server build* does not carry: valid name,
+        # filtered from availability.
+        monkeypatch.setattr(
+            "repro.sim.backend.available_backends", lambda: ("reference",)
+        )
+        with pytest.raises(ProtocolError) as info:
+            parse_scenario(self._payload(backend="array"))
+        assert info.value.status == "bad_scenario"
+        assert "not available" in info.value.message
+
+    def test_server_default_applies_to_bare_tree_payloads(self):
+        spec = parse_scenario(self._payload(), default_backend="array")
+        assert spec.backend == "array"
+        # An explicit choice wins over the server default.
+        spec = parse_scenario(
+            self._payload(backend="reference"), default_backend="array"
+        )
+        assert spec.backend == "reference"
+
+    def test_available_backends_covers_both(self):
+        assert available_backends() == BACKENDS
+
+
+class TestFingerprints:
+    def _spec(self, **kw):
+        base = dict(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("random", 30, seed=0),
+            k=2, seed=0,
+        )
+        base.update(kw)
+        return ScenarioSpec(**base)
+
+    def test_default_backend_leaves_fingerprint_unchanged(self):
+        # Pre-backend specs (no field at all) and explicit reference
+        # must share a fingerprint, or every cache namespace would split.
+        assert "backend" not in self._spec().canonical()
+        assert (
+            self._spec().fingerprint()
+            == self._spec(backend="reference").fingerprint()
+        )
+
+    def test_array_backend_fingerprints_separately(self):
+        assert (
+            self._spec(backend="array").fingerprint()
+            != self._spec().fingerprint()
+        )
+        assert self._spec(backend="array").canonical()["backend"] == "array"
+
+    def test_rows_agree_semantically_across_backends(self):
+        ref = self._spec().build().run()
+        arr = self._spec(backend="array").build().run()
+        for col in ("rounds", "wall_rounds", "complete", "all_home"):
+            assert arr[col] == ref[col], col

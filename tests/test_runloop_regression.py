@@ -7,6 +7,11 @@ shared :class:`repro.sim.runloop.RoundEngine`.  These tests re-run the
 same seeded workloads through the adapters and require byte-identical
 results — rounds, wall rounds, completion flags, move/interference
 accounting, even the game's full move history.
+
+The simulator grid runs under **both** engine backends: ``array`` must
+reproduce the reference loop's goldens byte for byte (its parity
+contract), and configurations outside its envelope (cte's shared
+reveal, dfs) must fall back to reference results rather than diverge.
 """
 
 import json
@@ -48,11 +53,13 @@ SIM_GRID = [
 ]
 
 
+@pytest.mark.parametrize("backend", ["reference", "array"])
 @pytest.mark.parametrize("family,n,k,alg", SIM_GRID)
-def test_simulator_matches_pre_refactor(golden, family, n, k, alg):
+def test_simulator_matches_pre_refactor(golden, family, n, k, alg, backend):
     tree = make_tree(family, n, seed=3)
     result = Simulator(
-        tree, make_algorithm(alg), k, allow_shared_reveal=(alg == "cte")
+        tree, make_algorithm(alg), k,
+        allow_shared_reveal=(alg == "cte"), backend=backend,
     ).run()
     m = result.metrics
     assert [
