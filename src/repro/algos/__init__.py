@@ -1,0 +1,24 @@
+"""Algorithms from the CTE literature beyond the source paper.
+
+The source paper's algorithms live in :mod:`repro.core` (BFDN and its
+variants) and :mod:`repro.baselines` (DFS, CTE).  This package holds the
+follow-up algorithms that turn the repo into a comparison harness for
+the wider collective-tree-exploration literature:
+
+* :class:`TreeMining` — "Breaking the k/log k Barrier via Tree-Mining"
+  (Cosson, arXiv:2309.07011), registered as ``tree-mining``.
+* :class:`PotentialCTE` — "Collective Tree Exploration via Potential
+  Function Method" (Cosson–Massoulié, arXiv:2311.01354), registered as
+  ``potential-cte``.
+
+Both are plain :class:`~repro.sim.engine.ExplorationAlgorithm` policies,
+so every surface that takes a registry algorithm name (``explore``,
+``sweep``, ``experiment``, ``bench``, ``serve``) runs them unchanged;
+their guarantees live in :mod:`repro.bounds.guarantees` and are wired
+into :func:`repro.obs.budget.budgets_for_scenario`.
+"""
+
+from .potential import PotentialCTE
+from .tree_mining import TreeMining
+
+__all__ = ["PotentialCTE", "TreeMining"]

@@ -1,0 +1,51 @@
+"""``tree-mining`` — breaking the ``k / log k`` barrier (arXiv:2309.07011).
+
+Classical collective exploration is stuck at competitive ratio
+``k / log k`` (CTE); Cosson's tree-mining result brings the ratio down to
+``O(k / 2^{sqrt(log2 k)})``.  The schedule this repo realises is the
+recursive mining schedule expressed through the machinery the source
+paper already provides: run ``BFDN_ell`` (Theorem 10, Definition 13) with
+the recursion depth chosen *uniformly from the team size alone*,
+
+    ``ell(k) = ceil(sqrt(log2 k))``,
+
+so the ``n``-term of Theorem 10 becomes
+
+    ``4n / k^{1/ell(k)} = 4n / 2^{sqrt(log2 k)}``
+
+— exactly the barrier-breaking ratio, achieved by a single parameter-free
+algorithm rather than a clairvoyant choice of ``ell`` per instance.  The
+runtime guarantee is therefore Theorem 10 instantiated at ``ell(k)``
+(:func:`repro.bounds.guarantees.tree_mining_bound`), which the budget
+observer monitors live.
+
+Unlike the fixed-``ell`` registry entries (``bfdn-ell2``/``bfdn-ell3``),
+the recursion depth here is only known once the team is: it is computed
+in :meth:`TreeMining.attach`, where ``expl.k`` is first available.
+"""
+
+from __future__ import annotations
+
+from ..bounds.guarantees import tree_mining_ell
+from ..core.recursive.bfdn_ell import BFDNEll
+from ..sim.engine import Exploration
+
+
+class TreeMining(BFDNEll):
+    """``BFDN_ell`` at the uniform mining depth ``ell(k)``.
+
+    The recursive engine (anchor teams, doubling depth schedule,
+    interrupt-after-last-iteration) is inherited from
+    :class:`~repro.core.recursive.bfdn_ell.BFDNEll`; this class only
+    defers the choice of ``ell`` to attach time, when the team size is
+    known.
+    """
+
+    def __init__(self):
+        # Placeholder depth; the real ell(k) is set in attach().
+        super().__init__(1)
+        self.name = "TreeMining"
+
+    def attach(self, expl: Exploration) -> None:
+        self.ell = tree_mining_ell(expl.k)
+        super().attach(expl)

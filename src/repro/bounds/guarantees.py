@@ -8,6 +8,24 @@ each algorithm:
 * ``*_simplified`` — the big-O shape used by the paper's Appendix A to
   draw Figure 1 (constants dropped, as the regions are defined up to
   multiplicative constants depending only on ``k``).
+
+Beyond the source paper, the module carries the guarantees of Cosson's
+follow-up algorithms, both registered in :mod:`repro.registry`:
+
+* ``tree_mining_*`` — "Breaking the k/log k Barrier via Tree-Mining"
+  (arXiv:2309.07011).  The repo's ``tree-mining`` algorithm realises the
+  barrier-breaking schedule as BFDN_ell with the recursion depth chosen
+  *uniformly* from the team size, ``ell(k) = ceil(sqrt(log2 k))``, so its
+  guarantee is Theorem 10 instantiated at that ``ell``: the ``n``-term
+  becomes ``4n / 2^{sqrt(log2 k)} = (4n/k) * k / 2^{sqrt(log2 k)}`` —
+  a competitive ratio of ``O(k / 2^{sqrt(log2 k)})``, below the classical
+  ``k / log k`` barrier.
+* ``potential_cte_*`` — "Collective Tree Exploration via Potential
+  Function Method" (arXiv:2311.01354): a locally-greedy algorithm with a
+  ``2n/k + O(D^2)`` guarantee (no ``log k`` factor on the additive term).
+  The paper proves the shape; the constant carried here
+  (:data:`POTENTIAL_CTE_CONSTANT`) is pinned to this repo's
+  implementation and validated empirically by the test suite.
 """
 
 from __future__ import annotations
@@ -23,14 +41,26 @@ __all__ = [
     "adversarial_bound",
     "cte_simplified",
     "yostar_simplified",
+    "dfs_simplified",
     "bfdn_ell_bound",
     "bfdn_ell_simplified",
     "best_bfdn_ell_simplified",
     "max_ell",
+    "tree_mining_ell",
+    "tree_mining_bound",
+    "tree_mining_simplified",
+    "POTENTIAL_CTE_CONSTANT",
+    "potential_cte_bound",
+    "potential_cte_simplified",
     "offline_lower_bound_value",
     "competitive_overhead",
     "competitive_ratio",
 ]
+
+
+def _require_team(k: int) -> None:
+    if k < 1:
+        raise ValueError(f"team size k must be >= 1, got {k}")
 
 
 def _log_term(k: int, delta: Optional[int]) -> float:
@@ -128,16 +158,95 @@ def best_bfdn_ell_simplified(n: float, depth: float, k: int, min_ell: int = 2) -
     )
 
 
+def dfs_simplified(n: float, depth: float, k: int) -> float:
+    """The single-robot DFS baseline's shape: ``2n`` (a lone robot walks
+    every edge twice, whatever ``k`` is).  Included in the extended region
+    map as the scale anchor every collective strategy must beat."""
+    return 2 * n
+
+
+def tree_mining_ell(k: int) -> int:
+    """The tree-mining recursion depth ``ell(k) = ceil(sqrt(log2 k))``.
+
+    Instantiating Theorem 10 (``BFDN_ell``) at this ``ell`` turns the
+    ``n``-term ``4n/k^{1/ell}`` into ``4n / 2^{sqrt(log2 k)}``, i.e. a
+    competitive ratio of ``O(k / 2^{sqrt(log2 k)})`` — the
+    barrier-breaking schedule of arXiv:2309.07011, chosen uniformly from
+    ``k`` alone (no a-priori knowledge of ``n`` or ``D``)."""
+    _require_team(k)
+    if k < 2:
+        return 1
+    return max(1, math.ceil(math.sqrt(math.log2(k))))
+
+
+def tree_mining_bound(
+    n: int, depth: int, k: int, delta: Optional[int] = None
+) -> float:
+    """Tree-mining's constant-carrying guarantee: Theorem 10 at
+    ``ell = tree_mining_ell(k)``, i.e. ``4n / 2^{sqrt(log2 k)} +
+    2^{ell+1} (ell + 1 + min(log Delta, log k / ell)) D^{1+1/ell}``."""
+    return bfdn_ell_bound(n, depth, k, tree_mining_ell(k), delta)
+
+
+def tree_mining_simplified(n: float, depth: float, k: int) -> float:
+    """Region-map shape for tree-mining: the BFDN_ell shape at the
+    uniform ``ell(k)`` (``n / 2^{sqrt(log2 k)} + 2^{ell} log k
+    D^{1+1/ell}``)."""
+    return bfdn_ell_simplified(n, depth, k, tree_mining_ell(k))
+
+
+#: Implementation-pinned constant of the ``2n/k + C D^2`` guarantee for
+#: ``potential-cte``.  arXiv:2311.01354 proves the *shape* (no ``log k``
+#: on the additive term); the constant here covers this repo's
+#: locally-greedy implementation and is validated empirically across the
+#: registry's tree families (see tests/test_algos_zoo.py).
+POTENTIAL_CTE_CONSTANT = 8.0
+
+
+def potential_cte_bound(n: int, depth: int, k: int) -> float:
+    """Potential-function CTE's guarantee: ``2n/k + C D^2`` with the
+    implementation-pinned ``C`` of :data:`POTENTIAL_CTE_CONSTANT`."""
+    _require_team(k)
+    return 2 * n / k + POTENTIAL_CTE_CONSTANT * depth * depth
+
+
+def potential_cte_simplified(n: float, depth: float, k: int) -> float:
+    """Region-map shape for potential-function CTE: ``n/k + D^2`` —
+    BFDN's shape with the ``log k`` factor removed from the additive
+    term."""
+    return n / k + depth * depth
+
+
 def offline_lower_bound_value(n: float, depth: float, k: int) -> float:
-    """``max(2n/k, 2D)`` — the offline cost every online run is compared to."""
+    """``max(2n/k, 2D)`` — the offline cost every online run is compared
+    to; ``0.0`` on degenerate instances with nothing to explore (at most
+    one node and depth 0)."""
+    _require_team(k)
+    if n <= 1 and depth <= 0:
+        return 0.0
     return max(2 * n / k, 2 * depth)
 
 
 def competitive_overhead(rounds: float, n: int, k: int) -> float:
-    """The additive overhead ``T - 2n/k`` studied by [1] and this paper."""
+    """The additive overhead ``T - 2n/k`` studied by [1] and this paper.
+
+    Defined for every input with ``k >= 1``: on degenerate instances the
+    offline term is ~0 and the overhead is simply the rounds spent."""
+    _require_team(k)
     return rounds - 2 * n / k
 
 
 def competitive_ratio(rounds: float, n: int, depth: int, k: int) -> float:
-    """``T / (n/k + D)`` — the classical competitive ratio denominator."""
-    return rounds / (n / k + depth)
+    """``T / (n/k + D)`` — the classical competitive ratio denominator.
+
+    When the offline denominator is 0 (degenerate instance: ``n <= 0``
+    and ``depth <= 0``, e.g. size-normalised inputs with no edges) the
+    ratio is defined instead of raising ``ZeroDivisionError``: ``1.0``
+    for a 0-round run (trivially optimal), else the rounds spent counted
+    against a one-round offline floor — finite and monotone in
+    ``rounds``."""
+    _require_team(k)
+    denominator = n / k + depth
+    if denominator <= 0:
+        return max(1.0, float(rounds))
+    return rounds / denominator

@@ -11,25 +11,73 @@ out (no trees there: a tree with depth D has more than D nodes).
 closed-form boundaries (e.g. *BFDN beats CTE iff* ``D^2 log^2 k <= n``)
 are exposed as predicates so tests can check the computed map against the
 paper's algebra.
+
+Beyond the paper's four contenders, :data:`EXTENDED_ALGORITHMS` adds the
+rest of the registry's zoo — DFS (the ``2n`` scale anchor), tree-mining
+(arXiv:2309.07011) and potential-function CTE (arXiv:2311.01354) — and
+``compute_region_map(..., contenders=EXTENDED_ALGORITHMS)`` partitions
+the same grid across all seven.  The default map is left exactly as the
+paper draws it, so the extended chart is opt-in (``figure1 --extended``).
+Tie-break order matters once the zoo overlaps: tree-mining *is* the
+BFDN_ell shape at the uniform ``ell(k)``, so it is listed before
+``BFDN_ell`` — where the clairvoyant best-``ell`` envelope is achieved at
+``ell(k)``, the parameter-free algorithm takes the cell.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from .guarantees import (
     best_bfdn_ell_simplified,
     bfdn_simplified,
     cte_simplified,
+    dfs_simplified,
     max_ell,
+    potential_cte_simplified,
+    tree_mining_simplified,
     yostar_simplified,
 )
 
-#: Display order and one-letter codes for the contenders.
+#: Display order and one-letter codes for the paper's contenders.
 ALGORITHMS: Tuple[str, ...] = ("CTE", "Yo*", "BFDN", "BFDN_ell")
-CODES: Dict[str, str] = {"CTE": "C", "Yo*": "Y", "BFDN": "B", "BFDN_ell": "L", "": "."}
+
+#: The full zoo (paper contenders + the follow-up literature + the DFS
+#: baseline).  Order is the tie-break: tree-mining precedes BFDN_ell so
+#: the uniform algorithm wins the cells where the best-``ell`` envelope
+#: is achieved at ``ell(k)`` (the two shapes coincide there).
+EXTENDED_ALGORITHMS: Tuple[str, ...] = (
+    "CTE",
+    "Yo*",
+    "BFDN",
+    "TreeMining",
+    "BFDN_ell",
+    "PotentialCTE",
+    "DFS",
+)
+
+CODES: Dict[str, str] = {
+    "CTE": "C",
+    "Yo*": "Y",
+    "BFDN": "B",
+    "BFDN_ell": "L",
+    "TreeMining": "M",
+    "PotentialCTE": "P",
+    "DFS": "D",
+    "": ".",
+}
+
+_GUARANTEES = {
+    "CTE": cte_simplified,
+    "Yo*": yostar_simplified,
+    "BFDN": bfdn_simplified,
+    "BFDN_ell": best_bfdn_ell_simplified,
+    "TreeMining": tree_mining_simplified,
+    "PotentialCTE": potential_cte_simplified,
+    "DFS": dfs_simplified,
+}
 
 
 def guarantee(name: str, n: float, depth: float, k: int) -> float:
@@ -41,24 +89,23 @@ def guarantee(name: str, n: float, depth: float, k: int) -> float:
     suggest — all four regions of Figure 1 only coexist for large ``k``;
     the benchmark uses ``k = 2^20``.
     """
-    if name == "CTE":
-        return cte_simplified(n, depth, k)
-    if name == "Yo*":
-        return yostar_simplified(n, depth, k)
-    if name == "BFDN":
-        return bfdn_simplified(n, depth, k)
-    if name == "BFDN_ell":
-        return best_bfdn_ell_simplified(n, depth, k)
-    raise ValueError(f"unknown algorithm {name!r}")
+    try:
+        shape = _GUARANTEES[name]
+    except KeyError:
+        raise ValueError(f"unknown algorithm {name!r}") from None
+    return shape(n, depth, k)
 
 
-def region_winner(n: float, depth: float, k: int) -> str:
+def region_winner(
+    n: float, depth: float, k: int, contenders: Tuple[str, ...] = ALGORITHMS
+) -> str:
     """The contender with the best guarantee at ``(n, D)`` (``""`` when
-    ``n <= D``, where no tree exists)."""
+    ``n <= D``, where no tree exists).  Ties go to the earliest entry of
+    ``contenders``."""
     if n <= depth:
         return ""
-    values = {name: guarantee(name, n, depth, k) for name in ALGORITHMS}
-    return min(values, key=lambda name: (values[name], ALGORITHMS.index(name)))
+    values = {name: guarantee(name, n, depth, k) for name in contenders}
+    return min(values, key=lambda name: (values[name], contenders.index(name)))
 
 
 @dataclass
@@ -69,10 +116,13 @@ class RegionMap:
     log2_n: List[float]  # grid columns (log2 n)
     log2_d: List[float]  # grid rows (log2 D)
     winners: List[List[str]]  # winners[row][col]
+    #: The contender set the grid was computed over (the paper's four by
+    #: default; :data:`EXTENDED_ALGORITHMS` for the full zoo).
+    contenders: Tuple[str, ...] = field(default=ALGORITHMS)
 
     def counts(self) -> Dict[str, int]:
         """How many grid cells each contender wins."""
-        out: Dict[str, int] = {name: 0 for name in ALGORITHMS}
+        out: Dict[str, int] = {name: 0 for name in self.contenders}
         for row in self.winners:
             for w in row:
                 if w:
@@ -81,7 +131,7 @@ class RegionMap:
 
     def winner_at(self, n: float, depth: float) -> str:
         """Winner at an arbitrary (off-grid) point."""
-        return region_winner(n, depth, self.k)
+        return region_winner(n, depth, self.k, self.contenders)
 
 
 def _linspace(lo: float, hi: float, num: int) -> List[float]:
@@ -97,6 +147,7 @@ def compute_region_map(
     log2_n_max: float = 40.0,
     log2_d_max: float = 30.0,
     resolution: int = 60,
+    contenders: Tuple[str, ...] = ALGORITHMS,
 ) -> RegionMap:
     """Evaluate all guarantees over a log-log grid, like Figure 1."""
     if k < 2:
@@ -107,17 +158,20 @@ def compute_region_map(
     for ld in log2_d:
         row = []
         for ln in log2_n:
-            row.append(region_winner(2.0**ln, 2.0**ld, k))
+            row.append(region_winner(2.0**ln, 2.0**ld, k, contenders))
         winners.append(row)
-    return RegionMap(k=k, log2_n=log2_n, log2_d=log2_d, winners=winners)
+    return RegionMap(
+        k=k, log2_n=log2_n, log2_d=log2_d, winners=winners, contenders=contenders
+    )
 
 
 def render_ascii(region_map: RegionMap) -> str:
     """Draw the region map (D on the vertical axis, decreasing downward is
     *not* used — the top row is the largest D, matching Figure 1)."""
+    legend = ", ".join(f"{CODES[name]}={name}" for name in region_map.contenders)
     lines = [
         f"Figure 1 regions for k={region_map.k} "
-        f"(C=CTE, Y=Yo*, B=BFDN, L=BFDN_ell, .=no trees (n<=D))",
+        f"({legend}, .=no trees (n<=D))",
         f"ell range: 2..{max(2, max_ell(region_map.k))}",
     ]
     for row_idx in range(len(region_map.log2_d) - 1, -1, -1):

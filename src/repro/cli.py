@@ -378,11 +378,15 @@ def cmd_bench(args) -> int:
 
 def cmd_figure1(args) -> int:
     """Draw the Figure 1 region chart for the given team size."""
+    from .bounds import EXTENDED_ALGORITHMS
+    from .bounds import ALGORITHMS as FIGURE1_ALGORITHMS
+
     region_map = compute_region_map(
         1 << args.log2_k,
         resolution=args.resolution,
         log2_n_max=max(60.0, 6.5 * args.log2_k),
         log2_d_max=max(40.0, 5.0 * args.log2_k),
+        contenders=EXTENDED_ALGORITHMS if args.extended else FIGURE1_ALGORITHMS,
     )
     print(render_ascii(region_map))
     print("cells won:", region_map.counts())
@@ -755,6 +759,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure1", help="draw the Figure 1 region chart")
     p.add_argument("--log2-k", type=int, default=40, dest="log2_k")
     p.add_argument("--resolution", type=int, default=44)
+    p.add_argument(
+        "--extended",
+        action="store_true",
+        help="partition over the full algorithm zoo (adds DFS, "
+        "tree-mining and potential-cte to the paper's four contenders)",
+    )
     p.set_defaults(func=cmd_figure1)
 
     p = sub.add_parser("game", help="play the balls-in-urns game")

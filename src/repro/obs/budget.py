@@ -12,10 +12,14 @@ bound is crossed.
 
 :func:`budgets_for_scenario` derives the applicable guards from a built
 scenario: plain BFDN variants on adversary-free tree scenarios get the
-Theorem 1 and Lemma 2 budgets, graph scenarios the Proposition 9 budget,
-game scenarios the Theorem 3 budget.  Algorithms the paper proves
-nothing about (``cte``, ``dfs``) get no guard — a budget is an
-assertion, not a comparison.
+Theorem 1 and Lemma 2 budgets, the fixed-``ell`` recursive entries the
+Theorem 10 budget, the follow-up algorithms their literature bounds
+(``tree-mining`` — Theorem 10 at the uniform mining depth,
+arXiv:2309.07011; ``potential-cte`` — ``2n/k + C D^2``,
+arXiv:2311.01354), graph scenarios the Proposition 9 budget, game
+scenarios the Theorem 3 budget.  Algorithms the paper proves nothing
+about (``cte``, ``dfs``) get no guard — a budget is an assertion, not a
+comparison.
 """
 
 from __future__ import annotations
@@ -35,6 +39,10 @@ logger = logging.getLogger(__name__)
 THEOREM1_ALGORITHMS = frozenset(
     {"bfdn", "bfdn-wr", "bfdn-shortcut", "bfdn-checked"}
 )
+
+#: Fixed-recursion-depth BFDN_ell entries, monitored against Theorem 10
+#: at their declared ``ell``.
+THEOREM10_ALGORITHMS = {"bfdn-ell2": 2, "bfdn-ell3": 3}
 
 
 @dataclass(frozen=True)
@@ -265,8 +273,12 @@ def budgets_for_scenario(built) -> List[Budget]:
     """
     from ..bounds.guarantees import (
         bfdn_bound,
+        bfdn_ell_bound,
         lemma2_bound,
+        potential_cte_bound,
         theorem3_bound,
+        tree_mining_bound,
+        tree_mining_ell,
     )
 
     spec = built.spec
@@ -289,6 +301,46 @@ def budgets_for_scenario(built) -> List[Budget]:
                     value=_InteriorReanchors(max_depth=tree.depth),
                     description="k (min(log Delta, log k) + 3) re-anchors "
                     "at any interior depth",
+                )
+            )
+        elif spec.algorithm in THEOREM10_ALGORITHMS:
+            tree = built.tree
+            ell = THEOREM10_ALGORITHMS[spec.algorithm]
+            budgets.append(
+                Budget(
+                    name="theorem10",
+                    limit=bfdn_ell_bound(
+                        tree.n, tree.depth, spec.k, ell, tree.max_degree
+                    ),
+                    value=_billed,
+                    description=f"4n/k^(1/{ell}) + 2^{ell + 1} "
+                    f"(ell + 1 + min(log Delta, log k / ell)) D^(1+1/{ell}) "
+                    "rounds (Theorem 10)",
+                )
+            )
+        elif spec.algorithm == "tree-mining":
+            tree = built.tree
+            budgets.append(
+                Budget(
+                    name="tree-mining",
+                    limit=tree_mining_bound(
+                        tree.n, tree.depth, spec.k, tree.max_degree
+                    ),
+                    value=_billed,
+                    description="Theorem 10 at the uniform mining depth "
+                    f"ell(k)={tree_mining_ell(spec.k)}: "
+                    "4n/2^sqrt(log2 k) + additive term (arXiv:2309.07011)",
+                )
+            )
+        elif spec.algorithm == "potential-cte":
+            tree = built.tree
+            budgets.append(
+                Budget(
+                    name="potential-cte",
+                    limit=potential_cte_bound(tree.n, tree.depth, spec.k),
+                    value=_billed,
+                    description="2n/k + C D^2 rounds (arXiv:2311.01354; "
+                    "implementation-pinned C)",
                 )
             )
     elif spec.kind == "graph":
@@ -323,5 +375,6 @@ __all__ = [
     "BudgetViolation",
     "MarginSample",
     "THEOREM1_ALGORITHMS",
+    "THEOREM10_ALGORITHMS",
     "budgets_for_scenario",
 ]

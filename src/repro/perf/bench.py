@@ -124,6 +124,14 @@ PINNED_SUITE: Tuple[BenchCase, ...] = (
     BenchCase("bfdn/comb-n2000-k8", "tree", "comb", 2000, 8),
     BenchCase("bfdn/star-n2000-k32", "tree", "star", 2000, 32, quick=True),
     BenchCase("bfdn/star-n10000-k32", "tree", "star", 10000, 32),
+    BenchCase("tree-mining/random-n300-k9", "tree", "random", 300, 9,
+              algorithm="tree-mining", quick=True),
+    BenchCase("tree-mining/random-n2000-k16", "tree", "random", 2000, 16,
+              algorithm="tree-mining"),
+    BenchCase("potential-cte/random-n300-k4", "tree", "random", 300, 4,
+              algorithm="potential-cte", quick=True),
+    BenchCase("potential-cte/comb-n2000-k8", "tree", "comb", 2000, 8,
+              algorithm="potential-cte"),
     BenchCase("cte/random-n300-k4", "tree", "random", 300, 4,
               algorithm="cte", quick=True),
     BenchCase("cte/random-n2000-k8", "tree", "random", 2000, 8,

@@ -22,6 +22,7 @@ import math
 import random
 from typing import Callable, Dict, Mapping, Optional
 
+from .algos import PotentialCTE, TreeMining
 from .baselines import CTE, OnlineDFS
 from .core import BFDN, BFDNEll, ShortcutBFDN, WriteReadBFDN
 from .core.invariants import CheckedBFDN
@@ -43,25 +44,74 @@ ALGORITHMS: Dict[str, Callable[[], object]] = {
     "bfdn-ell3": lambda: BFDNEll(3),
     "cte": CTE,
     "dfs": OnlineDFS,
+    # Follow-up literature (repro.algos): the tree-mining schedule of
+    # arXiv:2309.07011 and the potential-function CTE of arXiv:2311.01354.
+    "tree-mining": TreeMining,
+    "potential-cte": PotentialCTE,
 }
 
+#: Construction knobs each factory honours.  ``make_algorithm`` accepts
+#: two knobs — ``policy`` (a named re-anchor policy, the Lemma 2 ablation)
+#: and ``seed`` (algorithm-side randomness, today only consumed by seeded
+#: policies) — and this table declares, per algorithm, which of them
+#: actually reach the factory.  A knob passed to an algorithm that does
+#: not declare it is *rejected by name* instead of silently dropped, and
+#: registering an algorithm without declaring its knobs fails at import.
+ALGORITHM_KNOBS: Dict[str, frozenset] = {
+    "bfdn": frozenset({"policy", "seed"}),
+    "bfdn-wr": frozenset(),
+    "bfdn-shortcut": frozenset({"policy", "seed"}),
+    "bfdn-checked": frozenset(),
+    "bfdn-ell2": frozenset(),
+    "bfdn-ell3": frozenset(),
+    "cte": frozenset(),
+    "dfs": frozenset(),
+    "tree-mining": frozenset(),
+    "potential-cte": frozenset(),
+}
+
+if set(ALGORITHM_KNOBS) != set(ALGORITHMS):  # pragma: no cover - import guard
+    raise RuntimeError(
+        "ALGORITHM_KNOBS out of sync with ALGORITHMS: every registered "
+        "algorithm must declare which construction knobs it honours"
+    )
+
 #: Algorithms whose constructor accepts a ``policy=`` re-anchor policy
-#: (the Lemma 2 ablation knob of the scenario layer).
-POLICY_ALGORITHMS = frozenset({"bfdn", "bfdn-shortcut"})
+#: (derived from :data:`ALGORITHM_KNOBS`).
+POLICY_ALGORITHMS = frozenset(
+    name for name, knobs in ALGORITHM_KNOBS.items() if "policy" in knobs
+)
 
 #: Algorithms whose model permits two robots to traverse the same
-#: dangling edge in one round (CTE's model; forbidden for BFDN).
+#: dangling edge in one round (CTE's model; forbidden for BFDN, and not
+#: needed by ``potential-cte``, which hands each port to one robot).
 SHARED_REVEAL = frozenset({"cte"})
+
+
+def algorithm_knobs(name: str) -> frozenset:
+    """The construction knobs ``name``'s factory honours (see
+    :data:`ALGORITHM_KNOBS`); ``ValueError`` for unknown names."""
+    try:
+        return ALGORITHM_KNOBS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r} (known: {', '.join(sorted(ALGORITHMS))})"
+        ) from None
 
 
 def make_algorithm(name: str, policy: Optional[str] = None, seed: int = 0):
     """Build a fresh algorithm instance for ``name``.
 
     ``policy`` optionally selects a named re-anchor policy (see
-    :data:`REANCHOR_POLICIES`); only the algorithms in
-    :data:`POLICY_ALGORITHMS` accept one.  Raises ``ValueError`` for
-    unknown names so callers surface typos instead of silently caching
-    results under a bogus key.
+    :data:`REANCHOR_POLICIES`); passing it to an algorithm that does not
+    declare the ``policy`` knob raises a ``ValueError`` naming the
+    rejected knob.  ``seed`` is the scenario layer's run-replication
+    knob: it is always accepted (every run carries one), and it reaches
+    the factory exactly when the algorithm declares the ``seed`` knob —
+    today the seeded re-anchor policies; the deterministic algorithms
+    ignore it by declared contract (:data:`ALGORITHM_KNOBS`) rather than
+    by accident.  Raises ``ValueError`` for unknown names so callers
+    surface typos instead of silently caching results under a bogus key.
     """
     try:
         factory = ALGORITHMS[name]
@@ -69,14 +119,18 @@ def make_algorithm(name: str, policy: Optional[str] = None, seed: int = 0):
         raise ValueError(
             f"unknown algorithm {name!r} (known: {', '.join(sorted(ALGORITHMS))})"
         ) from None
-    if policy is None:
-        return factory()
-    if name not in POLICY_ALGORITHMS:
+    # Entries injected at runtime (tests, plugins) may not be in the
+    # static knob table; they honour no knobs unless they declare some.
+    knobs = ALGORITHM_KNOBS.get(name, frozenset())
+    if policy is not None and "policy" not in knobs:
         raise ValueError(
-            f"algorithm {name!r} does not take a re-anchor policy "
-            f"(policy-capable: {', '.join(sorted(POLICY_ALGORITHMS))})"
+            f"algorithm {name!r} rejected knob policy={policy!r}: it does "
+            "not take a re-anchor policy (policy-capable: "
+            f"{', '.join(sorted(POLICY_ALGORITHMS))})"
         )
-    return factory(policy=make_reanchor_policy(policy, seed=seed))
+    if policy is not None:
+        return factory(policy=make_reanchor_policy(policy, seed=seed))
+    return factory()
 
 
 def shared_reveal_default(name: str) -> bool:
@@ -506,6 +560,7 @@ def make_game_adversary(name: str, seed: int = 0, *, k: int = 1, delta: int = 1)
 __all__ = [
     "ADVERSARIES",
     "ALGORITHMS",
+    "ALGORITHM_KNOBS",
     "BACKENDS",
     "ENTRY_POINTS",
     "GAME_ADVERSARIES",
@@ -517,6 +572,7 @@ __all__ = [
     "ROUND_OBSERVERS",
     "SHARED_REVEAL",
     "TREES",
+    "algorithm_knobs",
     "make_algorithm",
     "make_breakdown_adversary",
     "make_game_adversary",

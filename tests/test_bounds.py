@@ -5,21 +5,31 @@ import math
 import pytest
 
 from repro.bounds import (
+    EXTENDED_ALGORITHMS,
+    POTENTIAL_CTE_CONSTANT,
     adversarial_bound,
     best_bfdn_ell_simplified,
     bfdn_bound,
     bfdn_ell_bound,
     bfdn_ell_simplified,
     bfdn_simplified,
+    competitive_overhead,
+    competitive_ratio,
     compute_region_map,
     cte_simplified,
+    dfs_simplified,
     lemma2_bound,
     max_ell,
     offline_lower_bound_value,
+    potential_cte_bound,
+    potential_cte_simplified,
     region_winner,
     render_ascii,
     theorem3_bound,
     to_csv,
+    tree_mining_bound,
+    tree_mining_ell,
+    tree_mining_simplified,
     yostar_simplified,
 )
 from repro.bounds.regions import (
@@ -78,6 +88,34 @@ class TestFormulas:
         assert max_ell(2) == 1
         k = 1 << 20
         assert max_ell(k) == int(math.log(k) / math.log(math.log(k)))
+
+    def test_tree_mining_is_theorem10_at_the_mining_depth(self):
+        n, depth, k = 10_000, 30, 1 << 20
+        ell = tree_mining_ell(k)
+        assert ell == 5
+        assert tree_mining_bound(n, depth, k, 8) == pytest.approx(
+            bfdn_ell_bound(n, depth, k, ell, 8)
+        )
+        assert tree_mining_simplified(n, depth, k) == pytest.approx(
+            bfdn_ell_simplified(n, depth, k, ell)
+        )
+
+    def test_tree_mining_n_term_breaks_the_barrier(self):
+        # The n-term of the bound is 4n / 2^{sqrt(log2 k)} when log2 k is
+        # a perfect square: competitive ratio k / 2^{sqrt(log2 k)},
+        # asymptotically below CTE's k / log k.
+        k = 1 << 36  # sqrt(36) = 6 exactly
+        n_term = tree_mining_bound(10**9, 0, k)
+        assert n_term == pytest.approx(4 * 10**9 / 2**6)
+
+    def test_potential_cte_bound_shape(self):
+        # 2n/k + C D^2, no log k anywhere.
+        assert potential_cte_bound(1000, 10, 8) == pytest.approx(
+            250 + POTENTIAL_CTE_CONSTANT * 100
+        )
+        assert potential_cte_bound(1000, 10, 8000) == pytest.approx(
+            0.25 + POTENTIAL_CTE_CONSTANT * 100
+        )
 
 
 class TestAppendixABoundaries:
@@ -148,7 +186,14 @@ class TestRegionMap:
 
 class TestSimplifiedShapes:
     def test_monotone_in_n(self):
-        for f in (cte_simplified, bfdn_simplified, yostar_simplified):
+        for f in (
+            cte_simplified,
+            bfdn_simplified,
+            yostar_simplified,
+            dfs_simplified,
+            tree_mining_simplified,
+            potential_cte_simplified,
+        ):
             assert f(10_000, 10, 64) < f(100_000, 10, 64)
 
     def test_best_ell_at_least_as_good_as_any(self):
@@ -156,3 +201,121 @@ class TestSimplifiedShapes:
         best = best_bfdn_ell_simplified(n, depth, k)
         for ell in range(2, max_ell(k) + 1):
             assert best <= bfdn_ell_simplified(n, depth, k, ell) + 1e-9
+
+    def test_potential_cte_dominates_bfdn_shape(self):
+        # n/k + D^2 < 2n/k + D^2 log k pointwise once k > e.
+        for n, depth in [(1e6, 10), (1e9, 1e3), (100, 1)]:
+            assert potential_cte_simplified(n, depth, 64) < bfdn_simplified(
+                n, depth, 64
+            )
+
+
+class TestDegenerateInputs:
+    """Satellite fix: ratios/overheads stay defined on trivial instances."""
+
+    def test_offline_lower_bound_zero_on_trivial_instances(self):
+        assert offline_lower_bound_value(1, 0, 4) == 0.0
+        assert offline_lower_bound_value(0, 0, 8) == 0.0
+        # One node at depth 0 but k >> n still has nothing to explore.
+        assert offline_lower_bound_value(1, 0, 1000) == 0.0
+        # Any actual edge keeps the bound positive.
+        assert offline_lower_bound_value(2, 1, 1000) == 2.0
+
+    def test_competitive_ratio_defined_on_zero_denominator(self):
+        # n=0, depth=0 used to raise ZeroDivisionError.
+        assert competitive_ratio(0, 0, 0, 4) == 1.0
+        assert competitive_ratio(5, 0, 0, 4) == 5.0
+        assert math.isfinite(competitive_ratio(3, 0, 0, 1000))
+
+    def test_competitive_ratio_unchanged_on_real_instances(self):
+        assert competitive_ratio(100, 80, 10, 4) == pytest.approx(100 / 30)
+        # Small-but-nonzero denominators are NOT clamped.
+        assert competitive_ratio(2, 1, 0, 4) == pytest.approx(8.0)
+
+    def test_competitive_overhead_defined_everywhere(self):
+        assert competitive_overhead(7, 0, 4) == 7.0
+        assert competitive_overhead(100, 80, 4) == 60.0
+
+    def test_bad_team_size_raises(self):
+        for fn in (
+            lambda: competitive_ratio(1, 10, 2, 0),
+            lambda: competitive_overhead(1, 10, 0),
+            lambda: offline_lower_bound_value(10, 2, -1),
+            lambda: tree_mining_ell(0),
+            lambda: potential_cte_bound(10, 2, 0),
+        ):
+            with pytest.raises(ValueError, match="team size"):
+                fn()
+
+
+class TestExtendedRegionMap:
+    """The zoo-wide partition (figure1 --extended)."""
+
+    def test_default_map_is_unchanged(self):
+        # The paper's four-contender chart must stay byte-identical.
+        m = compute_region_map(1 << 20, resolution=12, log2_n_max=60, log2_d_max=40)
+        assert m.contenders == ("CTE", "Yo*", "BFDN", "BFDN_ell")
+        assert set(m.counts()) == {"CTE", "Yo*", "BFDN", "BFDN_ell"}
+        art = render_ascii(m)
+        assert "C=CTE, Y=Yo*, B=BFDN, L=BFDN_ell, .=no trees" in art
+        assert "TreeMining" not in art
+
+    def test_extended_map_partitions_across_the_zoo(self):
+        m = compute_region_map(
+            1 << 30, resolution=40, log2_n_max=195, log2_d_max=150,
+            contenders=EXTENDED_ALGORITHMS,
+        )
+        counts = m.counts()
+        assert set(counts) == set(EXTENDED_ALGORITHMS)
+        # The new contenders claim territory...
+        assert counts["PotentialCTE"] > 0
+        assert counts["TreeMining"] > 0
+        # ...and the paper contenders that survive domination keep some.
+        for name in ("CTE", "Yo*", "BFDN_ell"):
+            assert counts[name] > 0, name
+        # PotentialCTE's n/k + D^2 dominates BFDN's n/k + D^2 log k
+        # pointwise, and DFS's 2n loses to CTE for every k >= 2 — both
+        # are honest zeros, not missing contenders.
+        assert counts["BFDN"] == 0
+        assert counts["DFS"] == 0
+
+    def test_tree_mining_wins_exactly_where_the_envelope_uses_ell_k(self):
+        # Tie-break: tree-mining precedes BFDN_ell, so cells where the
+        # best-ell envelope is achieved at ell(k) go to the uniform
+        # algorithm.
+        k = 1 << 30
+        m = compute_region_map(
+            k, resolution=40, log2_n_max=195, log2_d_max=150,
+            contenders=EXTENDED_ALGORITHMS,
+        )
+        ell_k = tree_mining_ell(k)
+        for row_idx, ld in enumerate(m.log2_d):
+            for col_idx, ln in enumerate(m.log2_n):
+                if m.winners[row_idx][col_idx] == "TreeMining":
+                    n, depth = 2.0**ln, 2.0**ld
+                    assert tree_mining_simplified(n, depth, k) == pytest.approx(
+                        best_bfdn_ell_simplified(n, depth, k)
+                    )
+                    assert bfdn_ell_simplified(
+                        n, depth, k, ell_k
+                    ) <= best_bfdn_ell_simplified(n, depth, k) + 1e-9
+
+    def test_extended_render_legend(self):
+        m = compute_region_map(
+            64, resolution=8, log2_n_max=30, log2_d_max=20,
+            contenders=EXTENDED_ALGORITHMS,
+        )
+        art = render_ascii(m)
+        assert "M=TreeMining" in art
+        assert "P=PotentialCTE" in art
+        assert "D=DFS" in art
+
+    def test_winner_at_respects_contenders(self):
+        k = 1 << 20
+        n, depth = 2.0**60, 2.0**4  # BFDN's cell in the paper's map
+        default = compute_region_map(k, resolution=8)
+        extended = compute_region_map(
+            k, resolution=8, contenders=EXTENDED_ALGORITHMS
+        )
+        assert default.winner_at(n, depth) == "BFDN"
+        assert extended.winner_at(n, depth) == "PotentialCTE"

@@ -33,6 +33,12 @@ GOLDEN = {
         "065c125f042a5ff3a6e4e48ad4abb2000209c35dcc31048034b03435e4c33e51",
     "with-policy-bounds":
         "1dc479be30bb93d36e6063ad2d6f80a2b54308ecfe0cfc6d5ff56cebad7f835e",
+    # The algorithm zoo (repro.algos) joins the same fingerprint
+    # namespace: new names pin cleanly without perturbing any entry above.
+    "tree-mining":
+        "1a82a7125daeba5fd2f4e87551e2034b7402a790563935e594418f2eb05ac3ee",
+    "potential-cte":
+        "576f01c4012890442faaa58c2ca76254258eb19372be881a7418a53abd51318c",
 }
 
 
@@ -64,6 +70,14 @@ def golden_specs():
             kind="tree", algorithm="bfdn-shortcut",
             substrate=TreeSpec.named("spider", 60, seed=2), k=8, seed=2,
             policy="least-loaded", compute_bounds=True,
+        ),
+        "tree-mining": ScenarioSpec(
+            kind="tree", algorithm="tree-mining",
+            substrate=TreeSpec.named("random", 80, seed=5), k=9, seed=5,
+        ),
+        "potential-cte": ScenarioSpec(
+            kind="tree", algorithm="potential-cte",
+            substrate=TreeSpec.named("cte-trap", 120, seed=0), k=8, seed=0,
         ),
     }
 

@@ -82,6 +82,30 @@ class TestNamedFactories:
             for policy in registry.REANCHOR_POLICIES:
                 assert registry.make_algorithm(name, policy=policy) is not None
 
+    def test_rejected_policy_error_names_the_knob_and_algorithm(self):
+        for name in ("bfdn-ell2", "bfdn-ell3", "tree-mining", "potential-cte"):
+            with pytest.raises(ValueError, match="rejected knob policy") as exc:
+                registry.make_algorithm(name, policy="least-loaded")
+            assert name in str(exc.value)
+            # The message lists who *does* honor the knob.
+            assert "bfdn" in str(exc.value)
+
+    def test_seed_accepted_by_every_algorithm(self):
+        # seed is the scenario layer's run-replication knob: every factory
+        # accepts it, only seed-declaring ones (policy RNGs) apply it.
+        for name in registry.ALGORITHMS:
+            assert registry.make_algorithm(name, seed=7) is not None, name
+
+    def test_algorithm_knobs_helper(self):
+        assert registry.algorithm_knobs("bfdn") == frozenset({"policy", "seed"})
+        assert registry.algorithm_knobs("dfs") == frozenset()
+        assert registry.algorithm_knobs("tree-mining") == frozenset()
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            registry.algorithm_knobs("nope")
+
+    def test_knob_table_covers_the_registry(self):
+        assert set(registry.ALGORITHM_KNOBS) == set(registry.ALGORITHMS)
+
     def test_unknown_breakdown_adversary(self):
         with pytest.raises(ValueError, match="random-breakdowns"):
             registry.make_breakdown_adversary("nope", {})
