@@ -20,7 +20,7 @@ from .baselines import CTE, OnlineDFS, offline_lower_bound, offline_split_runtim
 from .core import BFDN, BFDNEll, WriteReadBFDN, run_with_breakdowns
 from .mission import MissionPlan, MissionReport, plan_mission, run_mission
 from .scenario import ScenarioSpec, run_scenario, scenario_grid
-from .sim import Simulator
+from .sim import AsyncSimulator, Simulator
 from .trees import PartialTree, Tree, generators, tree_from_edges
 
 __version__ = "1.0.0"
@@ -32,6 +32,7 @@ __all__ = [
     "CTE",
     "OnlineDFS",
     "Simulator",
+    "AsyncSimulator",
     "plan_mission",
     "run_mission",
     "MissionPlan",

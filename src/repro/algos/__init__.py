@@ -10,15 +10,21 @@ the wider collective-tree-exploration literature:
 * :class:`PotentialCTE` — "Collective Tree Exploration via Potential
   Function Method" (Cosson–Massoulié, arXiv:2311.01354), registered as
   ``potential-cte``.
+* :class:`AsyncCTE` — "Asynchronous Collective Tree Exploration: a
+  Distributed Algorithm, and a new Lower Bound" (Cosson,
+  arXiv:2507.15658), registered as ``async-cte``; the distributed
+  whiteboard strategy behind ``kind=async-tree`` scenarios (and a plain
+  synchronous strategy under the default scheduler).
 
-Both are plain :class:`~repro.sim.engine.ExplorationAlgorithm` policies,
+All are plain :class:`~repro.sim.engine.ExplorationAlgorithm` policies,
 so every surface that takes a registry algorithm name (``explore``,
 ``sweep``, ``experiment``, ``bench``, ``serve``) runs them unchanged;
 their guarantees live in :mod:`repro.bounds.guarantees` and are wired
 into :func:`repro.obs.budget.budgets_for_scenario`.
 """
 
+from .async_cte import AsyncCTE
 from .potential import PotentialCTE
 from .tree_mining import TreeMining
 
-__all__ = ["PotentialCTE", "TreeMining"]
+__all__ = ["AsyncCTE", "PotentialCTE", "TreeMining"]

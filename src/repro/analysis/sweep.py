@@ -153,7 +153,9 @@ def record_from_row(row: Dict[str, object]) -> SweepRecord:
     """Rebuild a :class:`SweepRecord` from an orchestrator result row.
 
     Tolerates rows without the bound columns (scenarios run with
-    ``compute_bounds=False``) by defaulting them to zero.
+    ``compute_bounds=False``) by defaulting them to zero.  Async-tree
+    rows carry their guarantee as ``async_bound``; it lands in the same
+    ``bound`` table column.
     """
     return SweepRecord(
         algorithm=str(row["algorithm"]),
@@ -165,7 +167,7 @@ def record_from_row(row: Dict[str, object]) -> SweepRecord:
         rounds=int(row["rounds"]),
         complete=bool(row["complete"]),
         all_home=bool(row["all_home"]),
-        bfdn_bound=float(row.get("bfdn_bound", 0.0)),
+        bfdn_bound=float(row.get("bfdn_bound", row.get("async_bound", 0.0))),
         lower_bound=int(row.get("lower_bound", 0)),
         offline_split=int(row.get("offline_split", 0)),
         rounds_per_sec=float(row.get("rounds_per_sec", 0.0)),
@@ -248,6 +250,8 @@ def run_sweep_cached(
     adversary_params: Optional[Dict[str, object]] = None,
     telemetry=None,
     backend: str = "reference",
+    speed: Optional[str] = None,
+    speed_params: Optional[Dict[str, object]] = None,
 ) -> SweepRun:
     """Run every named algorithm on every (tree, k) pair, orchestrated.
 
@@ -265,6 +269,10 @@ def run_sweep_cached(
     points.  ``backend`` selects the round-engine backend for the
     ``tree``-kind jobs (non-default backends fingerprint separately, so
     cached reference rows are never reused for an array sweep).
+
+    ``speed`` (with ``speed_params``) switches async-capable tree
+    algorithms to ``async-tree`` scenarios driven by the named speed
+    schedule — the asynchronous model's counterpart to ``adversary``.
     """
     workload_list = [
         (label, tree if isinstance(tree, TreeSpec) else TreeSpec.from_tree(tree))
@@ -280,6 +288,8 @@ def run_sweep_cached(
         max_rounds=max_rounds,
         compute_bounds=True,
         backend=backend,
+        speed=speed,
+        speed_params=speed_params,
     )
     tracker = tracker if tracker is not None else ProgressTracker()
     logger.info(

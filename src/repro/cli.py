@@ -28,7 +28,13 @@ from typing import Optional, Sequence
 from . import registry
 from .analysis import render_table, run_experiment, run_sweep_cached, save_rows
 from .analysis.experiments import ExperimentContext
-from .bounds import bfdn_bound, compute_region_map, render_ascii, theorem3_bound
+from .bounds import (
+    async_cte_bound,
+    bfdn_bound,
+    compute_region_map,
+    render_ascii,
+    theorem3_bound,
+)
 from .core import BFDN
 from .game import BalancedPlayer, GreedyAdversary, UrnBoard, game_value, play_game
 from .mission import run_mission
@@ -41,11 +47,13 @@ from .perf import bench as perf_bench
 from .registry import (
     ADVERSARIES,
     ALGORITHMS,
+    ASYNC_ALGORITHMS,
     ENTRY_POINTS,
     GAME_FAMILY,
     GRAPHS,
     REANCHOR_POLICIES,
     ROUND_OBSERVERS,
+    SPEED_SCHEDULES,
     TREES,
     workload_kind,
 )
@@ -105,6 +113,11 @@ def _explore_spec(args) -> ScenarioSpec:
     if args.adversary is not None:
         # Reactive adversaries switch the scenario to the Remark 8 model.
         kind = ADVERSARIES.get(args.adversary, "tree")
+    speed = getattr(args, "speed", None)
+    if speed is not None:
+        # A speed schedule switches to the asynchronous model; the spec
+        # rejects the combination with an adversary.
+        kind = "async-tree"
     return ScenarioSpec(
         kind=kind,
         algorithm=args.algorithm,
@@ -116,6 +129,8 @@ def _explore_spec(args) -> ScenarioSpec:
         adversary_params=_parse_params(args.adversary_param),
         label=f"{args.tree}-n{args.n}",
         backend=args.backend,
+        speed=speed,
+        speed_params=_parse_params(getattr(args, "speed_param", None)),
     )
 
 
@@ -150,6 +165,18 @@ def cmd_explore(args) -> int:
     setup = args.algorithm
     if spec.policy:
         setup += f" (policy={spec.policy})"
+    if spec.kind == "async-tree":
+        setup += f" (speed={spec.resolved_speed()})"
+        print(f"{setup} with k={args.k}: {row['rounds']} batches "
+              f"(complete={row['complete']}, all home={row['all_home']})")
+        print(f"async clock: completion time {row['clock_time']}, "
+              f"skew {row['clock_skew']}, "
+              f"slowest robot {row['slowest_robot']}")
+        print(f"async bound 2n/k + 4D^2: "
+              f"{async_cte_bound(tree.n, tree.depth, args.k):.0f}")
+        for report in reporters:
+            report()
+        return 0 if row["complete"] else 1
     print(f"{setup} with k={args.k}: {row['rounds']} rounds "
           f"(complete={row['complete']}, all home={row['all_home']})")
     if spec.adversary is not None and spec.kind == "tree":
@@ -218,6 +245,7 @@ def cmd_sweep(args) -> int:
     }
     try:
         adversary_params = _parse_params(args.adversary_param)
+        speed_params = _parse_params(getattr(args, "speed_param", None))
     except ValueError as exc:
         print(f"sweep: {exc}")
         return 2
@@ -265,6 +293,8 @@ def cmd_sweep(args) -> int:
                     adversary_params=adversary_params if kind == "tree" else None,
                     telemetry=telemetry,
                     backend=args.backend if kind == "tree" else "reference",
+                    speed=getattr(args, "speed", None) if kind == "tree" else None,
+                    speed_params=speed_params if kind == "tree" else None,
                 )
             except ValueError as exc:
                 print(f"sweep: {exc}")
@@ -627,6 +657,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
         help="round-engine backend (array = flat-array fast path)",
     )
+    p.add_argument(
+        "--speed", default=None, choices=sorted(SPEED_SCHEDULES),
+        help="run asynchronously under this speed schedule "
+        f"(async-capable: {', '.join(sorted(ASYNC_ALGORITHMS))})",
+    )
+    p.add_argument(
+        "--speed-param", action="append", default=None, metavar="KEY=VALUE",
+        dest="speed_param",
+        help="speed-schedule parameter, repeatable (e.g. slow=2 factor=4)",
+    )
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("compare", help="sweep algorithms over families")
@@ -710,6 +750,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
         help="round-engine backend for the tree-kind jobs",
+    )
+    p.add_argument(
+        "--speed", default=None, choices=sorted(SPEED_SCHEDULES),
+        help="run async-capable tree algorithms asynchronously under "
+        "this speed schedule (mutually exclusive with --adversary)",
+    )
+    p.add_argument(
+        "--speed-param", action="append", default=None, metavar="KEY=VALUE",
+        dest="speed_param",
+        help="speed-schedule parameter, repeatable (e.g. slow=2 factor=4)",
     )
     p.set_defaults(func=cmd_sweep)
 
@@ -917,7 +967,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="distinct scenarios cycled through (controls the hit rate)",
     )
     p.add_argument(
-        "--kinds", nargs="+", choices=["tree", "graph", "game"],
+        "--kinds", nargs="+", choices=["tree", "graph", "game", "async-tree"],
         default=["tree", "graph", "game"],
         help="scenario kinds mixed into the batch",
     )

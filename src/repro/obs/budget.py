@@ -16,7 +16,9 @@ Theorem 1 and Lemma 2 budgets, the fixed-``ell`` recursive entries the
 Theorem 10 budget, the follow-up algorithms their literature bounds
 (``tree-mining`` — Theorem 10 at the uniform mining depth,
 arXiv:2309.07011; ``potential-cte`` — ``2n/k + C D^2``,
-arXiv:2311.01354), graph scenarios the Proposition 9 budget, game
+arXiv:2311.01354), async-tree scenarios the asynchronous completion-time
+budget (``async-cte`` — ``2n/k + C D^2`` in per-robot clock time,
+arXiv:2507.15658), graph scenarios the Proposition 9 budget, game
 scenarios the Theorem 3 budget.  Algorithms the paper proves nothing
 about (``cte``, ``dfs``) get no guard — a budget is an assertion, not a
 comparison.
@@ -235,6 +237,20 @@ def _billed(state: RoundState, record: RoundRecord) -> float:
     return float(record.billed)
 
 
+def _clock_completion(state: RoundState, record: RoundRecord) -> float:
+    """The async completion time (the quantity the async bound caps).
+
+    Asynchronous runs publish an :class:`~repro.sim.scheduler.AsyncClock`
+    on the state; the bound holds for the time of the last *progressing*
+    traversal, not the batch count.  Falls back to the billed batches
+    when no clock is attached (a sync run of an async algorithm).
+    """
+    clock = getattr(state, "clock", None)
+    if clock is not None:
+        return float(clock.completion_time)
+    return float(record.billed)
+
+
 @dataclass
 class _InteriorReanchors:
     """Incrementally tracks the max re-anchor count over interior depths.
@@ -343,6 +359,19 @@ def budgets_for_scenario(built) -> List[Budget]:
                     "implementation-pinned C)",
                 )
             )
+    elif spec.kind == "async-tree" and spec.algorithm == "async-cte":
+        from ..bounds.guarantees import async_cte_bound
+
+        tree = built.tree
+        budgets.append(
+            Budget(
+                name="async-cte",
+                limit=async_cte_bound(tree.n, tree.depth, spec.k),
+                value=_clock_completion,
+                description="2n/k + C D^2 completion time under any speed "
+                "schedule (arXiv:2507.15658; implementation-pinned C)",
+            )
+        )
     elif spec.kind == "graph":
         from ..graphs.exploration import proposition9_bound
 

@@ -299,7 +299,13 @@ class MetricsObserver(RoundObserver):
             self._flush(record.t + 1, final=False)
 
     def on_stop(self, state: RoundState, outcome: RunOutcome) -> None:
-        """Flush the final cumulative ``round`` event and the gauges."""
+        """Flush the final cumulative ``round`` event and the gauges.
+
+        Asynchronous runs publish their per-robot clock on the state
+        (:class:`~repro.sim.scheduler.AsyncClock`); when present, its
+        summary goes out as one ``clock`` event so trace readers
+        (``repro tail``) can attribute wall time to the slowest robot.
+        """
         self.billed_rounds = outcome.billed_rounds
         counters = self.registry.counter(
             "run_totals", "cumulative per-run engine counters"
@@ -308,6 +314,15 @@ class MetricsObserver(RoundObserver):
             if isinstance(value, (int, float)):
                 counters.inc(float(value), field=key)
         self._flush(outcome.wall_rounds, final=True)
+        clock = getattr(state, "clock", None)
+        if clock is not None and hasattr(clock, "summary"):
+            self.writer.emit(
+                "clock",
+                span_id=self.span_id,
+                fingerprint=self.fingerprint,
+                label=self.label,
+                data=clock.summary(),
+            )
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:

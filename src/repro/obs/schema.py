@@ -50,6 +50,8 @@ from typing import Any, Dict, Iterable, Mapping, Optional
 
 #: Event kinds, in rough lifecycle order.  The ``request``/``queue``/
 #: ``latency`` trio is emitted by the serving layer (``repro serve``);
+#: ``clock`` carries the per-robot clock summary of an asynchronous run
+#: (times, skew, slowest robot — see ``repro.sim.scheduler.AsyncClock``);
 #: additions here are backward compatible — readers skip unknown kinds.
 EVENT_TYPES = (
     "run_start",
@@ -60,6 +62,7 @@ EVENT_TYPES = (
     "latency",
     "budget",
     "violation",
+    "clock",
     "run_end",
 )
 

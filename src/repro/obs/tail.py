@@ -4,7 +4,9 @@ This backs ``python -m repro tail DIR``: it folds a JSONL event log
 (one file or a directory of ``trace-*.jsonl``) into per-span summaries —
 duration, rounds/sec, final theorem-budget margins, violation count —
 plus trace-level aggregates (total runs, slowest spans, whether every
-span closed cleanly).
+span closed cleanly).  Traces from asynchronous runs additionally get a
+clock-skew section attributing each span's wall time to its slowest
+robot (from the ``clock`` events).
 """
 
 from __future__ import annotations
@@ -34,6 +36,9 @@ class SpanSummary:
     margins: Dict[str, float] = field(default_factory=dict)
     violations: int = 0
     outcome: Dict[str, Any] = field(default_factory=dict)
+    #: Per-robot clock summary of an asynchronous run (the ``clock``
+    #: event payload); empty for synchronous spans.
+    clock: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def duration(self) -> Optional[float]:
@@ -166,6 +171,8 @@ def summarize(events: Iterable[TelemetryEvent]) -> TraceSummary:
         elif ev.event == "violation":
             span.violations += 1
             summary.violations += 1
+        elif ev.event == "clock":
+            span.clock = dict(ev.data)
         elif ev.event in ("request", "queue", "latency"):
             summary.serving.fold(ev)
     return summary
@@ -218,6 +225,45 @@ def render_latency(serving: ServingSummary) -> List[str]:
     return lines
 
 
+def render_clocks(summary: TraceSummary, limit: int = 5) -> List[str]:
+    """Render the async clock-skew section: one line per async span.
+
+    Shows the completion time the asynchronous guarantee bounds, the
+    fastest/slowest per-robot clock spread, and which robot dragged the
+    run (with its share of the team's elapsed time) — the async
+    counterpart of the serving layer's latency attribution.
+    """
+    spans = [s for s in summary.spans.values() if s.clock]
+    if not spans:
+        return []
+    spans.sort(key=lambda s: float(s.clock.get("skew", 0.0)), reverse=True)
+    lines = [f"async clocks ({len(spans)} span(s), most skewed first):"]
+    lines.append(
+        f"  {'label':<24} {'k':>4} {'completion':>11} {'max':>9} "
+        f"{'skew':>8}  slowest"
+    )
+    for span in spans[:limit]:
+        clock = span.clock
+        max_time = float(clock.get("max_time", 0.0))
+        slowest_robot = int(clock.get("slowest", 0))
+        times = clock.get("times") or []
+        share = ""
+        try:
+            slowest_time = float(times[slowest_robot])
+            if max_time > 0:
+                share = f" ({slowest_time / max_time:.0%} of wall)"
+        except (IndexError, TypeError, ValueError):
+            pass
+        lines.append(
+            f"  {(span.label or span.span_id or '-')[:24]:<24} "
+            f"{int(clock.get('k', 0)):>4} "
+            f"{float(clock.get('completion_time', 0.0)):>11.2f} "
+            f"{max_time:>9.2f} {float(clock.get('skew', 0.0)):>8.3f}  "
+            f"robot {slowest_robot}{share}"
+        )
+    return lines
+
+
 def render(
     summary: TraceSummary, slowest: int = 5, latency: bool = False
 ) -> List[str]:
@@ -258,6 +304,10 @@ def render(
                 f"{span.duration or 0.0:>8.3f} {span.rounds:>8} "
                 f"{span.violations:>4}  {_fmt_margin(span.margins)}"
             )
+    clock_lines = render_clocks(summary, limit=slowest)
+    if clock_lines:
+        lines.append("")
+        lines.extend(clock_lines)
     if latency:
         lines.append("")
         lines.extend(render_latency(summary.serving))
@@ -284,6 +334,7 @@ __all__ = [
     "SpanSummary",
     "TraceSummary",
     "render",
+    "render_clocks",
     "render_latency",
     "summarize",
     "tail",

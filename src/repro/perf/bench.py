@@ -63,10 +63,12 @@ class BenchCase:
 
     ``kind`` selects the runner: ``tree`` drives the simulator with the
     registry algorithm ``algorithm``; ``checked`` wraps BFDN in
-    :class:`~repro.core.invariants.CheckedBFDN`; ``graph`` runs
-    Proposition 9's graph engine; ``game`` plays Theorem 3's urn game
-    (``n`` is the threshold ``Delta``).  ``quick`` cases form the
-    ``--quick`` subset used by the CI smoke job.
+    :class:`~repro.core.invariants.CheckedBFDN`; ``async-tree`` drives
+    the asynchronous event scheduler under the ``speed`` schedule
+    (``""`` = unit speeds); ``graph`` runs Proposition 9's graph engine;
+    ``game`` plays Theorem 3's urn game (``n`` is the threshold
+    ``Delta``).  ``quick`` cases form the ``--quick`` subset used by the
+    CI smoke job.
 
     A case is sugar over a :class:`~repro.scenario.ScenarioSpec` (see
     :meth:`to_scenario`); the runner builds the scenario once, outside
@@ -83,6 +85,8 @@ class BenchCase:
     #: Round-engine backend; only ``tree``/``checked`` cases run on the
     #: backend-selectable engine.
     backend: str = "reference"
+    #: Speed-schedule name for ``async-tree`` cases ("" = unit speeds).
+    speed: str = ""
 
     def to_scenario(self):
         """The scenario this case times.
@@ -96,6 +100,7 @@ class BenchCase:
         kind_map = {
             "tree": ("tree", self.algorithm),
             "checked": ("tree", "bfdn-checked"),
+            "async-tree": ("async-tree", self.algorithm),
             "graph": ("graph", "graph-bfdn"),
             "game": ("game", "urn-game"),
         }
@@ -112,6 +117,7 @@ class BenchCase:
             k=self.k,
             label=self.name,
             backend=self.backend if kind == "tree" else "reference",
+            speed=self.speed or None,
         )
 
 
@@ -136,6 +142,10 @@ PINNED_SUITE: Tuple[BenchCase, ...] = (
               algorithm="cte", quick=True),
     BenchCase("cte/random-n2000-k8", "tree", "random", 2000, 8,
               algorithm="cte"),
+    BenchCase("async-cte/random-n300-k4", "async-tree", "random", 300, 4,
+              algorithm="async-cte", quick=True),
+    BenchCase("async-cte/random-n2000-k8-stochastic", "async-tree",
+              "random", 2000, 8, algorithm="async-cte", speed="stochastic"),
     BenchCase("checked-bfdn/random-n150-k4", "checked", "random", 150, 4,
               quick=True),
     BenchCase("checked-bfdn/random-n3000-k8", "checked", "random", 3000, 8),

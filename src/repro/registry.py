@@ -22,7 +22,7 @@ import math
 import random
 from typing import Callable, Dict, Mapping, Optional
 
-from .algos import PotentialCTE, TreeMining
+from .algos import AsyncCTE, PotentialCTE, TreeMining
 from .baselines import CTE, OnlineDFS
 from .core import BFDN, BFDNEll, ShortcutBFDN, WriteReadBFDN
 from .core.invariants import CheckedBFDN
@@ -48,6 +48,10 @@ ALGORITHMS: Dict[str, Callable[[], object]] = {
     # arXiv:2309.07011 and the potential-function CTE of arXiv:2311.01354.
     "tree-mining": TreeMining,
     "potential-cte": PotentialCTE,
+    # The distributed whiteboard strategy of arXiv:2507.15658 — the only
+    # entry that is also async-capable (see ASYNC_ALGORITHMS); under the
+    # default synchronous scheduler it runs like any other strategy.
+    "async-cte": AsyncCTE,
 }
 
 #: Construction knobs each factory honours.  ``make_algorithm`` accepts
@@ -68,6 +72,7 @@ ALGORITHM_KNOBS: Dict[str, frozenset] = {
     "dfs": frozenset(),
     "tree-mining": frozenset(),
     "potential-cte": frozenset(),
+    "async-cte": frozenset(),
 }
 
 if set(ALGORITHM_KNOBS) != set(ALGORITHMS):  # pragma: no cover - import guard
@@ -85,7 +90,15 @@ POLICY_ALGORITHMS = frozenset(
 #: Algorithms whose model permits two robots to traverse the same
 #: dangling edge in one round (CTE's model; forbidden for BFDN, and not
 #: needed by ``potential-cte``, which hands each port to one robot).
-SHARED_REVEAL = frozenset({"cte"})
+#: ``async-cte``'s whiteboard port rotation may wrap when more agents
+#: than ports share a node, so it runs under the shared-reveal model.
+SHARED_REVEAL = frozenset({"cte", "async-cte"})
+
+#: Algorithms whose decision rule is *distributed* — each agent decides
+#: from node-local information only, never from another agent's position
+#: or clock — and therefore well-defined under the asynchronous
+#: scheduler.  Only these may appear in ``kind=async-tree`` scenarios.
+ASYNC_ALGORITHMS = frozenset({"async-cte"})
 
 
 def algorithm_knobs(name: str) -> frozenset:
@@ -357,6 +370,54 @@ def make_reactive_adversary(
     )
 
 
+#: Speed schedules for ``kind=async-tree`` scenarios, by name (the
+#: asynchronous adversary of arXiv:2507.15658); values are the known
+#: declarative params, mirroring the adversary registries.  Durations
+#: are normalised to ``(0, 1]`` — the slowest agent needs at most one
+#: time unit per edge traversal.
+SPEED_SCHEDULES: Dict[str, frozenset] = {
+    "unit": frozenset(),
+    "adversarial-slowdown": frozenset({"slow", "factor"}),
+    "stochastic": frozenset({"low", "seed"}),
+}
+
+
+def make_speed_schedule(
+    name: str,
+    params: Optional[Mapping[str, object]] = None,
+    *,
+    k: int = 1,
+    seed: int = 0,
+):
+    """Build a named speed schedule (the asynchronous adversary).
+
+    ``k`` is the team size, used to validate ``adversarial-slowdown``'s
+    ``slow`` count; ``seed`` is the scenario seed, which ``stochastic``
+    uses unless the params pin their own.
+    """
+    from .sim.scheduler import AdversarialSlowdown, StochasticSpeed, UnitSpeed
+
+    params = dict(params or {})
+    if name not in SPEED_SCHEDULES:
+        raise ValueError(
+            f"unknown speed schedule {name!r} "
+            f"(known: {', '.join(sorted(SPEED_SCHEDULES))})"
+        )
+    _check_params(name, params, SPEED_SCHEDULES[name])
+    if name == "unit":
+        return UnitSpeed()
+    if name == "adversarial-slowdown":
+        slow = int(params.get("slow", 1))
+        if not 1 <= slow <= k:
+            raise ValueError(
+                f"adversarial-slowdown: slow={slow} must lie in [1, k={k}]"
+            )
+        return AdversarialSlowdown(slow=slow, factor=float(params.get("factor", 4)))
+    return StochasticSpeed(
+        low=float(params.get("low", 0.25)), seed=int(params.get("seed", seed))
+    )
+
+
 #: Re-anchor policy names (Algorithm 1 line 28 and its ablations).
 REANCHOR_POLICIES = ("least-loaded", "most-loaded", "random", "round-robin")
 
@@ -561,6 +622,7 @@ __all__ = [
     "ADVERSARIES",
     "ALGORITHMS",
     "ALGORITHM_KNOBS",
+    "ASYNC_ALGORITHMS",
     "BACKENDS",
     "ENTRY_POINTS",
     "GAME_ADVERSARIES",
@@ -571,6 +633,7 @@ __all__ = [
     "REANCHOR_POLICIES",
     "ROUND_OBSERVERS",
     "SHARED_REVEAL",
+    "SPEED_SCHEDULES",
     "TREES",
     "algorithm_knobs",
     "make_algorithm",
@@ -581,6 +644,7 @@ __all__ = [
     "make_reactive_adversary",
     "make_reanchor_policy",
     "make_round_observer",
+    "make_speed_schedule",
     "make_tree",
     "shared_reveal_default",
     "tree_families",

@@ -18,7 +18,11 @@ Kinds:
 * ``reactive`` — the Remark 8 model: the adversary observes the selected
   moves before striking;
 * ``graph``    — Proposition 9's graph exploration on maze/grid families;
-* ``game``     — the Section 3 balls-in-urns game (player vs adversary).
+* ``game``     — the Section 3 balls-in-urns game (player vs adversary);
+* ``async-tree`` — the asynchronous model of arXiv:2507.15658: per-robot
+  clocks driven by a named speed schedule (no global round barrier),
+  restricted to the distributed algorithms in
+  :data:`repro.registry.ASYNC_ALGORITHMS`.
 
 ``build()`` materialises the substrate once and returns a
 :class:`BuiltScenario` whose ``run()`` may be repeated (benchmarks);
@@ -40,7 +44,7 @@ from .orchestrator.jobspec import SCHEMA_VERSION, TreeSpec
 logger = logging.getLogger(__name__)
 
 #: Workload kinds a scenario can describe.
-KINDS = ("tree", "graph", "game", "reactive")
+KINDS = ("tree", "graph", "game", "reactive", "async-tree")
 
 #: Frozen parameter mapping: a sorted tuple of (key, value) pairs so the
 #: spec stays hashable and canonically ordered.
@@ -101,12 +105,18 @@ class ScenarioSpec:
     #: (``reference``) is omitted from the canonical encoding so
     #: fingerprints of pre-backend specs are unchanged.
     backend: str = "reference"
+    #: Speed schedule for ``async-tree`` scenarios (``None`` resolves to
+    #: ``unit``).  Both fields enter the canonical encoding only for the
+    #: async kind, so every pre-async fingerprint is unchanged.
+    speed: Optional[str] = None
+    speed_params: Params = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "adversary_params", freeze_params(self.adversary_params)
         )
         object.__setattr__(self, "params", freeze_params(self.params))
+        object.__setattr__(self, "speed_params", freeze_params(self.speed_params))
         if self.kind not in KINDS:
             raise ValueError(
                 f"unknown scenario kind {self.kind!r} (known: {', '.join(KINDS)})"
@@ -116,10 +126,23 @@ class ScenarioSpec:
         from .sim.backend import DEFAULT_BACKEND, validate_backend
 
         validate_backend(self.backend)
-        if self.backend != DEFAULT_BACKEND and self.kind != "tree":
+        # The array backend declines async schedulers and falls back to
+        # the reference loop, so requesting it for async-tree is legal
+        # (and parity-pinned by tests) rather than an error.
+        if self.backend != DEFAULT_BACKEND and self.kind not in (
+            "tree",
+            "async-tree",
+        ):
             raise ValueError(
                 f"backend overrides apply to tree scenarios only, "
                 f"got backend={self.backend!r} for kind={self.kind!r}"
+            )
+        if self.kind != "async-tree" and (
+            self.speed is not None or self.speed_params
+        ):
+            raise ValueError(
+                f"speed schedules apply to async-tree scenarios only, "
+                f"got speed={self.speed!r} for kind={self.kind!r}"
             )
         self._validate_names()
 
@@ -147,6 +170,25 @@ class ScenarioSpec:
                     f"policy (policy-capable: "
                     f"{', '.join(sorted(registry.POLICY_ALGORITHMS))})"
                 )
+        elif kind == "async-tree":
+            if self.algorithm not in registry.ASYNC_ALGORITHMS:
+                raise ValueError(
+                    f"async-tree scenarios need an async-capable algorithm, "
+                    f"got {self.algorithm!r} (known: "
+                    f"{', '.join(sorted(registry.ASYNC_ALGORITHMS))})"
+                )
+            if self.policy is not None:
+                raise ValueError(
+                    "async-tree scenarios do not take a re-anchor policy"
+                )
+            # Validates the schedule name and its parameters (and that
+            # e.g. adversarial-slowdown's ``slow`` fits the team).
+            registry.make_speed_schedule(
+                self.resolved_speed(),
+                dict(self.speed_params),
+                k=self.k,
+                seed=self.seed,
+            )
         elif kind == "graph":
             if registry.workload_kind(self.algorithm) != "graph":
                 raise ValueError(
@@ -197,6 +239,10 @@ class ScenarioSpec:
             return self.allow_shared_reveal
         return registry.shared_reveal_default(self.algorithm)
 
+    def resolved_speed(self) -> str:
+        """The resolved speed-schedule name (``unit`` when unset)."""
+        return self.speed or "unit"
+
     def canonical(self) -> Dict[str, object]:
         """Canonical encoding: resolved defaults, no presentation fields.
 
@@ -222,6 +268,9 @@ class ScenarioSpec:
         }
         if self.backend != "reference":
             data["backend"] = self.backend
+        if self.kind == "async-tree":
+            data["speed"] = self.resolved_speed()
+            data["speed_params"] = dict(self.speed_params)
         return data
 
     def fingerprint(self) -> str:
@@ -240,6 +289,8 @@ class ScenarioSpec:
         data = self.canonical()
         del data["allow_shared_reveal"]  # store the raw, unresolved field
         data["allow_shared_reveal"] = self.allow_shared_reveal
+        if "speed" in data:
+            data["speed"] = self.speed  # raw too: ``None`` ≠ ``"unit"``
         data["label"] = self.label
         return json.dumps(data, sort_keys=True)
 
@@ -274,6 +325,8 @@ class ScenarioSpec:
             allow_shared_reveal=data.get("allow_shared_reveal"),
             compute_bounds=data.get("compute_bounds", False),
             backend=data.get("backend", "reference"),
+            speed=data.get("speed"),
+            speed_params=freeze_params(data.get("speed_params")),
         )
 
     def with_label(self, label: str) -> "ScenarioSpec":
@@ -305,7 +358,7 @@ class BuiltScenario:
     def __init__(self, spec: ScenarioSpec):
         self.spec = spec
         kind = spec.kind
-        if kind in ("tree", "reactive"):
+        if kind in ("tree", "reactive", "async-tree"):
             self.tree = spec.substrate.materialize()
             self.size = self.tree.n
         elif kind == "graph":
@@ -342,6 +395,8 @@ class BuiltScenario:
         kind = self.spec.kind
         if kind == "tree":
             row = self._run_tree(all_observers, timing)
+        elif kind == "async-tree":
+            row = self._run_async_tree(all_observers, timing)
         elif kind == "reactive":
             row = self._run_reactive(all_observers, timing)
         elif kind == "graph":
@@ -430,6 +485,60 @@ class BuiltScenario:
 
             row["bfdn_bound"] = bfdn_bound(
                 tree.n, tree.depth, spec.k, tree.max_degree
+            )
+            row["lower_bound"] = offline_lower_bound(tree.n, tree.depth, spec.k)
+            row["offline_split"] = offline_split_runtime(tree, spec.k)
+        return row
+
+    def _run_async_tree(self, observers, timing) -> Dict[str, object]:
+        from .sim.scheduler import AsyncSimulator
+
+        spec = self.spec
+        tree = self.tree
+        algorithm = registry.make_algorithm(spec.algorithm, seed=spec.seed)
+        speeds = registry.make_speed_schedule(
+            spec.resolved_speed(),
+            dict(spec.speed_params),
+            k=spec.k,
+            seed=spec.seed,
+        )
+        result = AsyncSimulator(
+            tree,
+            algorithm,
+            spec.k,
+            speeds,
+            allow_shared_reveal=spec.shared_reveal(),
+            max_rounds=spec.max_rounds,
+            observers=observers,
+            backend=spec.backend,
+        ).run()
+        clock = result.clock
+        row = self._base_row()
+        row.update(
+            n=tree.n,
+            depth=tree.depth,
+            max_degree=tree.max_degree,
+            rounds=result.rounds,
+            wall_rounds=result.wall_batches,
+            complete=result.complete,
+            all_home=result.all_home,
+            speed=spec.resolved_speed(),
+            clock_time=round(result.clock_time, 6),
+            clock_skew=round(clock.skew(), 6),
+            slowest_robot=clock.slowest(),
+            elapsed=round(timing.elapsed, 6),
+            rounds_per_sec=round(timing.rounds_per_sec(), 1),
+            backend=getattr(timing, "backend", spec.backend),
+        )
+        if spec.compute_bounds:
+            from .baselines.offline import (
+                offline_lower_bound,
+                offline_split_runtime,
+            )
+            from .bounds.guarantees import async_cte_bound
+
+            row["async_bound"] = round(
+                async_cte_bound(tree.n, tree.depth, spec.k), 3
             )
             row["lower_bound"] = offline_lower_bound(tree.n, tree.depth, spec.k)
             row["offline_split"] = offline_split_runtime(tree, spec.k)
@@ -583,6 +692,8 @@ def scenario_grid(
     max_rounds: Optional[int] = None,
     compute_bounds: bool = True,
     backend: str = "reference",
+    speed: Optional[str] = None,
+    speed_params: Union[Mapping[str, object], Params, None] = None,
 ) -> "list[ScenarioSpec]":
     """Enumerate the ``(workload × k × algorithm)`` grid as scenario specs.
 
@@ -594,8 +705,20 @@ def scenario_grid(
 
     ``backend`` selects the round engine for the ``tree``-kind specs in
     the grid; other kinds have no backend choice and keep the default.
+
+    ``speed`` switches the grid to the asynchronous model: tree
+    algorithms that are async-capable (``registry.ASYNC_ALGORITHMS``)
+    become ``async-tree`` scenarios driven by the named speed schedule;
+    combining ``speed`` with an ``adversary`` is rejected (the schedule
+    *is* the adversary in the asynchronous model).
     """
+    if speed is not None and adversary is not None:
+        raise ValueError(
+            "speed schedules and adversaries are mutually exclusive: in "
+            "the asynchronous model the speed schedule is the adversary"
+        )
     frozen = freeze_params(adversary_params)
+    frozen_speed = freeze_params(speed_params)
     specs = []
     for label, substrate in workloads:
         for k in team_sizes:
@@ -605,6 +728,13 @@ def scenario_grid(
                     kind = registry.ADVERSARIES.get(adversary, "tree")
                     if kind not in ("tree", "reactive"):
                         kind = "tree"
+                if (
+                    speed is not None
+                    and kind == "tree"
+                    and name in registry.ASYNC_ALGORITHMS
+                ):
+                    kind = "async-tree"
+                async_kind = kind == "async-tree"
                 specs.append(
                     ScenarioSpec(
                         kind=kind,
@@ -617,7 +747,11 @@ def scenario_grid(
                         adversary_params=frozen if kind in ("tree", "reactive") else (),
                         max_rounds=max_rounds,
                         compute_bounds=compute_bounds,
-                        backend=backend if kind == "tree" else "reference",
+                        backend=(
+                            backend if kind in ("tree", "async-tree") else "reference"
+                        ),
+                        speed=speed if async_kind else None,
+                        speed_params=frozen_speed if async_kind else (),
                     )
                 )
     return specs

@@ -70,6 +70,13 @@ def default_payloads(
                 substrate=TreeSpec.named("path", max(8, n // 16), seed=seed),
                 k=k, seed=seed, label=f"load-game-{i}",
             )
+        elif kind == "async-tree":
+            spec = ScenarioSpec(
+                kind="async-tree", algorithm="async-cte",
+                substrate=TreeSpec.named("random", n, seed=seed),
+                k=k, seed=seed, label=f"load-async-{i}",
+                speed="stochastic",
+            )
         else:
             raise ValueError(f"unknown load kind {kind!r}")
         payloads.append(json.loads(spec.to_json()))

@@ -199,6 +199,11 @@ def _decline_reason(engine) -> Optional[str]:
     from .engine import AlgorithmPolicy, BreakdownInterference, Exploration, TreeRoundState
     from .runloop import NoInterference, RoundObserver
 
+    scheduler = getattr(engine, "scheduler", None)
+    if scheduler is not None and getattr(scheduler, "name", "") != "sync":
+        # The flat-array loop is a synchronous-clock accelerator; async
+        # schedules run on the reference event loop.
+        return f"scheduler {getattr(scheduler, 'name', type(scheduler).__name__)!r}"
     state = engine.state
     if type(state) is not TreeRoundState:
         return f"state {type(state).__name__} is not the tree model"

@@ -117,6 +117,15 @@ class Exploration:
         Increments the round counter only if some robot moved, so the
         final all-stay round that triggers termination is not billed,
         matching the do-while loop of Algorithm 1.
+
+        Accounting invariant: over a full run every robot satisfies
+        ``moves + idle == billed rounds`` — each billed round a robot
+        either moved or is charged one idle round.  The asynchronous
+        scheduler keeps the same identity *per robot clock*
+        (``clock.moves[i] + clock.idle[i] == clock.ticks[i]``, asserted
+        by :meth:`repro.sim.scheduler.AsyncClock.check`): billed time is
+        what the guarantees bound, wall time is billed plus the unbilled
+        trailing quiescence, on the global and per-robot clocks alike.
         """
         root = self.tree.root
         new_positions = list(self.positions)

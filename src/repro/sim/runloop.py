@@ -26,9 +26,13 @@ small protocol:
 The kernel owns, in exactly one place: the wall-clock vs billed-round
 accounting, the ``3nD``-style safety caps (:func:`tree_round_cap`,
 :func:`graph_round_cap`) and the "nobody moved although everyone could"
-quiescence test.  A future model (an asynchronous CTE variant, a
-tree-mining workload) is one new ``Policy`` + ``Interference``, not a
-fifth hand-rolled loop.
+quiescence test.  *Time itself* is pluggable: the engine delegates its
+loop to a :class:`~repro.sim.scheduler.Scheduler` —
+``SyncRoundScheduler`` (the default, the lockstep loop that used to
+live here verbatim) or ``AsyncEventScheduler`` (per-robot clocks driven
+by speed schedules, the asynchronous model of arXiv:2507.15658).  A
+future model is one new ``Policy`` + ``Interference`` (and, if it needs
+its own notion of time, a ``Scheduler``), not a fifth hand-rolled loop.
 """
 
 from __future__ import annotations
@@ -36,7 +40,6 @@ from __future__ import annotations
 import logging
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import (
     Any,
     Callable,
@@ -51,8 +54,10 @@ logger = logging.getLogger(__name__)
 
 #: Version tag of the round-stepping kernel, recorded per bench row so a
 #: snapshot can be traced to the engine that produced it.  Bump on any
-#: change to round semantics or the backend dispatch.
-ENGINE_VERSION = "engine-v2"
+#: change to round semantics or the backend/scheduler dispatch.
+#: engine-v3 = the clock moved behind the Scheduler seam (sync semantics
+#: unchanged; SyncRoundScheduler is the engine-v2 loop verbatim).
+ENGINE_VERSION = "engine-v3"
 
 # Stop reasons reported in :class:`RunOutcome`.
 STOP_COMPLETE = "complete"
@@ -307,10 +312,17 @@ class RoundEngine:
         (``False`` matches Algorithm 1's unbilled final all-stay round).
     backend:
         Which engine backend drives the run (see
-        :mod:`repro.sim.backend`).  ``"reference"`` is the dict-based
-        loop below; ``"array"`` is the flat-array fast path, which
-        silently falls back here for configurations outside its
-        envelope.  Results are backend-independent by contract.
+        :mod:`repro.sim.backend`).  ``"reference"`` is the scheduler
+        loop; ``"array"`` is the flat-array fast path, which silently
+        falls back here for configurations outside its envelope.
+        Results are backend-independent by contract.
+    scheduler:
+        Who owns the clock (see :mod:`repro.sim.scheduler`).  ``None``
+        (the default) means the lockstep global round clock
+        (``SyncRoundScheduler``); an ``AsyncEventScheduler`` drives
+        per-robot clocks from a speed schedule instead.  Backends only
+        accelerate the synchronous clock, so a non-sync scheduler makes
+        the array backend decline and fall back here.
     """
 
     state: RoundState
@@ -325,6 +337,7 @@ class RoundEngine:
     bill_quiescent_round: bool = False
     cap_message: Optional[Callable[[int, int], str]] = None
     backend: str = "reference"
+    scheduler: Optional[Any] = None
 
     def run(self) -> RunOutcome:
         """Drive the state to termination and return the accounting."""
@@ -334,121 +347,19 @@ class RoundEngine:
             outcome = resolve_backend(self.backend).execute(self)
             if outcome is not None:
                 return outcome
+        if self.scheduler is not None:
+            return self.scheduler.run(self)
         return self._run_reference()
 
     def _run_reference(self) -> RunOutcome:
-        """The dict-based per-round loop (the semantics oracle)."""
-        state = self.state
-        policy = self.policy
-        interference = self.interference
-        observers = list(self.observers)
-        # Phase timing is opt-in per observer; with no taker the loop
-        # performs zero clock reads beyond what it always did.
-        timed = [obs for obs in observers if obs.wants_phase_timing]
-        _t0 = _t1 = _t2 = 0.0
-        policy.attach(state)
-        for obs in observers:
-            obs.on_attach(state)
-        t = 0
-        reason: Optional[str] = None
-        while True:
-            if self.stop_when_complete and state.is_complete():
-                reason = STOP_COMPLETE
-                break
-            if (
-                self.billed_stop is not None
-                and state.billed_rounds() >= self.billed_stop
-            ):
-                reason = STOP_CAP
-                logger.warning(
-                    "round cap hit: %d billed rounds >= cap %d "
-                    "(run did not finish on its own)",
-                    state.billed_rounds(), self.billed_stop,
-                )
-                break
+        """The per-round lockstep loop (the semantics oracle).
 
-            if timed:
-                _t0 = perf_counter()
-            movable = interference.movable(t, state)
-            moves = policy.select_moves(state, movable)
-            struck = interference.filter(t, state, moves)
-            if struck:
-                for agent in sorted(struck):
-                    if agent in moves:
-                        policy.handle_blocked(state, agent, moves[agent])
-                surviving = {i: m for i, m in moves.items() if i not in struck}
-            else:
-                surviving = moves
+        Delegates to :class:`~repro.sim.scheduler.SyncRoundScheduler`,
+        where the loop body lives verbatim since the scheduler refactor.
+        """
+        from .scheduler import SyncRoundScheduler
 
-            before = state.progress_token()
-            billed_before = state.billed_rounds()
-            if timed:
-                _t1 = perf_counter()
-            events = state.apply(surviving, movable)
-            if timed:
-                _t2 = perf_counter()
-            policy.observe(state, events)
-            if timed:
-                _t3 = perf_counter()
-                for obs in timed:
-                    obs.on_phase_times(_t1 - _t0, _t2 - _t1, _t3 - _t2)
-            record = RoundRecord(
-                t=t,
-                billed_before=billed_before,
-                billed=state.billed_rounds(),
-                moves=moves,
-                struck=struck,
-                movable=movable,
-                before=before,
-                progressed=state.progress_token() != before,
-                events=events,
-            )
-            for obs in observers:
-                obs.on_round(state, record)
-
-            observer_reason = None
-            for obs in observers:
-                observer_reason = obs.should_stop(state, record)
-                if observer_reason is not None:
-                    break
-            if observer_reason is not None:
-                t += 1
-                reason = f"{STOP_OBSERVER}:{observer_reason}"
-                break
-
-            # The termination test shared by every synchronous model:
-            # nobody moved although everyone could (no strike, no mask).
-            if (
-                not record.progressed
-                and not struck
-                and movable == state.team()
-                and t >= self.quiescence_grace
-            ):
-                if self.bill_quiescent_round:
-                    t += 1
-                reason = STOP_QUIESCENT
-                break
-
-            t += 1
-            billed = state.billed_rounds()
-            if (self.billed_cap is not None and billed > self.billed_cap) or (
-                self.wall_cap is not None and t > self.wall_cap
-            ):
-                message = (
-                    self.cap_message(billed, t)
-                    if self.cap_message is not None
-                    else f"run exceeded its round cap (billed={billed}, wall={t})"
-                )
-                raise RoundCapExceeded(message)
-
-        outcome = RunOutcome(
-            wall_rounds=t,
-            billed_rounds=state.billed_rounds(),
-            stop_reason=reason,
-        )
-        for obs in observers:
-            obs.on_stop(state, outcome)
-        return outcome
+        return SyncRoundScheduler().run(self)
 
 
 # ---------------------------------------------------------------------

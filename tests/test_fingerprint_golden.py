@@ -39,6 +39,10 @@ GOLDEN = {
         "1a82a7125daeba5fd2f4e87551e2034b7402a790563935e594418f2eb05ac3ee",
     "potential-cte":
         "576f01c4012890442faaa58c2ca76254258eb19372be881a7418a53abd51318c",
+    # The asynchronous model: speed/speed_params enter the canonical
+    # encoding for this kind only, so the pins above are untouched.
+    "async-tree":
+        "b7c7fa0ea23ef392c50d4d47e5dd53a4392cbf2661f216d9ba440550cdd0a531",
 }
 
 
@@ -78,6 +82,12 @@ def golden_specs():
         "potential-cte": ScenarioSpec(
             kind="tree", algorithm="potential-cte",
             substrate=TreeSpec.named("cte-trap", 120, seed=0), k=8, seed=0,
+        ),
+        "async-tree": ScenarioSpec(
+            kind="async-tree", algorithm="async-cte",
+            substrate=TreeSpec.named("random", 90, seed=4), k=6, seed=4,
+            speed="adversarial-slowdown",
+            speed_params={"slow": 2, "factor": 4.0},
         ),
     }
 

@@ -91,7 +91,7 @@ class TestSuiteSelection:
 
     def test_suite_covers_every_kind(self):
         assert {c.kind for c in PINNED_SUITE} == {
-            "tree", "checked", "graph", "game"
+            "tree", "checked", "graph", "game", "async-tree"
         }
 
 

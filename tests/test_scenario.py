@@ -172,6 +172,22 @@ def scenario_specs(draw):
             if adversary is not None and draw(st.booleans())
             else ()
         )
+    elif kind == "async-tree":
+        algorithm = draw(st.sampled_from(sorted(registry.ASYNC_ALGORITHMS)))
+        substrate = TreeSpec.named(
+            draw(st.sampled_from(sorted(registry.TREES))),
+            draw(st.integers(min_value=2, max_value=64)),
+            seed=draw(st.integers(min_value=0, max_value=3)),
+        )
+        policy = adversary = None
+        adversary_params = ()
+        speed = draw(st.sampled_from(sorted(registry.SPEED_SCHEDULES) + [None]))
+        if speed == "adversarial-slowdown" and draw(st.booleans()):
+            speed_params = {"factor": draw(st.integers(2, 8))}
+        elif speed == "stochastic" and draw(st.booleans()):
+            speed_params = {"low": 0.5}
+        else:
+            speed_params = ()
     elif kind == "graph":
         algorithm = "graph-bfdn"
         substrate = TreeSpec.named(
@@ -197,6 +213,8 @@ def scenario_specs(draw):
         policy=policy,
         adversary=adversary,
         adversary_params=adversary_params,
+        speed=speed if kind == "async-tree" else None,
+        speed_params=speed_params if kind == "async-tree" else (),
         params=draw(_params),
         label=draw(st.text(max_size=10)),
         max_rounds=draw(st.one_of(st.none(), st.integers(1, 10**6))),
