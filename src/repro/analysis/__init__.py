@@ -1,6 +1,6 @@
 """Sweeps, overhead computation and text reports."""
 
-from .report import render_table, summarize_by
+from .report import render_markdown_table, render_table, summarize_by
 from .scaling import PowerLawFit, doubling_ratios, fit_power_law, measure_exponent
 from .experiments import EXPERIMENTS, ExperimentContext, run_experiment
 from .asciiplot import line_plot, scatter_loglog
@@ -29,6 +29,7 @@ __all__ = [
     "ScenarioRun",
     "AlgorithmFactory",
     "ExperimentContext",
+    "render_markdown_table",
     "render_table",
     "summarize_by",
     "fit_power_law",

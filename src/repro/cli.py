@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -476,16 +477,90 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_tail(args) -> int:
-    """Summarise a telemetry trace: rounds/sec, margins, violations."""
+    """Summarise a telemetry trace: rounds/sec, margins, violations.
+
+    Incomplete traces (spans with no ``run_end`` — truncation, worker
+    crash) are reported loudly but do *not* fail: only theorem-budget
+    violations flip the exit code.
+    """
     try:
         summary_text = obs_tail(
-            args.path, slowest=args.slowest, latency=args.latency
+            args.path, slowest=args.slowest, latency=args.latency,
+            resources=args.resources,
         )
     except OSError as exc:
         print(f"tail: {exc}")
         return 2
     print(summary_text)
     return 1 if "VIOLATION" in summary_text else 0
+
+
+def cmd_report(args) -> int:
+    """Render the algorithm × family × size cost matrix (``repro report``).
+
+    Reads a result cache and/or telemetry dir, prints the markdown
+    matrix (optionally writing it and a self-contained HTML page), or —
+    with ``--compare OLD NEW`` — diffs two sources with bench-style
+    regression annotations and exits 1 when any regression survives the
+    threshold.
+    """
+    from .obs.report import (
+        collect_matrix,
+        compare_reports,
+        render_html,
+        render_markdown,
+    )
+
+    def _sources(path: str):
+        # A dir of trace-*.jsonl is telemetry; anything else is a cache.
+        import glob as _glob
+        if os.path.isdir(path) and _glob.glob(os.path.join(path, "trace-*.jsonl")):
+            return {"telemetry_dir": path}
+        return {"cache_dir": path}
+
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old = collect_matrix(**_sources(old_path))
+            new = collect_matrix(**_sources(new_path))
+        except (OSError, ValueError) as exc:
+            print(f"report: {exc}")
+            return 2
+        lines, regressions = compare_reports(
+            old, new, threshold=args.threshold
+        )
+        for line in lines:
+            print(line)
+        if regressions:
+            print(
+                f"{len(regressions)} regression(s) beyond "
+                f"{args.threshold:.0%}"
+            )
+            return 1
+        print("no regressions")
+        return 0
+
+    if not args.cache_dir and not args.telemetry:
+        print("report: need --cache-dir and/or --telemetry (or --compare)")
+        return 2
+    try:
+        matrix = collect_matrix(
+            cache_dir=args.cache_dir, telemetry_dir=args.telemetry
+        )
+    except (OSError, ValueError) as exc:
+        print(f"report: {exc}")
+        return 2
+    markdown = render_markdown(matrix, title=args.title)
+    print(markdown)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
+        print(f"wrote {args.out}")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(matrix, title=args.title))
+        print(f"wrote {args.html}")
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -873,7 +948,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the serving layer's request-latency p50/p95/p99 and "
         "queue-depth gauges (from 'repro serve' request/queue/latency events)",
     )
+    p.add_argument(
+        "--resources", action="store_true",
+        help="render per-span CPU/RSS/energy costs (from 'resource' events)",
+    )
     p.set_defaults(func=cmd_tail)
+
+    p = sub.add_parser(
+        "report",
+        help="pivot a result cache / telemetry dir into an "
+        "algorithm x family x size cost matrix (markdown + HTML)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache to report on (content-addressed store)",
+    )
+    p.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help="telemetry trace dir to report on (merged with --cache-dir)",
+    )
+    p.add_argument(
+        "--title", default="Resource report", help="report heading",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the markdown report to FILE",
+    )
+    p.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also write a self-contained HTML page to FILE",
+    )
+    p.add_argument(
+        "--compare", nargs=2, default=None, metavar=("OLD", "NEW"),
+        help="diff two cache/telemetry dirs instead (regression "
+        "annotations; exits 1 on regressions beyond --threshold)",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="relative regression gate for --compare (0.2 = 20%%)",
+    )
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "serve",
@@ -998,7 +1112,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose - args.quiet)
     logger.debug("dispatching command %r", args.command)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout went away (`repro report | head`); exit quietly like
+        # any well-behaved unix filter.  Detach stdout so the interpreter
+        # shutdown flush cannot raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

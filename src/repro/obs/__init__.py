@@ -26,6 +26,21 @@ from .metrics import (
     MetricsObserver,
     MetricsRegistry,
 )
+from .report import (
+    build_matrix,
+    collect_matrix,
+    compare_reports,
+    render_html,
+    render_markdown,
+)
+from .resources import (
+    EnergyProbe,
+    NullEnergyProbe,
+    RaplEnergyProbe,
+    ResourceSample,
+    ResourceSampler,
+    default_energy_probe,
+)
 from .runner import TelemetryJob, run_telemetry_job
 from .schema import (
     EVENT_TYPES,
@@ -50,22 +65,33 @@ __all__ = [
     "BudgetViolation",
     "Counter",
     "EVENT_TYPES",
+    "EnergyProbe",
     "Gauge",
     "Histogram",
     "MetricsObserver",
     "MetricsRegistry",
+    "NullEnergyProbe",
     "NullWriter",
+    "RaplEnergyProbe",
+    "ResourceSample",
+    "ResourceSampler",
     "TELEMETRY_SCHEMA",
     "TelemetryConfig",
     "TelemetryEvent",
     "TelemetryJob",
     "TelemetryWriter",
     "budgets_for_scenario",
+    "build_matrix",
+    "collect_matrix",
+    "compare_reports",
     "configure_logging",
+    "default_energy_probe",
     "load_trace",
     "new_span_id",
     "new_trace_id",
     "read_events",
+    "render_html",
+    "render_markdown",
     "run_telemetry_job",
     "summarize",
     "tail",

@@ -65,6 +65,24 @@ class Metric:
         """Drop every labelled value."""
         self._values.clear()
 
+    def merge(self, other: "Metric") -> None:
+        """Fold another instance of this metric into this one.
+
+        Merging is commutative and associative (values add per label
+        set), so folding per-worker registries from a process pool
+        yields the same totals in any arrival order.  Gauges merge by
+        summation too — the pool-aggregation reading of a gauge is
+        "each worker's contribution", not "last writer wins", which
+        would be order-dependent.
+        """
+        if type(other) is not type(self):
+            raise ValueError(
+                f"cannot merge {other.kind} {other.name!r} into "
+                f"{self.kind} {self.name!r}"
+            )
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
+
 
 class Counter(Metric):
     """Monotonically increasing count (per label combination)."""
@@ -150,6 +168,23 @@ class Histogram(Metric):
         self._counts.clear()
         self._totals.clear()
 
+    def merge(self, other: "Metric") -> None:
+        """Fold another histogram in: bucket-wise and sum/count adds."""
+        if type(other) is not type(self) or other.buckets != self.buckets:  # type: ignore[attr-defined]
+            raise ValueError(
+                f"cannot merge into histogram {self.name!r}: "
+                "kind or bucket bounds differ"
+            )
+        assert isinstance(other, Histogram)
+        for key, counts in other._counts.items():
+            mine = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+            for i, n in enumerate(counts):
+                mine[i] += n
+            count, total = self._totals.get(key, (0, 0.0))
+            ocount, ototal = other._totals.get(key, (0, 0.0))
+            self._totals[key] = (count + ocount, total + ototal)
+            self._values[key] = total + ototal
+
 
 class MetricsRegistry:
     """A named collection of metrics (one per run, sweep, or process)."""
@@ -194,6 +229,24 @@ class MetricsRegistry:
         """Reset every metric (the registry keeps its families)."""
         for metric in self._metrics.values():
             metric.reset()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, metric by metric.
+
+        Unknown families are adopted (same kind, same buckets); known
+        ones merge commutatively — see :meth:`Metric.merge` — so
+        per-worker registries can be folded in any order with identical
+        results.  A name registered under two different kinds raises.
+        """
+        for name, metric in other._metrics.items():
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(metric, Histogram):
+                    mine = Histogram(name, metric.help, metric.buckets)
+                else:
+                    mine = type(metric)(name, metric.help)
+                self._metrics[name] = mine
+            mine.merge(metric)
 
 
 def _is_mover(move: Any) -> bool:

@@ -1,0 +1,421 @@
+"""Comparative cost reporting: the ``repro report`` command.
+
+Reads any result cache (the orchestrator's content-addressed store)
+and/or telemetry directory, pivots the rows into an **algorithm ×
+family × size** matrix of throughput (rounds/sec), CPU seconds per run,
+peak RSS, joules (where a RAPL probe could measure them) and
+theorem-budget margins, and renders the matrix as
+
+* a diff-friendly markdown table (via
+  :func:`repro.analysis.report.render_markdown_table` — numeric columns
+  right-aligned, fixed widths), and
+* a self-contained HTML page (inline CSS, no external assets).
+
+``compare_reports`` diffs two such matrices — two cache dirs, two
+telemetry dirs, or one of each — with regression annotations in the
+style of ``repro bench --compare``: throughput drops and CPU growth
+beyond the threshold are flagged, and the CLI exits non-zero when any
+survive.
+
+Energy renders ``n/a`` whenever no probe read it: absence of a counter
+must never be confused with zero joules.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import logging
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.report import render_markdown_table
+from .tail import summarize
+from .writer import load_trace
+
+logger = logging.getLogger(__name__)
+
+#: Sweep labels look like ``random-n200`` or ``random-n200-s3``; the
+#: family is everything before the size suffix.
+_LABEL_RE = re.compile(r"^(?P<family>.+?)-n\d+(?:-s\d+)?$")
+
+#: The matrix columns, in render order.
+MATRIX_COLUMNS = (
+    "algorithm", "family", "n", "k", "runs", "rounds",
+    "rounds_per_sec", "cpu_sec", "max_rss_kb", "energy_j", "margin",
+)
+
+
+def family_of(label: str, kind: str = "") -> str:
+    """The workload family encoded in a sweep label (fallback: label)."""
+    match = _LABEL_RE.match(label or "")
+    if match:
+        return match.group("family")
+    return label or kind or "?"
+
+
+def _margin_of(row: Dict[str, Any]) -> Optional[float]:
+    """One number for "how much theorem budget was left" (rounds).
+
+    Prefers the live ``margin_*`` columns the budget observer folds into
+    telemetry-instrumented rows (min across budgets); falls back to
+    ``bound - rounds`` for rows that carried a computed bound
+    (``compute_bounds=True``) but ran uninstrumented.
+    """
+    margins = [
+        float(v) for k, v in row.items()
+        if k.startswith("margin_") and isinstance(v, (int, float))
+    ]
+    if margins:
+        return min(margins)
+    for bound_key in ("bfdn_bound", "async_bound", "adversarial_bound"):
+        bound = row.get(bound_key)
+        rounds = row.get("rounds")
+        if isinstance(bound, (int, float)) and isinstance(rounds, (int, float)):
+            return float(bound) - float(rounds)
+    return None
+
+
+@dataclass
+class _Cell:
+    """Accumulator for one (algorithm, family, n, k) matrix cell."""
+
+    rounds: List[float] = field(default_factory=list)
+    rps: List[float] = field(default_factory=list)
+    cpu: List[float] = field(default_factory=list)
+    rss: List[int] = field(default_factory=list)
+    energy: List[float] = field(default_factory=list)
+    margins: List[float] = field(default_factory=list)
+
+    def add(self, row: Dict[str, Any]) -> None:
+        if isinstance(row.get("rounds"), (int, float)):
+            self.rounds.append(float(row["rounds"]))
+        if isinstance(row.get("rounds_per_sec"), (int, float)):
+            self.rps.append(float(row["rounds_per_sec"]))
+        if isinstance(row.get("cpu_sec"), (int, float)):
+            self.cpu.append(float(row["cpu_sec"]))
+        if isinstance(row.get("max_rss_kb"), (int, float)):
+            self.rss.append(int(row["max_rss_kb"]))
+        if isinstance(row.get("energy_j"), (int, float)):
+            self.energy.append(float(row["energy_j"]))
+        margin = _margin_of(row)
+        if margin is not None:
+            self.margins.append(margin)
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def rows_from_cache(cache_dir: str) -> List[Dict[str, Any]]:
+    """Every current-schema row in a result cache."""
+    from ..orchestrator.store import ResultStore
+
+    store = ResultStore(cache_dir)
+    rows = []
+    for fingerprint in store.fingerprints():
+        row = store.get(fingerprint)
+        if row is not None:
+            rows.append(dict(row))
+    return rows
+
+
+def rows_from_telemetry(telemetry_dir: str) -> List[Dict[str, Any]]:
+    """Pseudo-rows reconstructed from a telemetry trace.
+
+    One row per closed job span, carrying what the events recorded:
+    algorithm/size from ``run_start``, rounds and rate from the span,
+    resource columns from the ``resource`` event, margins from the last
+    ``budget`` sample.
+    """
+    summary = summarize(load_trace(telemetry_dir))
+    rows: List[Dict[str, Any]] = []
+    for span in summary.spans.values():
+        if span.span_id == span.trace_id or span.start_ts is None:
+            continue  # the sweep-level span, or never actually started
+        meta = span.meta
+        res = span.resources
+        row: Dict[str, Any] = {
+            "algorithm": meta.get("algorithm", span.label or "?"),
+            "label": span.label,
+            "kind": meta.get("kind", ""),
+            "n": meta.get("size", 0),
+            "k": meta.get("k", 0),
+            "rounds": span.rounds,
+            "rounds_per_sec": round(span.rounds_per_sec, 1),
+        }
+        for key in ("cpu_s", "max_rss_kb", "energy_j"):
+            value = res.get(key)
+            if isinstance(value, (int, float)):
+                row["cpu_sec" if key == "cpu_s" else key] = value
+        for name, value in span.margins.items():
+            row[f"margin_{name}"] = value
+        rows.append(row)
+    return rows
+
+
+def build_matrix(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Pivot result rows into sorted algorithm × family × size rows.
+
+    Aggregation per cell: mean rounds / rounds-per-sec / CPU / energy
+    across runs (seeds), max peak RSS, min budget margin — the
+    pessimistic reading for the two columns where the worst run is the
+    claim.  Missing measurements render ``n/a``.
+    """
+    cells: Dict[Tuple[str, str, int, int], _Cell] = {}
+    for row in rows:
+        key = (
+            str(row.get("algorithm", "?")),
+            family_of(str(row.get("label", "")), str(row.get("kind", ""))),
+            int(row.get("n", 0) or 0),
+            int(row.get("k", 0) or 0),
+        )
+        cells.setdefault(key, _Cell()).add(row)
+    out: List[Dict[str, Any]] = []
+    for (algorithm, family, n, k) in sorted(cells):
+        cell = cells[(algorithm, family, n, k)]
+        runs = max(
+            len(cell.rounds), len(cell.rps), len(cell.cpu), len(cell.rss), 1
+        )
+        mean_rounds = _mean(cell.rounds)
+        mean_rps = _mean(cell.rps)
+        mean_cpu = _mean(cell.cpu)
+        mean_energy = _mean(cell.energy)
+        out.append({
+            "algorithm": algorithm,
+            "family": family,
+            "n": n,
+            "k": k,
+            "runs": runs,
+            "rounds": round(mean_rounds, 1) if mean_rounds is not None else "n/a",
+            "rounds_per_sec": (
+                round(mean_rps, 1) if mean_rps is not None else "n/a"
+            ),
+            "cpu_sec": round(mean_cpu, 4) if mean_cpu is not None else "n/a",
+            "max_rss_kb": max(cell.rss) if cell.rss else "n/a",
+            "energy_j": (
+                round(mean_energy, 3) if mean_energy is not None else "n/a"
+            ),
+            "margin": round(min(cell.margins), 1) if cell.margins else "n/a",
+        })
+    return out
+
+
+def collect_matrix(
+    cache_dir: Optional[str] = None, telemetry_dir: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Load rows from whichever sources were given and pivot them.
+
+    When both sources are given, cache rows win per (algorithm, family,
+    size, k) cell — they are the durable record; telemetry fills in
+    cells the cache has never seen (e.g. ``--no-cache`` sweeps).
+    """
+    if cache_dir is None and telemetry_dir is None:
+        raise ValueError("report needs a --cache-dir and/or a --telemetry dir")
+    cache_rows = rows_from_cache(cache_dir) if cache_dir else []
+    tele_rows = rows_from_telemetry(telemetry_dir) if telemetry_dir else []
+    if not cache_rows:
+        return build_matrix(tele_rows)
+    if not tele_rows:
+        return build_matrix(cache_rows)
+    matrix = build_matrix(cache_rows)
+    seen = {(r["algorithm"], r["family"], r["n"], r["k"]) for r in matrix}
+    extra = [
+        r for r in build_matrix(tele_rows)
+        if (r["algorithm"], r["family"], r["n"], r["k"]) not in seen
+    ]
+    merged = matrix + extra
+    merged.sort(key=lambda r: (r["algorithm"], r["family"], r["n"], r["k"]))
+    return merged
+
+
+# ---------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------
+
+def render_markdown(
+    matrix: Sequence[Dict[str, Any]], title: str = "Resource report"
+) -> str:
+    """The matrix as a markdown document (table + measurement notes)."""
+    lines = [f"# {title}", ""]
+    if not matrix:
+        lines.append("_no rows — empty cache/telemetry input_")
+        return "\n".join(lines)
+    lines.append(render_markdown_table(list(matrix), MATRIX_COLUMNS))
+    lines.append("")
+    measured = sum(1 for r in matrix if r.get("energy_j") != "n/a")
+    if measured:
+        lines.append(
+            f"energy: RAPL package counters, {measured}/{len(matrix)} "
+            "cells measured."
+        )
+    else:
+        lines.append(
+            "energy: n/a — no readable RAPL domain on this host "
+            "(non-Linux, container, or unprivileged)."
+        )
+    lines.append(
+        "cpu_sec/rounds_per_sec are means across runs; max_rss_kb is the "
+        "peak across runs; margin is the *minimum* theorem-budget "
+        "headroom in rounds (n/a = no budget applies)."
+    )
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #c9c9d9; padding: 0.3rem 0.6rem;
+         font-variant-numeric: tabular-nums; }
+th { background: #eef; text-align: center; }
+td.num { text-align: right; }
+td.txt { text-align: left; }
+td.na { color: #999; text-align: center; }
+tr:nth-child(even) td { background: #f7f7fc; }
+p.note { color: #555; font-size: 0.85rem; max-width: 48rem; }
+"""
+
+
+def render_html(
+    matrix: Sequence[Dict[str, Any]], title: str = "Resource report"
+) -> str:
+    """The matrix as one self-contained HTML page (no external assets)."""
+    rows_html: List[str] = []
+    for row in matrix:
+        cells = []
+        for col in MATRIX_COLUMNS:
+            value = row.get(col, "n/a")
+            if value == "n/a":
+                cells.append('<td class="na">n/a</td>')
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                cells.append(f'<td class="num">{value}</td>')
+            else:
+                cells.append(f'<td class="txt">{_html.escape(str(value))}</td>')
+        rows_html.append("<tr>" + "".join(cells) + "</tr>")
+    header = "".join(f"<th>{_html.escape(c)}</th>" for c in MATRIX_COLUMNS)
+    body = "\n".join(rows_html) if rows_html else (
+        f'<tr><td class="na" colspan="{len(MATRIX_COLUMNS)}">no rows</td></tr>'
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{_html.escape(title)}</title>
+<style>{_HTML_STYLE}</style>
+</head>
+<body>
+<h1>{_html.escape(title)}</h1>
+<table>
+<thead><tr>{header}</tr></thead>
+<tbody>
+{body}
+</tbody>
+</table>
+<p class="note">rounds_per_sec / cpu_sec are per-run means; max_rss_kb
+is the peak across runs; margin is the minimum theorem-budget headroom
+(rounds).  energy_j is RAPL package energy — <em>n/a</em> means no
+counter was readable, not zero joules.</p>
+</body>
+</html>
+"""
+
+
+# ---------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellDelta:
+    """Old-vs-new cost of one matrix cell."""
+
+    key: Tuple[str, str, int, int]
+    metric: str
+    old: float
+    new: float
+
+    @property
+    def ratio(self) -> float:
+        return self.new / self.old if self.old > 0 else float("inf")
+
+
+def compare_reports(
+    old: Sequence[Dict[str, Any]],
+    new: Sequence[Dict[str, Any]],
+    threshold: float = 0.2,
+) -> Tuple[List[str], List[CellDelta]]:
+    """Diff two matrices; returns report lines and surviving regressions.
+
+    A cell regresses when throughput (``rounds_per_sec``) drops, or CPU
+    per run grows, by more than ``threshold`` (0.2 = 20%).  Cells
+    present on only one side are reported but never gate.  Energy and
+    RSS deltas are annotated for information only — RSS is a
+    process-lifetime high-water mark and energy availability varies by
+    host, so neither is a stable gate.
+    """
+    def keyed(matrix):
+        return {
+            (r["algorithm"], r["family"], r["n"], r["k"]): r for r in matrix
+        }
+
+    old_cells, new_cells = keyed(old), keyed(new)
+    lines: List[str] = []
+    regressions: List[CellDelta] = []
+    for key in sorted(new_cells):
+        name = "{}/{}-n{}-k{}".format(*key)
+        after = new_cells[key]
+        before = old_cells.get(key)
+        if before is None:
+            lines.append(f"{name}: new cell")
+            continue
+        tags: List[str] = []
+        for metric, bad_direction in (
+            ("rounds_per_sec", "down"), ("cpu_sec", "up"),
+        ):
+            o, n = before.get(metric), after.get(metric)
+            if not isinstance(o, (int, float)) or not isinstance(n, (int, float)):
+                continue
+            if o <= 0:
+                continue
+            delta = CellDelta(key, metric, float(o), float(n))
+            ratio = delta.ratio
+            regressed = (
+                ratio < 1.0 / (1.0 + threshold) if bad_direction == "down"
+                else ratio > 1.0 + threshold
+            )
+            improved = (
+                ratio > 1.0 + threshold if bad_direction == "down"
+                else ratio < 1.0 / (1.0 + threshold)
+            )
+            line = f"{metric} {o:g} -> {n:g} ({(ratio - 1) * 100:+.1f}%)"
+            if regressed:
+                line += f"  REGRESSION (> {threshold:.0%})"
+                regressions.append(delta)
+            elif improved:
+                line += "  improved"
+            tags.append(line)
+        for metric in ("max_rss_kb", "energy_j"):
+            o, n = before.get(metric), after.get(metric)
+            if isinstance(o, (int, float)) and isinstance(n, (int, float)) and o:
+                tags.append(
+                    f"{metric} {o:g} -> {n:g} ({(n / o - 1) * 100:+.1f}%)"
+                )
+        lines.append(f"{name}: " + ("; ".join(tags) if tags else "no data"))
+    for key in sorted(set(old_cells) - set(new_cells)):
+        lines.append("{}/{}-n{}-k{}: removed".format(*key))
+    return lines, regressions
+
+
+__all__ = [
+    "MATRIX_COLUMNS",
+    "CellDelta",
+    "build_matrix",
+    "collect_matrix",
+    "compare_reports",
+    "family_of",
+    "render_html",
+    "render_markdown",
+    "rows_from_cache",
+    "rows_from_telemetry",
+]

@@ -1,0 +1,361 @@
+"""Resource accounting: CPU, peak RSS, GC and energy per bracketed run.
+
+:class:`ResourceSampler` brackets a region of work — one engine run, one
+orchestrator job, one server lifetime — and produces a
+:class:`ResourceSample` with ``resource.getrusage``-based CPU time
+(user/sys split), the peak-RSS high-water mark and its delta across the
+region, garbage-collection counts, wall time and (where the host exposes
+it) RAPL package energy in joules.
+
+Energy is pluggable behind the :class:`EnergyProbe` protocol.  The stock
+:class:`RaplEnergyProbe` reads the Linux powercap sysfs counters
+(``/sys/class/powercap/intel-rapl:*/energy_uj``), corrects for counter
+wraparound via ``max_energy_range_uj``, and degrades to *unavailable*
+(``energy_j = None``) on non-Linux hosts, in containers that hide
+powercap, or when the files are root-only — so CI stays green and report
+surfaces render ``n/a`` instead of failing.
+
+Samples ride the telemetry stream as ``resource`` events (additive to
+``repro-telemetry-v1``) and the orchestrator result rows as the
+``cpu_sec`` / ``max_rss_kb`` / ``energy_j`` columns (schema v4).
+Sampling is two syscalls plus a handful of file reads per *run* (never
+per round), so the measured overhead stays well under the 5% CI gate;
+``REPRO_NO_RESOURCE_SAMPLING=1`` disables it outright for A/B overhead
+measurements.
+"""
+
+from __future__ import annotations
+
+import gc
+import logging
+import os
+import re
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+try:  # POSIX only; Windows runs with the degraded process_time fallback.
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX host
+    _resource = None  # type: ignore[assignment]
+
+logger = logging.getLogger(__name__)
+
+#: Set to ``1`` to turn every sampler into a no-op (used by the CI
+#: sampler-overhead guard to get an uninstrumented baseline).
+RESOURCE_SAMPLING_ENV = "REPRO_NO_RESOURCE_SAMPLING"
+
+#: Top-level RAPL package domains look like ``intel-rapl:0``; their
+#: sub-domains (``intel-rapl:0:0`` — core, uncore, dram) are *parts* of
+#: the package counter, so reading only the packages avoids double
+#: counting.
+_RAPL_PACKAGE_RE = re.compile(r"^intel-rapl:\d+$")
+
+
+def sampling_enabled() -> bool:
+    """Whether resource sampling is globally enabled (env kill-switch)."""
+    return os.environ.get(RESOURCE_SAMPLING_ENV, "") not in ("1", "true", "yes")
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One bracketed region's resource cost.
+
+    ``max_rss_kb`` is the process peak-RSS high-water mark *at the end*
+    of the region (kilobytes); ``rss_delta_kb`` is how much the region
+    raised it (0 when the peak predates the region).  ``energy_j`` is
+    ``None`` whenever no energy probe could read a counter — render it
+    as ``n/a``, never as 0.0.
+    """
+
+    wall_s: float = 0.0
+    cpu_user_s: float = 0.0
+    cpu_sys_s: float = 0.0
+    max_rss_kb: int = 0
+    rss_delta_kb: int = 0
+    gc_collections: int = 0
+    energy_j: Optional[float] = None
+    energy_source: str = "unavailable"
+
+    @property
+    def cpu_s(self) -> float:
+        """Total CPU seconds (user + system)."""
+        return self.cpu_user_s + self.cpu_sys_s
+
+    def to_data(self) -> Dict[str, Any]:
+        """The ``resource`` telemetry event payload (JSON-safe)."""
+        return {
+            "wall_s": round(self.wall_s, 6),
+            "cpu_user_s": round(self.cpu_user_s, 6),
+            "cpu_sys_s": round(self.cpu_sys_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "max_rss_kb": self.max_rss_kb,
+            "rss_delta_kb": self.rss_delta_kb,
+            "gc_collections": self.gc_collections,
+            "energy_j": (
+                None if self.energy_j is None else round(self.energy_j, 6)
+            ),
+            "energy_source": self.energy_source,
+        }
+
+    def as_columns(self) -> Dict[str, Any]:
+        """Result-row columns (orchestrator schema v4).
+
+        ``energy_j`` is only present when a probe actually read energy,
+        so cached rows stay honest about what was measured.
+        """
+        cols: Dict[str, Any] = {
+            "cpu_sec": round(self.cpu_s, 6),
+            "cpu_user_s": round(self.cpu_user_s, 6),
+            "cpu_sys_s": round(self.cpu_sys_s, 6),
+            "max_rss_kb": self.max_rss_kb,
+        }
+        if self.energy_j is not None:
+            cols["energy_j"] = round(self.energy_j, 6)
+        return cols
+
+
+class EnergyProbe:
+    """Protocol for pluggable energy meters.
+
+    Implementations expose monotonically increasing per-domain counters
+    (microjoules) via :meth:`snapshot`; :meth:`delta_j` turns two
+    snapshots into joules, handling counter wraparound.  A probe that
+    cannot read anything returns an empty snapshot and ``None`` deltas.
+    """
+
+    name = "unavailable"
+
+    @property
+    def available(self) -> bool:
+        """Whether the probe can currently read at least one counter."""
+        return False
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current per-domain counter values in microjoules."""
+        return {}
+
+    def delta_j(
+        self, start: Dict[str, int], end: Dict[str, int]
+    ) -> Optional[float]:
+        """Joules consumed between two snapshots (None if unmeasurable)."""
+        return None
+
+
+class NullEnergyProbe(EnergyProbe):
+    """The graceful fallback: never available, never fails."""
+
+
+class RaplEnergyProbe(EnergyProbe):
+    """Linux powercap (RAPL) package-energy reader.
+
+    Reads ``energy_uj`` from every top-level ``intel-rapl:N`` package
+    domain under ``base_path`` (default ``/sys/class/powercap``).  The
+    counters wrap at ``max_energy_range_uj``; :meth:`delta_j` corrects a
+    single wrap per domain and drops domains it cannot correct.  Every
+    file read tolerates ``OSError`` (missing powercap, permission-denied
+    ``energy_uj`` under unprivileged users) by skipping the domain —
+    the probe's worst case is "unavailable", never an exception.
+
+    ``base_path`` is a constructor argument so tests can point the probe
+    at a synthetic sysfs tree.
+    """
+
+    name = "rapl"
+    DEFAULT_BASE = "/sys/class/powercap"
+
+    def __init__(self, base_path: str = DEFAULT_BASE):
+        self.base_path = base_path
+        self._domains = self._discover()
+
+    def _discover(self) -> Dict[str, str]:
+        try:
+            entries = sorted(os.listdir(self.base_path))
+        except OSError:
+            return {}
+        domains: Dict[str, str] = {}
+        for entry in entries:
+            if not _RAPL_PACKAGE_RE.match(entry):
+                continue
+            domain_dir = os.path.join(self.base_path, entry)
+            if os.path.isfile(os.path.join(domain_dir, "energy_uj")):
+                domains[entry] = domain_dir
+        return domains
+
+    @staticmethod
+    def _read_int(path: str) -> Optional[int]:
+        try:
+            with open(path, "r", encoding="ascii") as fh:
+                return int(fh.read().strip())
+        except (OSError, ValueError):
+            return None
+
+    @property
+    def available(self) -> bool:
+        return bool(self.snapshot())
+
+    def snapshot(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for name, domain_dir in self._domains.items():
+            value = self._read_int(os.path.join(domain_dir, "energy_uj"))
+            if value is not None:
+                out[name] = value
+        return out
+
+    def max_range_uj(self, name: str) -> Optional[int]:
+        """The domain's counter wrap modulus (None when unreadable)."""
+        domain_dir = self._domains.get(name)
+        if domain_dir is None:
+            return None
+        return self._read_int(os.path.join(domain_dir, "max_energy_range_uj"))
+
+    def delta_j(
+        self, start: Dict[str, int], end: Dict[str, int]
+    ) -> Optional[float]:
+        total_uj = 0
+        measured = False
+        for name, end_uj in end.items():
+            start_uj = start.get(name)
+            if start_uj is None:
+                continue
+            delta = end_uj - start_uj
+            if delta < 0:
+                # The counter wrapped: it counts modulo max_energy_range_uj.
+                wrap = self.max_range_uj(name)
+                if not wrap:
+                    continue
+                delta += wrap
+                if delta < 0:
+                    continue
+            total_uj += delta
+            measured = True
+        return total_uj / 1e6 if measured else None
+
+
+_default_probe: Optional[EnergyProbe] = None
+
+
+def default_energy_probe(refresh: bool = False) -> EnergyProbe:
+    """The process-wide energy probe (RAPL if readable, else null).
+
+    Cached after the first call so per-run sampling does not rescan
+    sysfs; ``refresh=True`` forces re-discovery (tests, hotplug).
+    """
+    global _default_probe
+    if _default_probe is None or refresh:
+        probe: EnergyProbe = RaplEnergyProbe()
+        if not probe.available:
+            probe = NullEnergyProbe()
+        _default_probe = probe
+    return _default_probe
+
+
+def _rusage() -> tuple:
+    """(cpu_user_s, cpu_sys_s, max_rss_kb) for this process."""
+    if _resource is None:  # pragma: no cover - non-POSIX host
+        return (time.process_time(), 0.0, 0)
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    max_rss = int(usage.ru_maxrss)
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KB on Linux
+        max_rss //= 1024
+    return (usage.ru_utime, usage.ru_stime, max_rss)
+
+
+def _gc_collections() -> int:
+    """Total GC collection passes across all generations so far."""
+    try:
+        return sum(int(s.get("collections", 0)) for s in gc.get_stats())
+    except Exception:  # pragma: no cover - exotic interpreters
+        return 0
+
+
+class ResourceSampler:
+    """Bracket a region of work and account for what it cost.
+
+    Usage::
+
+        sampler = ResourceSampler().start()
+        ...  # run the engine
+        sample = sampler.stop()
+
+    or as a context manager (the sample lands on ``sampler.sample``).
+    A disabled sampler (``REPRO_NO_RESOURCE_SAMPLING=1`` or
+    ``enabled=False``) returns an all-zero *unavailable* sample and does
+    no syscalls at all.
+    """
+
+    def __init__(
+        self,
+        probe: Optional[EnergyProbe] = None,
+        enabled: Optional[bool] = None,
+    ):
+        self.probe = probe if probe is not None else default_energy_probe()
+        self.enabled = sampling_enabled() if enabled is None else enabled
+        self.sample: Optional[ResourceSample] = None
+        self._started = False
+
+    def start(self) -> "ResourceSampler":
+        """Record the region's starting counters; returns self."""
+        if not self.enabled:
+            return self
+        self._wall0 = time.perf_counter()
+        self._cpu_user0, self._cpu_sys0, self._rss0 = _rusage()
+        self._gc0 = _gc_collections()
+        self._energy0 = self.probe.snapshot()
+        self._started = True
+        return self
+
+    def _measure(self) -> ResourceSample:
+        wall = time.perf_counter() - self._wall0
+        cpu_user, cpu_sys, rss = _rusage()
+        energy = self.probe.delta_j(self._energy0, self.probe.snapshot())
+        return ResourceSample(
+            wall_s=max(0.0, wall),
+            cpu_user_s=max(0.0, cpu_user - self._cpu_user0),
+            cpu_sys_s=max(0.0, cpu_sys - self._cpu_sys0),
+            max_rss_kb=rss,
+            rss_delta_kb=max(0, rss - self._rss0),
+            gc_collections=max(0, _gc_collections() - self._gc0),
+            energy_j=energy,
+            energy_source=self.probe.name if energy is not None
+            else "unavailable",
+        )
+
+    def peek(self) -> ResourceSample:
+        """The running region's bill so far (the region stays open).
+
+        Long-lived brackets (the serve daemon's process-lifetime
+        sampler) report through this from ``/stats`` and the periodic
+        ``resource`` snapshots.
+        """
+        if not self._started:
+            return self.sample if self.sample is not None else ResourceSample()
+        return self._measure()
+
+    def stop(self) -> ResourceSample:
+        """Close the region and return (and remember) its sample."""
+        if not self._started:
+            self.sample = ResourceSample()
+            return self.sample
+        self.sample = self._measure()
+        self._started = False
+        return self.sample
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "EnergyProbe",
+    "NullEnergyProbe",
+    "RESOURCE_SAMPLING_ENV",
+    "RaplEnergyProbe",
+    "ResourceSample",
+    "ResourceSampler",
+    "default_energy_probe",
+    "sampling_enabled",
+]

@@ -20,6 +20,7 @@ from typing import Any, Dict
 
 from .budget import BudgetObserver, budgets_for_scenario
 from .metrics import MetricsObserver
+from .resources import ResourceSampler
 from .schema import new_span_id
 from .writer import TelemetryConfig
 
@@ -99,6 +100,11 @@ def run_telemetry_job(
                 every=job.config.round_every,
             )
             observers.append(budget_obs)
+        # Bracket the whole instrumented run (engine + observers) so the
+        # ``resource`` event bills what the job actually cost the worker;
+        # the row's own cpu_sec/max_rss_kb columns come from the tighter
+        # engine-only bracket inside ``BuiltScenario.run``.
+        sampler = ResourceSampler().start()
         try:
             row = built.run(observers=observers)
         except BaseException as exc:
@@ -110,6 +116,17 @@ def run_telemetry_job(
                 data={"status": "error", "error": f"{type(exc).__name__}: {exc}"},
             )
             raise
+        sample = sampler.stop()
+        if sampler.enabled:
+            data = sample.to_data()
+            data["rounds"] = row.get("rounds", 0)
+            writer.emit(
+                "resource",
+                span_id=job.span_id,
+                fingerprint=fingerprint,
+                label=label,
+                data=data,
+            )
         row["trace_id"] = job.config.trace_id
         row["span_id"] = job.span_id
         for key, value in metrics.snapshot().items():

@@ -32,6 +32,13 @@ with the same six-kind vocabulary:
 ``latency``
     A periodic request-latency percentile snapshot (p50/p95/p99 per
     outcome source), rendered by ``repro tail --latency``.
+``resource``
+    One span's resource bill from
+    :class:`~repro.obs.resources.ResourceSampler`: CPU user/sys
+    seconds, peak-RSS high-water mark and delta, GC collections, wall
+    time, and RAPL joules when the host exposes them (``energy_j`` is
+    ``null`` when unmeasurable).  Rendered by ``repro tail
+    --resources`` and pivoted by ``repro report``.
 
 Correlation model: a *trace* is one sweep / CLI invocation
 (``trace_id``), a *span* is one job or run within it (``span_id``).
@@ -63,6 +70,7 @@ EVENT_TYPES = (
     "budget",
     "violation",
     "clock",
+    "resource",
     "run_end",
 )
 

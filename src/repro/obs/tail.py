@@ -39,6 +39,13 @@ class SpanSummary:
     #: Per-robot clock summary of an asynchronous run (the ``clock``
     #: event payload); empty for synchronous spans.
     clock: Dict[str, Any] = field(default_factory=dict)
+    #: The span's resource bill (the ``resource`` event payload:
+    #: cpu_user_s/cpu_sys_s/max_rss_kb/energy_j/...); empty when the
+    #: trace predates resource sampling.
+    resources: Dict[str, Any] = field(default_factory=dict)
+    #: The ``run_start`` payload (kind/algorithm/k/size/budgets) — what
+    #: ``repro report`` pivots on when fed a telemetry dir.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def duration(self) -> Optional[float]:
@@ -154,6 +161,8 @@ def summarize(events: Iterable[TelemetryEvent]) -> TraceSummary:
             span.fingerprint = ev.fingerprint
         if ev.event == "run_start":
             span.start_ts = ev.ts
+            if ev.data:
+                span.meta = dict(ev.data)
         elif ev.event == "run_end":
             span.end_ts = ev.ts
             span.outcome = dict(ev.data)
@@ -173,6 +182,8 @@ def summarize(events: Iterable[TelemetryEvent]) -> TraceSummary:
             summary.violations += 1
         elif ev.event == "clock":
             span.clock = dict(ev.data)
+        elif ev.event == "resource":
+            span.resources = dict(ev.data)
         elif ev.event in ("request", "queue", "latency"):
             summary.serving.fold(ev)
     return summary
@@ -225,6 +236,55 @@ def render_latency(serving: ServingSummary) -> List[str]:
     return lines
 
 
+def _fmt_energy(value: Any) -> str:
+    if not isinstance(value, (int, float)):
+        return "n/a"
+    return f"{float(value):.3f}"
+
+
+def render_resources(summary: TraceSummary, limit: int = 5) -> List[str]:
+    """Render the resource-accounting section (``repro tail --resources``).
+
+    One line per sampled span, costliest CPU first, plus trace totals.
+    Energy renders ``n/a`` whenever no probe could read it — absence of
+    a RAPL counter must look different from zero joules.
+    """
+    spans = [s for s in summary.spans.values() if s.resources]
+    if not spans:
+        return ["resources: no resource events in this trace "
+                "(pre-v1.8 trace or sampling disabled)"]
+    spans.sort(
+        key=lambda s: float(s.resources.get("cpu_s", 0.0) or 0.0), reverse=True
+    )
+    total_cpu = sum(float(s.resources.get("cpu_s", 0.0) or 0.0) for s in spans)
+    peak_rss = max(int(s.resources.get("max_rss_kb", 0) or 0) for s in spans)
+    energies = [
+        float(s.resources["energy_j"]) for s in spans
+        if isinstance(s.resources.get("energy_j"), (int, float))
+    ]
+    total_energy = sum(energies) if energies else None
+    lines = [
+        f"resources: {len(spans)} sampled span(s), {total_cpu:.3f} cpu-sec, "
+        f"peak rss {peak_rss} KB, energy {_fmt_energy(total_energy)} J"
+    ]
+    lines.append(
+        f"  {'label':<24} {'cpu_s':>8} {'user':>8} {'sys':>8} "
+        f"{'rss_kb':>9} {'gc':>4} {'joules':>8}"
+    )
+    for span in spans[:limit]:
+        res = span.resources
+        lines.append(
+            f"  {(span.label or span.span_id or '-')[:24]:<24} "
+            f"{float(res.get('cpu_s', 0.0) or 0.0):>8.3f} "
+            f"{float(res.get('cpu_user_s', 0.0) or 0.0):>8.3f} "
+            f"{float(res.get('cpu_sys_s', 0.0) or 0.0):>8.3f} "
+            f"{int(res.get('max_rss_kb', 0) or 0):>9} "
+            f"{int(res.get('gc_collections', 0) or 0):>4} "
+            f"{_fmt_energy(res.get('energy_j')):>8}"
+        )
+    return lines
+
+
 def render_clocks(summary: TraceSummary, limit: int = 5) -> List[str]:
     """Render the async clock-skew section: one line per async span.
 
@@ -265,11 +325,13 @@ def render_clocks(summary: TraceSummary, limit: int = 5) -> List[str]:
 
 
 def render(
-    summary: TraceSummary, slowest: int = 5, latency: bool = False
+    summary: TraceSummary, slowest: int = 5, latency: bool = False,
+    resources: bool = False,
 ) -> List[str]:
     """Render a trace summary as display lines (no trailing newlines)."""
     lines: List[str] = []
     closed = summary.closed_spans()
+    open_spans = summary.open_spans()
     # A span whose id equals its trace id is the sweep itself, not a job.
     job_spans = [s for s in closed if s.span_id and s.span_id != s.trace_id]
     lines.append(
@@ -278,10 +340,19 @@ def render(
     )
     if summary.problem:
         lines.append(f"WARNING: {summary.problem}")
-    for span in summary.open_spans():
+    for span in open_spans:
         lines.append(
             f"OPEN  {span.span_id or '<trace>'}  {span.label or '-'} "
             f"(run_start without run_end)"
+        )
+    if open_spans:
+        # Diagnostic, not a failure: a truncated or crashed trace must
+        # never render as silently complete, but it also must not flip
+        # the exit code the way a theorem violation does.
+        lines.append(
+            f"INCOMPLETE: {len(open_spans)} span(s) never ended — trace "
+            "truncated or worker crashed; totals below cover closed "
+            "spans only"
         )
     if job_spans:
         total_rounds = sum(s.rounds for s in job_spans)
@@ -308,6 +379,9 @@ def render(
     if clock_lines:
         lines.append("")
         lines.extend(clock_lines)
+    if resources:
+        lines.append("")
+        lines.extend(render_resources(summary, limit=slowest))
     if latency:
         lines.append("")
         lines.extend(render_latency(summary.serving))
@@ -321,12 +395,20 @@ def render(
     return lines
 
 
-def tail(dir_or_file: str, slowest: int = 5, latency: bool = False) -> str:
+def tail(
+    dir_or_file: str, slowest: int = 5, latency: bool = False,
+    resources: bool = False,
+) -> str:
     """Load a telemetry trace and return the rendered summary text."""
     events = load_trace(dir_or_file)
     if not events:
         return f"no telemetry events under {dir_or_file}"
-    return "\n".join(render(summarize(events), slowest=slowest, latency=latency))
+    return "\n".join(
+        render(
+            summarize(events), slowest=slowest, latency=latency,
+            resources=resources,
+        )
+    )
 
 
 __all__ = [
@@ -336,6 +418,7 @@ __all__ = [
     "render",
     "render_clocks",
     "render_latency",
+    "render_resources",
     "summarize",
     "tail",
 ]

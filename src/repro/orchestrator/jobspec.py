@@ -33,7 +33,12 @@ from ..trees.tree import Tree
 #: fingerprints identically to its equivalent scenario.  Migration: v2
 #: cache rows are *not* rewritten — the store filters rows by schema
 #: tag, so v2 entries are simply ignored and jobs re-run once under v3.
-SCHEMA_VERSION = "repro-orchestrator-v3"
+#: v4: every run is bracketed by the resource sampler, so rows gain the
+#: ``cpu_sec`` / ``cpu_user_s`` / ``cpu_sys_s`` / ``max_rss_kb`` (and,
+#: where RAPL is readable, ``energy_j``) accounting columns consumed by
+#: ``repro report``.  Migration follows the v2→v3 pattern: v3 cache
+#: rows are ignored by tag and jobs re-run once under v4.
+SCHEMA_VERSION = "repro-orchestrator-v4"
 
 
 @dataclass(frozen=True)

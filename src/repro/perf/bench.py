@@ -180,20 +180,43 @@ def _make_runner(case: BenchCase) -> Callable[[TimingObserver], None]:
 
 
 def run_case(case: BenchCase, repeats: int = 3) -> Dict[str, Any]:
-    """Measure one case: best-of-``repeats`` elapsed plus phase split."""
+    """Measure one case: best-of-``repeats`` elapsed plus phase split.
+
+    Each repeat is bracketed by a
+    :class:`~repro.obs.resources.ResourceSampler`; the row carries the
+    resource columns of the *best* (fastest) repeat, matching the
+    elapsed/phase selection rule.  The columns are additive to
+    ``repro-bench-v1`` — they are not required by
+    :func:`validate_snapshot`, so pre-existing snapshots stay loadable
+    and comparable.
+    """
+    from ..obs.resources import ResourceSampler
+
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     run = _make_runner(case)
     timing = TimingObserver()
     best: Optional[Dict[str, Any]] = None
+    best_res = None
     elapsed_all: List[float] = []
     for _ in range(repeats):
+        sampler = ResourceSampler().start()
         run(timing)  # on_attach resets the observer per run
+        res = sampler.stop()
         sample = timing.snapshot()
         elapsed_all.append(round(sample["elapsed"], 6))
         if best is None or sample["elapsed"] < best["elapsed"]:
             best = sample
+            best_res = res
     assert best is not None
+    resource_cols: Dict[str, Any] = {}
+    if best_res is not None and best_res.wall_s > 0:
+        resource_cols = {
+            "cpu_sec": round(best_res.cpu_s, 6),
+            "max_rss_kb": best_res.max_rss_kb,
+        }
+        if best_res.energy_j is not None:
+            resource_cols["energy_j"] = round(best_res.energy_j, 6)
     return {
         "name": case.name,
         "kind": case.kind,
@@ -225,6 +248,7 @@ def run_case(case: BenchCase, repeats: int = 3) -> Dict[str, Any]:
             phase: round(fraction, 4)
             for phase, fraction in best["phase_fractions"].items()
         },
+        **resource_cols,
     }
 
 

@@ -386,13 +386,18 @@ class BuiltScenario:
 
         ``observers`` are extra round observers (the benchmark harness
         passes its own timing observer); a timing observer is always
-        attached internally for the row's throughput columns.
+        attached internally for the row's throughput columns, and a
+        :class:`~repro.obs.resources.ResourceSampler` brackets the run
+        so every surface's rows carry ``cpu_sec`` / ``max_rss_kb`` (and
+        ``energy_j`` where the host can measure it).
         """
+        from .obs.resources import ResourceSampler
         from .perf import TimingObserver
 
         timing = TimingObserver()
         all_observers = [timing, *observers]
         kind = self.spec.kind
+        sampler = ResourceSampler().start()
         if kind == "tree":
             row = self._run_tree(all_observers, timing)
         elif kind == "async-tree":
@@ -403,6 +408,8 @@ class BuiltScenario:
             row = self._run_graph(all_observers, timing)
         else:
             row = self._run_game(all_observers, timing)
+        if sampler.enabled:
+            row.update(sampler.stop().as_columns())
         return row
 
     def _base_row(self) -> Dict[str, object]:

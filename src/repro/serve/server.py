@@ -36,6 +36,7 @@ from collections import deque
 from time import monotonic, perf_counter
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from ..obs.resources import ResourceSampler
 from ..obs.writer import NullWriter, TelemetryConfig
 from ..orchestrator.store import ResultStore
 from .dedup import InflightMap
@@ -120,6 +121,12 @@ class ScenarioServer:
         self.started_at: Optional[float] = None
         self.requests = 0
         self.errors = 0
+        # Process-lifetime resource bracket (started in start()) plus
+        # cumulative per-job counters folded from fresh-execution rows.
+        self._resources = ResourceSampler()
+        self.job_cpu_sec = 0.0
+        self.job_max_rss_kb = 0
+        self.job_energy_j: Optional[float] = None
         self.by_source: Dict[str, int] = {}
         self.by_status: Dict[str, int] = {}
         self._latencies: Dict[str, Deque[float]] = {}
@@ -216,6 +223,8 @@ class ScenarioServer:
         )
         if not response.ok:
             self.errors += 1
+        if response.ok and response.source == "fresh" and response.row:
+            self._fold_job_resources(response.row)
         bucket = self._latencies.get(source)
         if bucket is None:
             bucket = self._latencies[source] = deque(maxlen=_SAMPLE_WINDOW)
@@ -235,6 +244,37 @@ class ScenarioServer:
             self._emit_snapshots(final=False)
         return response
 
+    def _fold_job_resources(self, row: Dict[str, Any]) -> None:
+        """Accumulate one fresh execution's row-level resource columns.
+
+        Cache/dedup hits are deliberately not billed — they cost the
+        follower nothing; the leader's fresh execution already counted.
+        """
+        try:
+            self.job_cpu_sec += float(row.get("cpu_sec", 0.0) or 0.0)
+            self.job_max_rss_kb = max(
+                self.job_max_rss_kb, int(row.get("max_rss_kb", 0) or 0)
+            )
+            energy = row.get("energy_j")
+            if isinstance(energy, (int, float)):
+                self.job_energy_j = (self.job_energy_j or 0.0) + float(energy)
+        except (TypeError, ValueError):  # malformed foreign row
+            logger.debug("unparsable resource columns in row", exc_info=True)
+
+    def resource_stats(self) -> Dict[str, Any]:
+        """Cumulative resource counters for ``/stats`` and telemetry."""
+        return {
+            "process": self._resources.peek().to_data(),
+            "jobs": {
+                "cpu_sec": round(self.job_cpu_sec, 6),
+                "max_rss_kb": self.job_max_rss_kb,
+                "energy_j": (
+                    None if self.job_energy_j is None
+                    else round(self.job_energy_j, 6)
+                ),
+            },
+        }
+
     def _emit_snapshots(self, final: bool) -> None:
         """Emit per-source ``latency`` percentiles and the ``queue`` gauge."""
         for source, bucket in sorted(self._latencies.items()):
@@ -253,6 +293,12 @@ class ScenarioServer:
             "capacity": self.pool.queue_depth,
             "inflight": self.pool.inflight,
             "coalesced": self.inflight.coalesced,
+            "final": final,
+        })
+        resources = self.resource_stats()
+        self._writer.emit("resource", label=self.label, data={
+            **resources["process"],
+            "jobs": resources["jobs"],
             "final": final,
         })
 
@@ -288,6 +334,7 @@ class ScenarioServer:
             "store_entries": len(self.store) if self.store is not None else 0,
             "rate_limited": self.limiter.rejected,
             "latency": snaps,
+            "resources": self.resource_stats(),
         }
 
     # -- lifecycle -----------------------------------------------------
@@ -307,6 +354,7 @@ class ScenarioServer:
             raise ValueError("serve needs an HTTP host and/or a unix socket")
         if self._telemetry is not None:
             self._writer = self._telemetry.open()
+        self._resources.start()
         await self.pool.start()
         self._drain_event = asyncio.Event()
         self.started_at = monotonic()

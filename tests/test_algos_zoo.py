@@ -222,7 +222,9 @@ class TestBackendParity:
         # ...and every measured quantity matches exactly (only the
         # fingerprint — which keys the requested backend — and wall-clock
         # timings may differ).
-        volatile = {"fingerprint", "elapsed", "rounds_per_sec"}
+        volatile = {"fingerprint", "elapsed", "rounds_per_sec",
+                    "cpu_sec", "cpu_user_s", "cpu_sys_s", "max_rss_kb",
+                    "energy_j"}
         assert {k: v for k, v in ref.items() if k not in volatile} == {
             k: v for k, v in arr.items() if k not in volatile
         }

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis import render_table, run_sweep, summarize_by
+from repro.analysis import (
+    render_markdown_table,
+    render_table,
+    run_sweep,
+    summarize_by,
+)
 from repro.baselines import CTE
 from repro.core import BFDN
 from repro.trees import generators as gen
@@ -52,9 +57,47 @@ class TestReport:
         ]
         out = render_table(rows)
         lines = out.splitlines()
-        assert lines[0].startswith("a")
         assert len(lines) == 4
         assert all(len(line) == len(lines[0]) for line in lines[1:])
+        # "a" is all-numeric: header and cells right-align to width 3.
+        assert lines[0].startswith("  a")
+        assert lines[2].startswith("  1")
+        assert lines[3].startswith("222")
+        # "b" is text: left-aligned.
+        assert lines[2].endswith("xy")
+        assert lines[3].endswith("z ")
+
+    def test_render_table_floats_right_aligned(self):
+        rows = [
+            {"rate": 9.5, "name": "x"},
+            {"rate": 12345.25, "name": "y"},
+        ]
+        lines = render_table(rows).splitlines()
+        assert lines[2].startswith("    9.50")
+        assert lines[3].startswith("12345.25")
+
+    def test_render_table_bools_are_text(self):
+        rows = [{"ok": True}, {"ok": False}]
+        lines = render_table(rows).splitlines()
+        # bools read as text, so the column left-aligns.
+        assert lines[2].startswith("True ")
+
+    def test_render_markdown_table(self):
+        rows = [
+            {"algorithm": "bfdn", "n": 100, "rate": 1.5},
+            {"algorithm": "cte", "n": 2000, "rate": 22.25},
+        ]
+        out = render_markdown_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("| algorithm |")
+        # Numeric columns carry the right-alignment marker.
+        assert lines[1].count(":") == 2
+        assert all(line.startswith("|") and line.endswith("|") for line in lines)
+        # Diff-friendly: every line the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_markdown_table_empty(self):
+        assert render_markdown_table([]) == "(no rows)"
 
     def test_render_table_empty(self):
         assert render_table([]) == "(no rows)"

@@ -316,8 +316,10 @@ class TestBackendDecline:
             )
             row = spec.run()
             # Identity/timing fields legitimately differ across backends.
-            for key in ("fingerprint", "elapsed", "rounds_per_sec", "backend"):
-                row.pop(key)
+            for key in ("fingerprint", "elapsed", "rounds_per_sec", "backend",
+                        "cpu_sec", "cpu_user_s", "cpu_sys_s", "max_rss_kb",
+                        "energy_j"):
+                row.pop(key, None)
             return row
 
         reference, array = row_for("reference"), row_for("array")

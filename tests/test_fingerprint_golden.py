@@ -23,26 +23,29 @@ from repro.orchestrator import TreeSpec
 from repro.orchestrator.jobspec import SCHEMA_VERSION
 from repro.scenario import ScenarioSpec
 
-#: Pinned under schema "repro-orchestrator-v3"; re-pin on schema bumps.
+#: Pinned under schema "repro-orchestrator-v4"; re-pin on schema bumps.
+#: (The v3→v4 bump re-keyed every entry: the schema tag is part of the
+#: canonical encoding, so the resource-accounting row change re-keys the
+#: world explicitly rather than silently mixing row shapes per key.)
 GOLDEN = {
-    "tree": "042f9a34d84d001ad83e90ee9c37bab605db87beca7003af70d2ff88515f667f",
-    "reactive": "50f8d4f221cf6856d2bb7a8db6ddb76ca9aabf01caa46f0c3544506f7f03dc73",
-    "graph": "c09759377588eeca0ca4f0d4474b3887a8f9106a37f0219988e33f72e4c342e3",
-    "game": "d63549bb780e9740029e9e42de25e6c716379d0d2769236f0ecd925a77a1f020",
+    "tree": "575176b9fd230dc557ed5b73001222eb643dd762637a27a0437f936bf58d49bd",
+    "reactive": "46a865ea050523fa08fa0f84f5486a819ea219a8a70220302adfb8047c0b0ed7",
+    "graph": "bf5e4df766dc6595b4f3643552aa1cccc6ffeb260dda28b016485a73b8435b43",
+    "game": "b0d3594e9ab3b1faa6578520d1890a75a76d5b5ed2f29d94c12673e1682f6c2d",
     "explicit-parents":
-        "065c125f042a5ff3a6e4e48ad4abb2000209c35dcc31048034b03435e4c33e51",
+        "6160e5b0b1dba477a73f53364792f9574bdfc073ec106d030fffc46d114147fd",
     "with-policy-bounds":
-        "1dc479be30bb93d36e6063ad2d6f80a2b54308ecfe0cfc6d5ff56cebad7f835e",
+        "2b8c839be8563d72db005e412e068d9ca7a4adc980d461f86610083cabe301fc",
     # The algorithm zoo (repro.algos) joins the same fingerprint
     # namespace: new names pin cleanly without perturbing any entry above.
     "tree-mining":
-        "1a82a7125daeba5fd2f4e87551e2034b7402a790563935e594418f2eb05ac3ee",
+        "c78838abe16d9314ec15059430a2b9c6fbc71a29451f901b427307fc36105664",
     "potential-cte":
-        "576f01c4012890442faaa58c2ca76254258eb19372be881a7418a53abd51318c",
+        "69539bf7467565ddcc27260c934d0007e5c91898880b4f2ab086ae1317ce6c96",
     # The asynchronous model: speed/speed_params enter the canonical
     # encoding for this kind only, so the pins above are untouched.
     "async-tree":
-        "b7c7fa0ea23ef392c50d4d47e5dd53a4392cbf2661f216d9ba440550cdd0a531",
+        "6bcd88b15d89d9c084e6af322ef1fa195c20162e05b1642d462c91e58dc30dfb",
 }
 
 
@@ -95,7 +98,7 @@ def golden_specs():
 class TestGoldenFingerprints:
     def test_schema_version_matches_pins(self):
         # The pins in GOLDEN encode this schema tag; a bump must re-pin.
-        assert SCHEMA_VERSION == "repro-orchestrator-v3"
+        assert SCHEMA_VERSION == "repro-orchestrator-v4"
 
     def test_fingerprints_match_pins(self):
         specs = golden_specs()

@@ -143,3 +143,97 @@ class TestMetricsObserver:
 
     def test_null_writer_is_default(self):
         assert isinstance(MetricsObserver().writer, NullWriter)
+
+
+# ---------------------------------------------------------------------
+# Merge: folding per-worker registries must be order-independent
+# ---------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: One worker's recorded operations: (metric_kind, labelled, amount).
+#: Integer-valued amounts keep float addition exactly associative, so
+#: "order-independent" can be asserted with == rather than approx.
+_op = st.tuples(
+    st.sampled_from(["counter", "gauge", "histogram"]),
+    st.sampled_from(["a", "b", "c"]),
+    st.integers(min_value=0, max_value=50),
+)
+_worker = st.lists(_op, max_size=12)
+
+
+def _registry_from(ops):
+    reg = MetricsRegistry()
+    for kind, label, amount in ops:
+        if kind == "counter":
+            reg.counter("ops").inc(float(amount), worker=label)
+        elif kind == "gauge":
+            reg.gauge("load").inc(float(amount), worker=label)
+        else:
+            reg.histogram("lat").observe(float(amount), worker=label)
+    return reg
+
+
+def _merged(workers, order):
+    total = MetricsRegistry()
+    for index in order:
+        total.merge(workers[index])
+    return total.collect()
+
+
+class TestMergeOrderIndependence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_worker, min_size=2, max_size=5), st.randoms())
+    def test_any_fold_order_collects_identically(self, worker_ops, rng):
+        workers = [_registry_from(ops) for ops in worker_ops]
+        forward = list(range(len(workers)))
+        shuffled = list(forward)
+        rng.shuffle(shuffled)
+        assert _merged(workers, forward) == _merged(workers, shuffled)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_worker, _worker)
+    def test_pairwise_merge_commutes(self, ops_a, ops_b):
+        ab = MetricsRegistry()
+        ab.merge(_registry_from(ops_a))
+        ab.merge(_registry_from(ops_b))
+        ba = MetricsRegistry()
+        ba.merge(_registry_from(ops_b))
+        ba.merge(_registry_from(ops_a))
+        assert ab.collect() == ba.collect()
+
+    def test_merge_sums_counters_and_histograms(self):
+        a = _registry_from([("counter", "a", 3), ("histogram", "a", 1)])
+        b = _registry_from([("counter", "a", 4), ("histogram", "a", 9)])
+        a.merge(b)
+        assert a.counter("ops").value(worker="a") == 7.0
+        hist = [
+            s for s in a.histogram("lat").samples()
+            if s["labels"] == {"worker": "a"}
+        ][0]
+        assert hist["count"] == 2
+        assert hist["value"] == 10.0
+
+    def test_merge_rejects_kind_mismatch(self):
+        a = MetricsRegistry()
+        a.counter("x")
+        b = MetricsRegistry()
+        b.gauge("x")
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(b)
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="bucket"):
+            a.merge(b)
+
+    def test_merge_adopts_unknown_families(self):
+        a = MetricsRegistry()
+        b = _registry_from([("gauge", "b", 5)])
+        a.merge(b)
+        assert a.gauge("load").value(worker="b") == 5.0
+        # Adopted by value, not by reference: the source stays intact.
+        b.gauge("load").inc(1.0, worker="b")
+        assert a.gauge("load").value(worker="b") == 5.0

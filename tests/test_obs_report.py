@@ -1,0 +1,188 @@
+"""Tests for the ``repro report`` matrix builder and renderers."""
+
+import pytest
+
+from repro.obs.report import (
+    MATRIX_COLUMNS,
+    build_matrix,
+    collect_matrix,
+    compare_reports,
+    family_of,
+    render_html,
+    render_markdown,
+    rows_from_cache,
+)
+
+
+def row(algorithm="bfdn", family="random", n=100, k=2, seed=0, **extra):
+    base = {
+        "algorithm": algorithm,
+        "label": f"{family}-n{n}" + (f"-s{seed}" if seed else ""),
+        "kind": "tree",
+        "n": n,
+        "k": k,
+        "rounds": 120,
+        "rounds_per_sec": 10_000.0,
+        "cpu_sec": 0.01,
+        "max_rss_kb": 40_000,
+    }
+    base.update(extra)
+    return base
+
+
+class TestFamilyOf:
+    def test_sweep_labels(self):
+        assert family_of("random-n200") == "random"
+        assert family_of("random-n200-s3") == "random"
+        assert family_of("cte-trap-n1200") == "cte-trap"
+
+    def test_fallbacks(self):
+        assert family_of("custom label") == "custom label"
+        assert family_of("", kind="game") == "game"
+        assert family_of("") == "?"
+
+
+class TestBuildMatrix:
+    def test_pivots_by_algorithm_family_size(self):
+        rows = [
+            row(algorithm="bfdn", family="random"),
+            row(algorithm="bfdn", family="comb"),
+            row(algorithm="cte", family="random"),
+        ]
+        matrix = build_matrix(rows)
+        keys = [(r["algorithm"], r["family"]) for r in matrix]
+        assert keys == [("bfdn", "comb"), ("bfdn", "random"), ("cte", "random")]
+
+    def test_seeds_aggregate_into_one_cell(self):
+        rows = [
+            row(seed=0, rounds_per_sec=1000.0, cpu_sec=0.02, max_rss_kb=100),
+            row(seed=1, rounds_per_sec=3000.0, cpu_sec=0.04, max_rss_kb=300),
+        ]
+        matrix = build_matrix(rows)
+        assert len(matrix) == 1
+        cell = matrix[0]
+        assert cell["runs"] == 2
+        assert cell["rounds_per_sec"] == pytest.approx(2000.0)
+        assert cell["cpu_sec"] == pytest.approx(0.03)
+        assert cell["max_rss_kb"] == 300  # peak, not mean
+
+    def test_margin_prefers_live_margins(self):
+        matrix = build_matrix([
+            row(margin_theorem1=50.0, margin_lemma2=5.0, bfdn_bound=9999.0)
+        ])
+        assert matrix[0]["margin"] == pytest.approx(5.0)
+
+    def test_margin_falls_back_to_bound_minus_rounds(self):
+        matrix = build_matrix([row(bfdn_bound=200.0)])  # rounds = 120
+        assert matrix[0]["margin"] == pytest.approx(80.0)
+
+    def test_missing_measurements_render_na(self):
+        bare = {"algorithm": "dfs", "label": "comb-n50", "n": 50, "k": 2}
+        cell = build_matrix([bare])[0]
+        assert cell["cpu_sec"] == "n/a"
+        assert cell["energy_j"] == "n/a"
+        assert cell["margin"] == "n/a"
+
+
+class TestRendering:
+    def test_markdown_contains_one_row_per_cell(self):
+        matrix = build_matrix([
+            row(algorithm="bfdn"), row(algorithm="cte"),
+        ])
+        text = render_markdown(matrix, title="T")
+        assert text.startswith("# T")
+        body = [ln for ln in text.splitlines() if ln.startswith("| ")]
+        assert len(body) == 1 + 1 + len(matrix)  # header + separator + cells
+        assert "energy" in text  # the availability note always renders
+
+    def test_markdown_empty(self):
+        assert "no rows" in render_markdown([])
+
+    def test_html_self_contained(self):
+        matrix = build_matrix([row(energy_j=1.25)])
+        page = render_html(matrix)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<style>" in page and "http" not in page.lower().replace(
+            "n/a", ""
+        )
+        assert page.count("<tr>") == 1 + len(matrix)
+        assert "1.25" in page
+
+    def test_html_escapes_and_marks_na(self):
+        page = render_html([
+            {c: "n/a" for c in MATRIX_COLUMNS} | {"algorithm": "<evil>"}
+        ])
+        assert "&lt;evil&gt;" in page
+        assert '<td class="na">n/a</td>' in page
+
+
+class TestCompare:
+    def test_throughput_drop_is_regression(self):
+        old = build_matrix([row(rounds_per_sec=10_000.0)])
+        new = build_matrix([row(rounds_per_sec=5_000.0)])
+        lines, regressions = compare_reports(old, new, threshold=0.2)
+        assert len(regressions) == 1
+        assert regressions[0].metric == "rounds_per_sec"
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_cpu_growth_is_regression(self):
+        old = build_matrix([row(cpu_sec=0.01)])
+        new = build_matrix([row(cpu_sec=0.02)])
+        _, regressions = compare_reports(old, new, threshold=0.2)
+        assert [d.metric for d in regressions] == ["cpu_sec"]
+
+    def test_small_drift_passes(self):
+        old = build_matrix([row(rounds_per_sec=10_000.0, cpu_sec=0.01)])
+        new = build_matrix([row(rounds_per_sec=9_500.0, cpu_sec=0.0105)])
+        lines, regressions = compare_reports(old, new, threshold=0.2)
+        assert regressions == []
+
+    def test_new_and_removed_cells_never_gate(self):
+        old = build_matrix([row(algorithm="bfdn")])
+        new = build_matrix([row(algorithm="cte")])
+        lines, regressions = compare_reports(old, new)
+        assert regressions == []
+        assert any("new cell" in line for line in lines)
+        assert any("removed" in line for line in lines)
+
+    def test_improvement_annotated(self):
+        old = build_matrix([row(rounds_per_sec=5_000.0)])
+        new = build_matrix([row(rounds_per_sec=10_000.0)])
+        lines, regressions = compare_reports(old, new)
+        assert regressions == []
+        assert any("improved" in line for line in lines)
+
+
+class TestSources:
+    def test_cache_roundtrip(self, tmp_path):
+        from repro.orchestrator.store import ResultStore
+
+        store = ResultStore(str(tmp_path))
+        r = row()
+        store.put("f" * 64, r)
+        rows = rows_from_cache(str(tmp_path))
+        assert len(rows) == 1
+        matrix = collect_matrix(cache_dir=str(tmp_path))
+        assert matrix[0]["algorithm"] == "bfdn"
+
+    def test_telemetry_source(self, tmp_path):
+        from repro.obs import TelemetryConfig, TelemetryJob, run_telemetry_job
+        from repro.orchestrator import TreeSpec
+        from repro.scenario import ScenarioSpec
+
+        config = TelemetryConfig.create(str(tmp_path))
+        spec = ScenarioSpec(
+            kind="tree", algorithm="bfdn", label="comb-n60",
+            substrate=TreeSpec.named("comb", 60, seed=1), k=2, seed=1,
+        )
+        run_telemetry_job(TelemetryJob(spec=spec, config=config))
+        matrix = collect_matrix(telemetry_dir=str(tmp_path))
+        assert len(matrix) == 1
+        cell = matrix[0]
+        assert cell["algorithm"] == "bfdn"
+        assert cell["family"] == "comb"
+        assert cell["cpu_sec"] != "n/a"
+
+    def test_no_sources_rejected(self):
+        with pytest.raises(ValueError):
+            collect_matrix()

@@ -1,0 +1,266 @@
+"""Resource sampler and RAPL energy probe tests.
+
+The RAPL probe runs against a synthetic powercap sysfs tree so the
+wraparound, missing-file and permission-denied paths are all exercised
+deterministically — no real ``/sys/class/powercap`` required.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import TelemetryEvent
+from repro.obs.resources import (
+    NullEnergyProbe,
+    RaplEnergyProbe,
+    ResourceSample,
+    ResourceSampler,
+    default_energy_probe,
+    sampling_enabled,
+)
+
+
+def make_rapl_tree(root, domains):
+    """Lay out a synthetic powercap tree: {name: (energy_uj, max_uj)}."""
+    for name, (energy, max_range) in domains.items():
+        d = root / name
+        d.mkdir(parents=True)
+        if energy is not None:
+            (d / "energy_uj").write_text(f"{energy}\n")
+        if max_range is not None:
+            (d / "max_energy_range_uj").write_text(f"{max_range}\n")
+
+
+class TestRaplProbe:
+    def test_reads_package_domains(self, tmp_path):
+        make_rapl_tree(tmp_path, {
+            "intel-rapl:0": (1_000_000, 262_143_328_850),
+            "intel-rapl:1": (2_500_000, 262_143_328_850),
+        })
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        assert probe.available
+        snap = probe.snapshot()
+        assert snap == {"intel-rapl:0": 1_000_000, "intel-rapl:1": 2_500_000}
+
+    def test_subdomains_not_double_counted(self, tmp_path):
+        # intel-rapl:0:0 (core) is *part of* intel-rapl:0 (package).
+        make_rapl_tree(tmp_path, {
+            "intel-rapl:0": (1_000_000, 10_000_000),
+            "intel-rapl:0:0": (400_000, 10_000_000),
+            "intel-rapl-mmio:0": (99, 100),  # other control types skipped
+        })
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        assert list(probe.snapshot()) == ["intel-rapl:0"]
+
+    def test_delta_joules(self, tmp_path):
+        make_rapl_tree(tmp_path, {"intel-rapl:0": (1_000_000, 10_000_000)})
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        start = probe.snapshot()
+        (tmp_path / "intel-rapl:0" / "energy_uj").write_text("3500000\n")
+        assert probe.delta_j(start, probe.snapshot()) == pytest.approx(2.5)
+
+    def test_wraparound_corrected(self, tmp_path):
+        # Counter wrapped: end < start; the probe adds the range back.
+        make_rapl_tree(tmp_path, {"intel-rapl:0": (9_000_000, 10_000_000)})
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        start = probe.snapshot()
+        (tmp_path / "intel-rapl:0" / "energy_uj").write_text("2000000\n")
+        # 10_000_000 - 9_000_000 + 2_000_000 = 3_000_000 uj = 3 J
+        assert probe.delta_j(start, probe.snapshot()) == pytest.approx(3.0)
+
+    def test_wraparound_without_range_drops_domain(self, tmp_path):
+        make_rapl_tree(tmp_path, {"intel-rapl:0": (9_000_000, None)})
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        start = probe.snapshot()
+        (tmp_path / "intel-rapl:0" / "energy_uj").write_text("2000000\n")
+        assert probe.delta_j(start, probe.snapshot()) is None
+
+    def test_missing_base_dir_unavailable(self, tmp_path):
+        probe = RaplEnergyProbe(base_path=str(tmp_path / "nope"))
+        assert not probe.available
+        assert probe.snapshot() == {}
+        assert probe.delta_j({}, {}) is None
+
+    def test_missing_energy_file_skipped(self, tmp_path):
+        make_rapl_tree(tmp_path, {
+            "intel-rapl:0": (None, 10_000_000),  # no energy_uj at all
+            "intel-rapl:1": (5, 10_000_000),
+        })
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        assert list(probe.snapshot()) == ["intel-rapl:1"]
+
+    def test_energy_file_vanishing_mid_flight(self, tmp_path):
+        make_rapl_tree(tmp_path, {"intel-rapl:0": (1_000, 10_000_000)})
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        start = probe.snapshot()
+        os.unlink(tmp_path / "intel-rapl:0" / "energy_uj")
+        assert probe.snapshot() == {}
+        assert probe.delta_j(start, probe.snapshot()) is None
+
+    @pytest.mark.skipif(os.geteuid() == 0, reason="root ignores file modes")
+    def test_permission_denied_is_unavailable(self, tmp_path):
+        make_rapl_tree(tmp_path, {"intel-rapl:0": (1_000, 10_000_000)})
+        path = tmp_path / "intel-rapl:0" / "energy_uj"
+        path.chmod(0o000)
+        try:
+            probe = RaplEnergyProbe(base_path=str(tmp_path))
+            # Discovered (the file exists) but unreadable: no snapshot,
+            # no exception — exactly the unprivileged-host behaviour.
+            assert probe.snapshot() == {}
+            assert not probe.available
+        finally:
+            path.chmod(0o644)
+
+    def test_permission_denied_via_errno(self, tmp_path, monkeypatch):
+        # chmod is a no-op under root (CI containers), so simulate the
+        # unprivileged-host EACCES at the open() boundary instead.
+        import builtins
+
+        make_rapl_tree(tmp_path, {"intel-rapl:0": (1_000, 10_000_000)})
+        real_open = builtins.open
+
+        def deny(path, *args, **kwargs):
+            if str(path).endswith("energy_uj"):
+                raise PermissionError(13, "Permission denied", str(path))
+            return real_open(path, *args, **kwargs)
+
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        monkeypatch.setattr(builtins, "open", deny)
+        assert probe.snapshot() == {}
+        assert not probe.available
+        assert probe.delta_j({}, probe.snapshot()) is None
+
+    def test_garbage_content_skipped(self, tmp_path):
+        make_rapl_tree(tmp_path, {"intel-rapl:0": (1, 10)})
+        (tmp_path / "intel-rapl:0" / "energy_uj").write_text("not-a-number\n")
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        assert probe.snapshot() == {}
+
+
+class TestResourceSampler:
+    def test_basic_bracket(self):
+        sampler = ResourceSampler(probe=NullEnergyProbe()).start()
+        # Burn a little CPU so the counters are visibly non-negative.
+        sum(i * i for i in range(20000))
+        sample = sampler.stop()
+        assert sample.wall_s > 0
+        assert sample.cpu_user_s >= 0 and sample.cpu_sys_s >= 0
+        assert sample.max_rss_kb > 0
+        assert sample.energy_j is None
+        assert sample.energy_source == "unavailable"
+
+    def test_context_manager(self):
+        with ResourceSampler(probe=NullEnergyProbe()) as sampler:
+            pass
+        assert sampler.sample is not None
+        assert sampler.sample.wall_s >= 0
+
+    def test_disabled_sampler_is_noop(self):
+        sampler = ResourceSampler(enabled=False).start()
+        sample = sampler.stop()
+        assert sample == ResourceSample()
+        assert sample.cpu_s == 0.0
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_RESOURCE_SAMPLING", "1")
+        assert not sampling_enabled()
+        assert not ResourceSampler().enabled
+
+    def test_peek_keeps_region_open(self):
+        sampler = ResourceSampler(probe=NullEnergyProbe()).start()
+        first = sampler.peek()
+        sum(i for i in range(10000))
+        second = sampler.peek()
+        assert second.wall_s >= first.wall_s
+        final = sampler.stop()
+        assert final.wall_s >= second.wall_s
+
+    def test_energy_via_synthetic_probe(self, tmp_path):
+        make_rapl_tree(tmp_path, {"intel-rapl:0": (0, 10_000_000)})
+        probe = RaplEnergyProbe(base_path=str(tmp_path))
+        sampler = ResourceSampler(probe=probe).start()
+        (tmp_path / "intel-rapl:0" / "energy_uj").write_text("4000000\n")
+        sample = sampler.stop()
+        assert sample.energy_j == pytest.approx(4.0)
+        assert sample.energy_source == "rapl"
+        assert sample.as_columns()["energy_j"] == pytest.approx(4.0)
+
+    def test_columns_omit_unmeasured_energy(self):
+        sample = ResourceSample(cpu_user_s=1.0, cpu_sys_s=0.5, max_rss_kb=10)
+        cols = sample.as_columns()
+        assert cols["cpu_sec"] == pytest.approx(1.5)
+        assert "energy_j" not in cols
+
+    def test_default_probe_cached_and_refreshable(self):
+        probe = default_energy_probe()
+        assert default_energy_probe() is probe
+        assert default_energy_probe(refresh=True) is not None
+
+
+class TestResourceEvent:
+    def test_round_trips_through_telemetry_schema(self):
+        sample = ResourceSample(
+            wall_s=0.5, cpu_user_s=0.4, cpu_sys_s=0.05, max_rss_kb=1024,
+            rss_delta_kb=12, gc_collections=2, energy_j=None,
+        )
+        ev = TelemetryEvent(
+            event="resource", trace_id="t" * 16, span_id="s" * 12,
+            data=sample.to_data(),
+        )
+        back = TelemetryEvent.from_json(ev.to_json())
+        assert back.event == "resource"
+        assert back.data["cpu_s"] == pytest.approx(0.45)
+        assert back.data["energy_j"] is None
+        assert back.data["energy_source"] == "unavailable"
+
+
+class TestRowPlumbing:
+    def test_scenario_rows_carry_resource_columns(self):
+        from repro.orchestrator import TreeSpec
+        from repro.scenario import ScenarioSpec
+
+        row = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("comb", 60, seed=1), k=2, seed=1,
+        ).run()
+        assert "cpu_sec" in row and row["cpu_sec"] >= 0
+        assert row["max_rss_kb"] > 0
+
+    def test_sampling_disabled_omits_columns(self, monkeypatch):
+        from repro.orchestrator import TreeSpec
+        from repro.scenario import ScenarioSpec
+
+        monkeypatch.setenv("REPRO_NO_RESOURCE_SAMPLING", "1")
+        row = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("comb", 60, seed=1), k=2, seed=1,
+        ).run()
+        assert "cpu_sec" not in row
+
+    def test_bench_rows_carry_resource_columns(self):
+        from repro.perf.bench import PINNED_SUITE, run_case
+
+        row = run_case(PINNED_SUITE[0], repeats=1)
+        assert row["cpu_sec"] >= 0
+        assert row["max_rss_kb"] > 0
+
+    def test_telemetry_job_emits_resource_event(self, tmp_path):
+        from repro.obs import TelemetryConfig, TelemetryJob, run_telemetry_job
+        from repro.orchestrator import TreeSpec
+        from repro.scenario import ScenarioSpec
+
+        config = TelemetryConfig.create(str(tmp_path))
+        spec = ScenarioSpec(
+            kind="tree", algorithm="bfdn",
+            substrate=TreeSpec.named("comb", 50, seed=0), k=2, seed=0,
+        )
+        row = run_telemetry_job(TelemetryJob(spec=spec, config=config))
+        assert row["cpu_sec"] >= 0
+        from repro.obs import load_trace
+
+        events = load_trace(str(tmp_path))
+        resource_events = [e for e in events if e.event == "resource"]
+        assert len(resource_events) == 1
+        data = resource_events[0].data
+        assert data["cpu_s"] >= 0
+        assert data["rounds"] == row["rounds"]

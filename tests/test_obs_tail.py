@@ -82,3 +82,77 @@ class TestRender:
 
     def test_tail_handles_empty_dir(self, tmp_path):
         assert "no telemetry events" in tail(str(tmp_path))
+
+    def test_truncated_trace_reported_but_not_failing(self):
+        # Drop span B's run_end and the trace end: a crashed worker or a
+        # truncated file must be called out, never rendered as complete.
+        events = _demo_events()[:-3]
+        text = "\n".join(render(summarize(events)))
+        assert "INCOMPLETE" in text
+        assert "OPEN" in text
+        # ...but incompleteness is not a violation: the exit-code word
+        # "VIOLATION" must not appear for a merely truncated trace.
+        assert "VIOLATION(S)" not in text
+
+    def test_complete_trace_has_no_incomplete_line(self):
+        text = "\n".join(render(summarize(_demo_events())))
+        assert "INCOMPLETE" not in text
+
+
+def _resource_ev(span, ts, cpu=0.5, energy=None):
+    return _ev("resource", span, ts, data={
+        "wall_s": 1.0, "cpu_user_s": cpu, "cpu_sys_s": 0.1,
+        "cpu_s": cpu + 0.1, "max_rss_kb": 50_000, "rss_delta_kb": 10,
+        "gc_collections": 2, "energy_j": energy,
+        "energy_source": "rapl" if energy is not None else "unavailable",
+    })
+
+
+class TestResources:
+    def test_resource_events_fold_into_spans(self):
+        events = _demo_events() + [_resource_ev(SPAN_A, 1.9)]
+        summary = summarize(events)
+        assert summary.spans[(TRACE, SPAN_A)].resources["cpu_s"] == 0.6
+
+    def test_render_resources_totals_and_na_energy(self):
+        from repro.obs.tail import render_resources
+
+        events = _demo_events() + [
+            _resource_ev(SPAN_A, 1.9, cpu=0.5),
+            _resource_ev(SPAN_B, 3.5, cpu=1.5),
+        ]
+        lines = render_resources(summarize(events))
+        assert "2 sampled span(s)" in lines[0]
+        assert "2.200 cpu-sec" in lines[0]  # 0.6 + 1.6
+        assert "energy n/a J" in lines[0]
+        # Costliest span first.
+        assert "job-b" in lines[2] and "job-a" in lines[3]
+
+    def test_render_resources_with_energy(self):
+        from repro.obs.tail import render_resources
+
+        events = _demo_events() + [_resource_ev(SPAN_A, 1.9, energy=2.5)]
+        lines = render_resources(summarize(events))
+        assert "energy 2.500 J" in lines[0]
+
+    def test_no_resource_events_message(self):
+        from repro.obs.tail import render_resources
+
+        lines = render_resources(summarize(_demo_events()))
+        assert "no resource events" in lines[0]
+
+    def test_render_flag_includes_section(self):
+        events = _demo_events() + [_resource_ev(SPAN_A, 1.9)]
+        text = "\n".join(render(summarize(events), resources=True))
+        assert "resources:" in text
+        text_off = "\n".join(render(summarize(events)))
+        assert "resources:" not in text_off
+
+    def test_run_start_meta_is_kept(self):
+        events = [
+            _ev("run_start", SPAN_A, 1.0, label="job-a",
+                data={"algorithm": "bfdn", "size": 120, "k": 2}),
+        ]
+        span = summarize(events).spans[(TRACE, SPAN_A)]
+        assert span.meta["algorithm"] == "bfdn"
+        assert span.meta["size"] == 120

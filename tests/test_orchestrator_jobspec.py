@@ -77,12 +77,12 @@ class TestFingerprint:
     def test_golden_fingerprint_is_pinned(self):
         # Guards against accidental canonical-encoding changes, which
         # would silently invalidate every existing cache.  Pinned for
-        # schema repro-orchestrator-v3 (scenario-described jobs): the
-        # canonical encoding gained kind/policy/adversary/params keys,
-        # deliberately re-keying the cache away from the v2 value
-        # (8598...d4c2).
+        # schema repro-orchestrator-v4 (resource-accounting rows): the
+        # schema tag is part of the canonical encoding, so the v4 row
+        # change deliberately re-keys the cache away from the v3 value
+        # (f877...4ee8), just as v3 re-keyed away from v2 (8598...d4c2).
         assert spec().fingerprint() == (
-            "f877ef9c279f70a58a104bce2f077124781b1e93cc3bbfb05a91a2ae6dc64ee8"
+            "b32eda2b447d561817264561cfe9bd578a2e0ec734ff499bae76f9c35d7e4d0d"
         )
 
     def test_jobspec_fingerprints_as_its_scenario(self):
